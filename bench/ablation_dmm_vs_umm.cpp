@@ -1,0 +1,45 @@
+// Ablation: UMM vs DMM (paper Figures 1-2).  The same bulk workloads timed
+// under both sibling models.  The models diverge exactly where address
+// groups and banks disagree: a row-wise stride that is a multiple of w is a
+// full bank conflict on the DMM but 'only' an address-group scatter on the
+// UMM; a broadcast is free on the UMM but a full conflict on the DMM.
+#include <cstdio>
+#include <iostream>
+
+#include "algos/algorithm.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "bulk/bulk.hpp"
+#include "bulk/timing_estimator.hpp"
+#include "common/format.hpp"
+
+int main() {
+  using namespace obx;
+  const umm::MachineConfig cfg{.width = 32, .latency = 16};
+  const std::size_t p = 1 << 14;
+
+  std::printf("UMM vs DMM: all algorithms, p = %s, w = %u, l = %u.\n\n",
+              format_count(p).c_str(), cfg.width, cfg.latency);
+  analysis::Table table({"algorithm", "arrangement", "UMM units", "DMM units",
+                         "DMM/UMM"});
+  for (const algos::Algorithm& algo : algos::registry()) {
+    const std::size_t n = algo.test_sizes[algo.test_sizes.size() / 2];
+    const trace::Program program = algo.make_program(n);
+    for (const auto arr : {bulk::Arrangement::kRowWise, bulk::Arrangement::kColumnWise}) {
+      const bulk::Layout layout = bulk::make_layout(program, p, arr);
+      const TimeUnits u =
+          bulk::TimingEstimator(umm::Model::kUmm, cfg, layout).run(program).time_units;
+      const TimeUnits d =
+          bulk::TimingEstimator(umm::Model::kDmm, cfg, layout).run(program).time_units;
+      table.add_row({algo.name, to_string(arr), std::to_string(u), std::to_string(d),
+                     format_fixed(static_cast<double>(d) / static_cast<double>(u), 2)});
+    }
+  }
+  table.print(std::cout);
+  bench::save_table(table, "ablation_dmm_vs_umm");
+  std::printf("\nColumn-wise (stride-1) access is optimal on BOTH models (ratio 1).\n"
+              "Row-wise splits them: on the UMM it scatters across address groups;\n"
+              "on the DMM it conflicts only when the input stride shares a factor\n"
+              "with the bank count w.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation: memory latency l.  Theorem 3's l·t term is a floor no
+// arrangement can beat: for small p both arrangements cost ~l·t, and the
+// crossover where coalescing starts to matter moves right as l grows.
+#include <cstdio>
+#include <iostream>
+
+#include "algos/prefix_sums.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "bulk/bulk.hpp"
+#include "bulk/timing_estimator.hpp"
+#include "umm/cost_model.hpp"
+#include "common/format.hpp"
+
+int main() {
+  using namespace obx;
+  const std::size_t n = 64;
+  const trace::Program program = algos::prefix_sums_program(n);
+  const std::uint64_t t = algos::prefix_sums_memory_steps(n);
+
+  std::printf("Latency ablation: bulk prefix-sums, n = %zu, w = 32.\n\n", n);
+  analysis::Table table({"l", "p", "col units", "l*t floor", "col/floor"});
+  for (std::uint32_t l : {1u, 8u, 64u, 256u, 1024u}) {
+    const umm::MachineConfig cfg{.width = 32, .latency = l};
+    for (std::size_t p : {64u, 4096u, 262144u}) {
+      const auto col = bulk::TimingEstimator(
+                           umm::Model::kUmm, cfg,
+                           bulk::make_layout(program, p, bulk::Arrangement::kColumnWise))
+                           .run(program);
+      const TimeUnits floor = static_cast<TimeUnits>(l) * t;
+      table.add_row({std::to_string(l), format_count(p),
+                     std::to_string(col.time_units), std::to_string(floor),
+                     format_fixed(static_cast<double>(col.time_units) /
+                                      static_cast<double>(floor),
+                                  2)});
+    }
+  }
+  table.print(std::cout);
+  bench::save_table(table, "ablation_latency");
+  std::printf("\nExpected: at small p, col/floor -> 1 (latency-bound); at large p\n"
+              "the ratio grows as the p/w bandwidth term takes over.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: data arrangement.  Row-wise, column-wise, and the blocked
+// hybrids in between — how much coalescing does each block size recover, and
+// where does the row/column crossover sit as p grows?
+#include <cstdio>
+#include <iostream>
+
+#include "algos/prefix_sums.hpp"
+#include "analysis/series.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "bulk/bulk.hpp"
+#include "bulk/timing_estimator.hpp"
+#include "common/format.hpp"
+
+int main() {
+  using namespace obx;
+  const std::size_t n = 64;
+  const umm::MachineConfig cfg{.width = 32, .latency = 200};
+  const trace::Program program = algos::prefix_sums_program(n);
+
+  std::printf("Layout ablation: bulk prefix-sums, n = %zu, w = %u, l = %u.\n"
+              "blocked(B) interleaves lanes within blocks of B; B=32 (= w)\n"
+              "already restores full coalescing.\n\n",
+              n, cfg.width, cfg.latency);
+
+  analysis::Table table(
+      {"p", "row-wise", "blocked(32)", "blocked(256)", "column-wise", "row/col"});
+  std::vector<double> rows, cols;
+  for (std::size_t p : bench::p_sweep(1 << 20)) {
+    auto units = [&](const bulk::Layout& layout) {
+      return bulk::TimingEstimator(umm::Model::kUmm, cfg, layout)
+          .run(program)
+          .time_units;
+    };
+    const TimeUnits row = units(bulk::Layout::row_wise(p, n));
+    const TimeUnits b32 = units(bulk::Layout::blocked(p, n, 32));
+    const TimeUnits b256 = p >= 256 ? units(bulk::Layout::blocked(p, n, 256)) : b32;
+    const TimeUnits col = units(bulk::Layout::column_wise(p, n));
+    rows.push_back(static_cast<double>(row));
+    cols.push_back(static_cast<double>(col));
+    table.add_row({format_count(p), std::to_string(row), std::to_string(b32),
+                   std::to_string(b256), std::to_string(col),
+                   format_fixed(static_cast<double>(row) / static_cast<double>(col), 1)});
+  }
+  table.print(std::cout);
+  bench::save_table(table, "ablation_layout");
+
+  const auto cross = analysis::crossover_index(cols, rows);
+  if (cross) {
+    std::printf("\ncolumn-wise first strictly beats row-wise at p = %s and stays\n"
+                "ahead (the latency floor hides the difference below that).\n",
+                format_count(64u << *cross).c_str());
+  } else {
+    std::printf("\ncolumn-wise never strictly beat row-wise in this sweep.\n");
+  }
+  return 0;
+}

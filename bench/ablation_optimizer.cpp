@@ -1,0 +1,107 @@
+// Ablation: the peephole optimiser.  Two questions:
+//   1. How much headroom is left in the hand-tuned algorithm generators?
+//      (Near zero — they keep values in registers already.)
+//   2. How much does the optimiser recover on *naively recorded* code, the
+//      output of the sequential-to-bulk conversion system?  (A lot — naive
+//      recordings reload neighbours and constants.)
+// Since bulk time is proportional to the memory-step count t (Theorem 2),
+// the step reduction is exactly the simulated speedup.
+#include <cstdio>
+#include <iostream>
+
+#include "algos/algorithm.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "bulk/bulk.hpp"
+#include "bulk/timing_estimator.hpp"
+#include "common/format.hpp"
+#include "opt/optimizer.hpp"
+#include "trace/recorder.hpp"
+
+namespace {
+
+using namespace obx;
+
+/// Naive recordings: written the way the sequential C code reads, reloading
+/// everything from memory (what an unsophisticated converter would emit).
+trace::Program naive_moving_average(std::size_t n) {
+  trace::Recorder rec(2 * n);
+  auto third = rec.fimm(1.0 / 3.0);
+  for (Addr i = 0; i + 2 < n; ++i) {
+    auto s = (rec.fload(i) + rec.fload(i + 1) + rec.fload(i + 2)) * third;
+    rec.fstore(n + i, s);
+  }
+  return std::move(rec).finish("naive-moving-average", n, n, n);
+}
+
+trace::Program naive_horner(std::size_t n) {
+  // Reloads x on every iteration instead of keeping it in a register.
+  trace::Recorder rec(n + 2);
+  auto r = rec.fload(n - 1);
+  for (std::size_t i = n - 1; i-- > 0;) {
+    r = r * rec.fload(n) + rec.fload(i);
+  }
+  rec.fstore(n + 1, r);
+  return std::move(rec).finish("naive-horner", n + 1, n + 1, 1);
+}
+
+trace::Program naive_stencil(std::size_t n) {
+  // 1-D heat step with a scratch buffer that dead-store elimination can
+  // partially clean: writes intermediate averages it never reads back.
+  trace::Recorder rec(3 * n);
+  auto half = rec.fimm(0.5);
+  for (Addr i = 1; i + 1 < n; ++i) {
+    auto avg = (rec.fload(i - 1) + rec.fload(i + 1)) * half;
+    rec.fstore(2 * n + i, avg);  // scratch log, never read: dead
+    rec.fstore(n + i, avg);
+  }
+  return std::move(rec).finish("naive-stencil", n, n, n);
+}
+
+void report(analysis::Table& table, const trace::Program& program, std::size_t p,
+            const umm::MachineConfig& cfg) {
+  const opt::OptimizeResult r = opt::optimize(program);
+  auto col_units = [&](const trace::Program& prog) {
+    return bulk::TimingEstimator(umm::Model::kUmm, cfg,
+                                 bulk::make_layout(prog, p, bulk::Arrangement::kColumnWise))
+        .run(prog)
+        .time_units;
+  };
+  const TimeUnits before = col_units(program);
+  const TimeUnits after = col_units(r.program);
+  table.add_row({program.name, std::to_string(r.before.memory()),
+                 std::to_string(r.after.memory()),
+                 format_fixed(100.0 * r.memory_step_reduction(), 1) + "%",
+                 std::to_string(before), std::to_string(after),
+                 format_fixed(static_cast<double>(before) / static_cast<double>(after), 2)});
+}
+
+}  // namespace
+
+int main() {
+  using namespace obx;
+  const std::size_t p = 1 << 14;
+  const umm::MachineConfig cfg{.width = 32, .latency = 100};
+  std::printf("Optimiser ablation, p = %s, w = %u, l = %u, column-wise.\n\n",
+              format_count(p).c_str(), cfg.width, cfg.latency);
+
+  analysis::Table table({"program", "t before", "t after", "t reduction",
+                         "col units before", "col units after", "sim speedup"});
+  // Hand-tuned generators: expected near-zero headroom.
+  for (const char* name : {"prefix-sums", "fft", "opt-triangulation", "tea"}) {
+    const algos::Algorithm& algo = algos::find(name);
+    const std::size_t n = algo.test_sizes[algo.test_sizes.size() / 2];
+    report(table, algo.make_program(n), p, cfg);
+  }
+  // Naive recordings: the optimiser earns its keep.
+  report(table, naive_moving_average(256), p, cfg);
+  report(table, naive_horner(256), p, cfg);
+  report(table, naive_stencil(256), p, cfg);
+  table.print(std::cout);
+  bench::save_table(table, "ablation_optimizer");
+  std::printf("\nHand-tuned generators are already register-tight; the optimiser\n"
+              "matters for conversion-system (Recorder) output, where it removes\n"
+              "reloads and dead scratch stores — and by Theorem 2 the memory-step\n"
+              "reduction converts 1:1 into simulated bulk speedup.\n");
+  return 0;
+}

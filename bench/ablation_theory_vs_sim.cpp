@@ -1,0 +1,69 @@
+// Ablation: closed-form theory vs cycle-accurate simulation.
+//
+// Three layers must agree:
+//   1. the paper's formulas (Lemma 1 / Theorem 2),
+//   2. the O(1)-per-step TimingEstimator, and
+//   3. the full per-request UmmBulkExecutor simulation.
+// 2 and 3 are asserted equal by the test suite; this bench reports the
+// relative error of layer 1 against layer 3 across configurations, i.e. how
+// tight the paper's asymptotic analysis is on the exact machine.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "algos/prefix_sums.hpp"
+#include "analysis/series.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "bulk/bulk.hpp"
+#include "bulk/timing_estimator.hpp"
+#include "bulk/umm_executor.hpp"
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "umm/cost_model.hpp"
+
+int main() {
+  using namespace obx;
+  std::printf("Theory vs simulation: bulk prefix-sums, exact machine vs the\n"
+              "paper's Lemma 1 formulas.\n\n");
+
+  analysis::Table table({"n", "p", "w", "l", "arrangement", "simulated",
+                         "Lemma 1", "rel err"});
+  Rng rng(5);
+  for (const std::size_t n : {16u, 64u, 256u}) {
+    const trace::Program program = algos::prefix_sums_program(n);
+    for (const std::size_t p : {64u, 192u, 1024u}) {
+      // Functional inputs for the full simulator run.
+      std::vector<Word> inputs;
+      for (std::size_t j = 0; j < p; ++j) {
+        const auto one = algos::prefix_sums_random_input(n, rng);
+        inputs.insert(inputs.end(), one.begin(), one.end());
+      }
+      for (const std::uint32_t w : {8u, 32u}) {
+        for (const std::uint32_t l : {4u, 64u}) {
+          const umm::MachineConfig cfg{.width = w, .latency = l};
+          for (const auto arr :
+               {bulk::Arrangement::kRowWise, bulk::Arrangement::kColumnWise}) {
+            const bulk::Layout layout = bulk::make_layout(program, p, arr);
+            const auto sim =
+                bulk::UmmBulkExecutor(umm::Model::kUmm, cfg, layout).run(program, inputs);
+            const TimeUnits formula = arr == bulk::Arrangement::kRowWise
+                                          ? umm::lemma1_row_wise(n, p, cfg)
+                                          : umm::lemma1_column_wise(n, p, cfg);
+            const double err = analysis::relative_error(
+                static_cast<double>(formula), static_cast<double>(sim.time_units));
+            table.add_row({std::to_string(n), std::to_string(p), std::to_string(w),
+                           std::to_string(l), to_string(arr),
+                           std::to_string(sim.time_units), std::to_string(formula),
+                           format_fixed(err, 4)});
+          }
+        }
+      }
+    }
+  }
+  table.print(std::cout);
+  bench::save_table(table, "ablation_theory_vs_sim");
+  std::printf("\nExpected: zero error when p is a multiple of w and n >= w (the\n"
+              "formulas' assumptions); small rounding error otherwise.\n");
+  return 0;
+}

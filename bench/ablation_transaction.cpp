@@ -1,0 +1,55 @@
+// Ablation: transaction granularity.  The pure UMM predicts a row/column
+// ratio of w = 32; the paper *measures* ~6 on the GTX Titan.  The gap is the
+// DRAM transaction size: the Titan coalesces at 32-byte granularity (8 fp32
+// words), so a fully scattered warp wastes ~8x bandwidth, not 32x.  Sweeping
+// group_words reproduces the measured ratio at g = 8.
+#include <cstdio>
+#include <iostream>
+
+#include "algos/prefix_sums.hpp"
+#include "analysis/linear_fit.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "bulk/bulk.hpp"
+#include "bulk/timing_estimator.hpp"
+#include "common/format.hpp"
+
+int main() {
+  using namespace obx;
+  const std::size_t n = 64;
+  const trace::Program program = algos::prefix_sums_program(n);
+
+  std::printf("Transaction-granularity ablation: bulk prefix-sums, n = %zu,\n"
+              "w = 32, l = 200.  group_words = words per memory transaction.\n\n",
+              n);
+  analysis::Table table({"group_words", "row slope (units/p)", "col slope (units/p)",
+                         "row/col", "paper's measured ratio"});
+  for (const std::uint32_t g : {32u, 16u, 8u, 4u, 1u}) {
+    umm::MachineConfig cfg{.width = 32, .latency = 200};
+    cfg.group_words = g;
+    std::vector<double> xs, row_u, col_u;
+    for (std::size_t p : bench::p_sweep(1 << 20)) {
+      auto units = [&](bulk::Arrangement arr) {
+        return static_cast<double>(
+            bulk::TimingEstimator(umm::Model::kUmm, cfg,
+                                  bulk::make_layout(program, p, arr))
+                .run(program)
+                .time_units);
+      };
+      xs.push_back(static_cast<double>(p));
+      row_u.push_back(units(bulk::Arrangement::kRowWise));
+      col_u.push_back(units(bulk::Arrangement::kColumnWise));
+    }
+    const double row_slope = analysis::fit_linear_tail(xs, row_u).slope;
+    const double col_slope = analysis::fit_linear_tail(xs, col_u).slope;
+    table.add_row({std::to_string(g), format_fixed(row_slope, 4),
+                   format_fixed(col_slope, 4), format_fixed(row_slope / col_slope, 1),
+                   g == 8 ? "~6 (8.09/1.35 ns)" : ""});
+  }
+  table.print(std::cout);
+  bench::save_table(table, "ablation_transaction");
+  std::printf("\nAt g = w = 32 (the paper's theoretical UMM) the ratio is w; at\n"
+              "g = 8 (the Titan's 32-byte transactions over fp32) it matches the\n"
+              "paper's measured ~6x; at g = 1 coalescing cannot matter at all.\n");
+  return 0;
+}

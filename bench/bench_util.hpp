@@ -1,0 +1,94 @@
+// Shared helpers for the figure benches.
+//
+// Conventions (mirroring the paper's Section V):
+//  - p sweeps are geometric: 64, 128, ..., up to a per-workload cap.
+//  - The "CPU" series is the native sequential algorithm executed p times on
+//    this host's CPU (row-wise data, like the paper).  Because the CPU time
+//    is exactly linear in p (the paper: "the computing time of the CPU is
+//    linear to p"), large p values are extrapolated from a measured
+//    per-input time; extrapolated rows are marked with '*'.
+//  - The "GPU" series are simulated UMM time units converted to seconds with
+//    the virtual GTX-Titan clock (see DESIGN.md §2 for the substitution).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+
+namespace obx::bench {
+
+/// Geometric sweep 64, 128, ..., <= max_p.
+inline std::vector<std::size_t> p_sweep(std::size_t max_p) {
+  std::vector<std::size_t> ps;
+  for (std::size_t p = 64; p <= max_p; p *= 2) ps.push_back(p);
+  return ps;
+}
+
+/// Wall-clock seconds of one invocation of `fn`.
+inline double time_once(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Median-of-3 wall-clock seconds.
+inline double time_median3(const std::function<void()>& fn) {
+  double a = time_once(fn), b = time_once(fn), c = time_once(fn);
+  if (a > b) std::swap(a, b);
+  if (b > c) std::swap(b, c);
+  if (a > b) std::swap(a, b);
+  return b;
+}
+
+/// CPU baseline: measured for p <= measured_cap, linear-extrapolated above.
+struct CpuSeries {
+  std::vector<double> seconds;       ///< one entry per sweep point
+  std::vector<bool> extrapolated;    ///< true where linearly extended
+  double per_input = 0.0;            ///< measured seconds per input
+};
+
+/// run_batch(count) must execute the native algorithm on `count` fresh
+/// inputs and is timed directly at each measured sweep point.
+inline CpuSeries cpu_series(const std::vector<std::size_t>& ps, std::size_t measured_cap,
+                            const std::function<void(std::size_t)>& run_batch) {
+  CpuSeries out;
+  double last_measured_p = 0.0;
+  double last_measured_t = 0.0;
+  if (!ps.empty() && ps.front() > measured_cap && measured_cap > 0) {
+    // Every sweep point exceeds the measurement budget: anchor the linear
+    // extrapolation with one measurement at the cap itself.
+    last_measured_p = static_cast<double>(measured_cap);
+    last_measured_t = time_median3([&] { run_batch(measured_cap); });
+  }
+  for (std::size_t p : ps) {
+    if (p <= measured_cap) {
+      const double t = time_median3([&] { run_batch(p); });
+      out.seconds.push_back(t);
+      out.extrapolated.push_back(false);
+      last_measured_p = static_cast<double>(p);
+      last_measured_t = t;
+    } else {
+      out.seconds.push_back(last_measured_t * static_cast<double>(p) / last_measured_p);
+      out.extrapolated.push_back(true);
+    }
+  }
+  if (last_measured_p > 0) out.per_input = last_measured_t / last_measured_p;
+  return out;
+}
+
+/// Writes `table` to bench_results/<name>.csv (directory created on demand);
+/// set OBX_NO_CSV=1 to disable.
+inline void save_table(const analysis::Table& table, const std::string& name) {
+  if (std::getenv("OBX_NO_CSV") != nullptr) return;
+  std::filesystem::create_directories("bench_results");
+  table.save_csv("bench_results/" + name + ".csv");
+}
+
+}  // namespace obx::bench

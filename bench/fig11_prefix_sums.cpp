@@ -1,0 +1,109 @@
+// Figure 11 — bulk prefix-sums: computing time (panel 1) and GPU-over-CPU
+// speedup (panel 2) for n ∈ {32, 1K, 32K} and p = 64 ... cap.
+//
+// Series:
+//   CPU          — native sequential prefix-sums run p times on this host
+//                  ('*' rows extrapolated from the measured per-input time).
+//   GPU row/col  — simulated UMM time units on the virtual GTX Titan, for
+//                  the row-wise and column-wise arrangements.
+//
+// Expected shape (paper): CPU linear in p; both GPU curves flat (the l·t
+// floor) until p fills the machine, then linear; column-wise beating
+// row-wise by a factor approaching w; column-wise speedup over the CPU
+// saturating above 100x.
+#include <cstdio>
+#include <vector>
+
+#include "algos/prefix_sums.hpp"
+#include "analysis/linear_fit.hpp"
+#include "analysis/series.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "bulk/bulk.hpp"
+#include "bulk/timing_estimator.hpp"
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "gpusim/virtual_gpu.hpp"
+
+#include <iostream>
+
+namespace {
+
+using namespace obx;
+
+struct Workload {
+  std::size_t n;
+  std::size_t max_p;
+  std::size_t cpu_measured_cap;
+};
+
+void run_workload(const gpusim::VirtualGpu& gpu, const Workload& w) {
+  const std::vector<std::size_t> ps = bench::p_sweep(w.max_p);
+  const trace::Program program = algos::prefix_sums_program(w.n);
+
+  // CPU baseline buffer: one row per measured input.
+  Rng rng(2014);
+  std::vector<double> cpu_buffer(w.cpu_measured_cap * w.n);
+  for (double& v : cpu_buffer) v = rng.next_double(-100, 100);
+  auto run_batch = [&](std::size_t count) {
+    for (std::size_t j = 0; j < count; ++j) {
+      algos::prefix_sums_native(
+          std::span<double>(cpu_buffer.data() + j * w.n, w.n));
+    }
+  };
+  const bench::CpuSeries cpu = bench::cpu_series(ps, w.cpu_measured_cap, run_batch);
+
+  std::vector<double> xs, row_s, col_s;
+  analysis::Table table({"p", "CPU", "GPU row-wise", "GPU col-wise", "row units",
+                         "col units", "speedup row", "speedup col"});
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const std::size_t p = ps[i];
+    const TimeUnits row_units =
+        gpu.estimate_units(program, p, bulk::Arrangement::kRowWise);
+    const TimeUnits col_units =
+        gpu.estimate_units(program, p, bulk::Arrangement::kColumnWise);
+    const double row_sec = gpu.seconds_from_units(row_units);
+    const double col_sec = gpu.seconds_from_units(col_units);
+    xs.push_back(static_cast<double>(p));
+    row_s.push_back(row_sec);
+    col_s.push_back(col_sec);
+    table.add_row({format_count(p) + (cpu.extrapolated[i] ? "*" : ""),
+                   format_seconds(cpu.seconds[i]), format_seconds(row_sec),
+                   format_seconds(col_sec), std::to_string(row_units),
+                   std::to_string(col_units),
+                   format_fixed(cpu.seconds[i] / row_sec, 1),
+                   format_fixed(cpu.seconds[i] / col_sec, 1)});
+  }
+  std::printf("\n=== Figure 11: prefix-sums, n = %s ===\n", format_count(w.n).c_str());
+  table.print(std::cout);
+  bench::save_table(table, "fig11_prefix_sums_n" + std::to_string(w.n));
+
+  const analysis::LinearFit row_fit = analysis::fit_linear_tail(xs, row_s);
+  const analysis::LinearFit col_fit = analysis::fit_linear_tail(xs, col_s);
+  std::printf("fit: GPU row-wise ~ %s   (paper, n=32: 37 us + 8.09 ns * p)\n",
+              analysis::describe_fit_seconds(row_fit).c_str());
+  std::printf("fit: GPU col-wise ~ %s   (paper, n=32: 14 us + 1.35 ns * p)\n",
+              analysis::describe_fit_seconds(col_fit).c_str());
+  if (col_fit.slope > 0) {
+    std::printf("asymptotic row/col slope ratio: %.1f (machine width w = %u)\n",
+                row_fit.slope / col_fit.slope, gpu.spec().memory.width);
+  }
+  const auto speed_col = analysis::speedup(cpu.seconds, col_s);
+  std::printf("max column-wise speedup over CPU: %.0fx\n",
+              analysis::max_value(speed_col));
+}
+
+}  // namespace
+
+int main() {
+  const gpusim::VirtualGpu gpu{gpusim::gtx_titan()};
+  std::printf("Reproduction of Figure 11 (computing time and speedup of bulk\n"
+              "prefix-sums) on the virtual GTX Titan (w=%u, l=%u, %.0f MHz).\n",
+              gpu.spec().memory.width, gpu.spec().memory.latency,
+              gpu.spec().clock_hz / 1e6);
+  // Paper caps: 8M for n=32, 256K for n=1K, 8K for n=32K (memory limits).
+  run_workload(gpu, {.n = 32, .max_p = 8u << 20, .cpu_measured_cap = 1u << 18});
+  run_workload(gpu, {.n = 1024, .max_p = 256u << 10, .cpu_measured_cap = 1u << 13});
+  run_workload(gpu, {.n = 32768, .max_p = 8u << 10, .cpu_measured_cap = 1u << 8});
+  return 0;
+}

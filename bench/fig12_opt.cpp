@@ -1,0 +1,103 @@
+// Figure 12 — bulk optimal polygon triangulation (Algorithm OPT):
+// computing time (panel 1) and GPU-over-CPU speedup (panel 2) for
+// 8-gons, 64-gons and 512-gons, p = 64 ... cap.
+//
+// Same series and expected shape as Figure 11, with t = Θ(n³): the paper
+// reports GPU row-wise ≈ 0.09 ms + 50.8p ns and column-wise ≈
+// 0.032 ms + 2.11p ns for 8-gons, and a column-wise speedup above 150x for
+// p >= 64K.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "algos/opt_triangulation.hpp"
+#include "analysis/linear_fit.hpp"
+#include "analysis/series.hpp"
+#include "analysis/table.hpp"
+#include "bench_util.hpp"
+#include "bulk/bulk.hpp"
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "gpusim/virtual_gpu.hpp"
+#include "trace/value.hpp"
+
+namespace {
+
+using namespace obx;
+
+struct Workload {
+  std::size_t n;       ///< polygon vertices
+  std::size_t max_p;   ///< paper's cap for this n
+  std::size_t cpu_measured_cap;
+};
+
+void run_workload(const gpusim::VirtualGpu& gpu, const Workload& w) {
+  const std::vector<std::size_t> ps = bench::p_sweep(w.max_p);
+  const trace::Program program = algos::opt_program(w.n);
+  std::printf("\n=== Figure 12: OPT, %zu-gons (t = %llu memory steps) ===\n", w.n,
+              static_cast<unsigned long long>(algos::opt_memory_steps(w.n)));
+
+  // One weight matrix reused for every sequential run (running time of the
+  // oblivious DP is data-independent, so this does not bias the timing).
+  Rng rng(2014);
+  const std::vector<Word> input = algos::opt_random_input(w.n, rng);
+  std::vector<double> c(w.n * w.n);
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = trace::as_f64(input[i]);
+  volatile double sink = 0.0;
+  auto run_batch = [&](std::size_t count) {
+    for (std::size_t j = 0; j < count; ++j) sink = sink + algos::opt_native(w.n, c);
+  };
+  const bench::CpuSeries cpu = bench::cpu_series(ps, w.cpu_measured_cap, run_batch);
+
+  std::vector<double> xs, row_s, col_s;
+  analysis::Table table({"p", "CPU", "GPU row-wise", "GPU col-wise", "row units",
+                         "col units", "speedup row", "speedup col"});
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const std::size_t p = ps[i];
+    const TimeUnits row_units =
+        gpu.estimate_units(program, p, bulk::Arrangement::kRowWise);
+    const TimeUnits col_units =
+        gpu.estimate_units(program, p, bulk::Arrangement::kColumnWise);
+    const double row_sec = gpu.seconds_from_units(row_units);
+    const double col_sec = gpu.seconds_from_units(col_units);
+    xs.push_back(static_cast<double>(p));
+    row_s.push_back(row_sec);
+    col_s.push_back(col_sec);
+    table.add_row({format_count(p) + (cpu.extrapolated[i] ? "*" : ""),
+                   format_seconds(cpu.seconds[i]), format_seconds(row_sec),
+                   format_seconds(col_sec), std::to_string(row_units),
+                   std::to_string(col_units),
+                   format_fixed(cpu.seconds[i] / row_sec, 1),
+                   format_fixed(cpu.seconds[i] / col_sec, 1)});
+  }
+  table.print(std::cout);
+  bench::save_table(table, "fig12_opt_n" + std::to_string(w.n));
+
+  const analysis::LinearFit row_fit = analysis::fit_linear_tail(xs, row_s);
+  const analysis::LinearFit col_fit = analysis::fit_linear_tail(xs, col_s);
+  std::printf("fit: GPU row-wise ~ %s   (paper, 8-gons: 0.09 ms + 50.8 ns * p)\n",
+              analysis::describe_fit_seconds(row_fit).c_str());
+  std::printf("fit: GPU col-wise ~ %s   (paper, 8-gons: 0.032 ms + 2.11 ns * p)\n",
+              analysis::describe_fit_seconds(col_fit).c_str());
+  if (col_fit.slope > 0) {
+    std::printf("asymptotic row/col slope ratio: %.1f (machine width w = %u)\n",
+                row_fit.slope / col_fit.slope, gpu.spec().memory.width);
+  }
+  std::printf("max column-wise speedup over CPU: %.0fx\n",
+              analysis::max_value(analysis::speedup(cpu.seconds, col_s)));
+}
+
+}  // namespace
+
+int main() {
+  const gpusim::VirtualGpu gpu{gpusim::gtx_titan()};
+  std::printf("Reproduction of Figure 12 (computing time and speedup of bulk\n"
+              "Algorithm OPT) on the virtual GTX Titan (w=%u, l=%u, %.0f MHz).\n",
+              gpu.spec().memory.width, gpu.spec().memory.latency,
+              gpu.spec().clock_hz / 1e6);
+  // Paper caps: 4M for 8-gons, 64K for 64-gons, 1K for 512-gons.
+  run_workload(gpu, {.n = 8, .max_p = 4u << 20, .cpu_measured_cap = 1u << 15});
+  run_workload(gpu, {.n = 64, .max_p = 64u << 10, .cpu_measured_cap = 1u << 9});
+  run_workload(gpu, {.n = 512, .max_p = 1u << 10, .cpu_measured_cap = 2});
+  return 0;
+}

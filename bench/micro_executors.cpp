@@ -1,0 +1,155 @@
+// google-benchmark microbenches: raw throughput of the execution engines.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "algos/prefix_sums.hpp"
+#include "bulk/bulk.hpp"
+#include "bulk/host_executor.hpp"
+#include "bulk/streaming_executor.hpp"
+#include "bulk/timing_estimator.hpp"
+#include "bulk/umm_executor.hpp"
+#include "common/rng.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+#include "umm/cost_model.hpp"
+
+namespace {
+
+using namespace obx;
+
+std::vector<Word> make_inputs(std::size_t n, std::size_t p) {
+  Rng rng(1);
+  std::vector<Word> inputs;
+  inputs.reserve(n * p);
+  for (std::size_t j = 0; j < p; ++j) {
+    const auto one = algos::prefix_sums_random_input(n, rng);
+    inputs.insert(inputs.end(), one.begin(), one.end());
+  }
+  return inputs;
+}
+
+void BM_BulkAlu(benchmark::State& state) {
+  const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+  std::vector<Word> a(lanes, trace::from_f64(1.5)), b(lanes, trace::from_f64(2.5));
+  std::vector<Word> c(lanes, 0), dst(lanes, 0);
+  for (auto _ : state) {
+    trace::bulk_alu(trace::Op::kAddF, dst.data(), a.data(), b.data(), c.data(), lanes);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_BulkAlu)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_HostExecutor(benchmark::State& state) {
+  const std::size_t n = 64;
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const bool column = state.range(1) != 0;
+  const trace::Program program = algos::prefix_sums_program(n);
+  const std::vector<Word> inputs = make_inputs(n, p);
+  const bulk::Layout layout = column ? bulk::Layout::column_wise(p, n)
+                                     : bulk::Layout::row_wise(p, n);
+  const bulk::HostBulkExecutor exec(layout);
+  for (auto _ : state) {
+    auto run = exec.run(program, inputs);
+    benchmark::DoNotOptimize(run.memory.data());
+  }
+  // lane-steps per second.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p * program.profile().total()));
+  state.SetLabel(layout.name());
+}
+BENCHMARK(BM_HostExecutor)
+    ->Args({1 << 10, 0})
+    ->Args({1 << 10, 1})
+    ->Args({1 << 14, 0})
+    ->Args({1 << 14, 1});
+
+void BM_UmmSimulator(benchmark::State& state) {
+  const std::size_t n = 64;
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const trace::Program program = algos::prefix_sums_program(n);
+  const std::vector<Word> inputs = make_inputs(n, p);
+  const umm::MachineConfig cfg{.width = 32, .latency = 100};
+  const bulk::UmmBulkExecutor sim(umm::Model::kUmm, cfg,
+                                  bulk::Layout::column_wise(p, n));
+  for (auto _ : state) {
+    auto run = sim.run(program, inputs);
+    benchmark::DoNotOptimize(run.time_units);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p * program.memory_steps()));
+}
+BENCHMARK(BM_UmmSimulator)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_TimingEstimator(benchmark::State& state) {
+  const std::size_t n = 1024;
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const trace::Program program = algos::prefix_sums_program(n);
+  const umm::MachineConfig cfg{.width = 32, .latency = 100};
+  const bulk::TimingEstimator est(umm::Model::kUmm, cfg,
+                                  bulk::Layout::column_wise(p, n));
+  for (auto _ : state) {
+    auto r = est.run(program);
+    benchmark::DoNotOptimize(r.time_units);
+  }
+  // Steps estimated per second — independent of p thanks to the fast path.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(program.memory_steps()));
+}
+BENCHMARK(BM_TimingEstimator)->Arg(1 << 10)->Arg(1 << 22);
+
+void BM_StridedStepCost(benchmark::State& state) {
+  const umm::MachineConfig cfg{.width = 32, .latency = 100};
+  const umm::StridedStepCost cost(umm::Model::kUmm, cfg, 1 << 20, 1);
+  Addr base = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cost.step_time(base));
+    base = (base + 7) & 1023;
+  }
+}
+BENCHMARK(BM_StridedStepCost);
+
+void BM_StreamingExecutor(benchmark::State& state) {
+  // Overhead of batching + callbacks vs the monolithic host run.
+  const std::size_t n = 64;
+  const std::size_t p = 1 << 12;
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  const trace::Program program = algos::prefix_sums_program(n);
+  const std::vector<Word> inputs = make_inputs(n, p);
+  const bulk::StreamingExecutor exec(
+      bulk::StreamingExecutor::Options{.max_resident_lanes = batch});
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    exec.run(
+        program, p,
+        [&](Lane j, std::span<Word> dst) {
+          const Word* src = inputs.data() + j * n;
+          std::copy(src, src + n, dst.begin());
+        },
+        [&](Lane, std::span<const Word> out) { sink ^= out[0]; });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p * program.profile().total()));
+}
+BENCHMARK(BM_StreamingExecutor)->Arg(1 << 8)->Arg(1 << 12);
+
+void BM_StepGenerator(benchmark::State& state) {
+  // Coroutine streaming overhead per step.
+  const std::size_t n = 4096;
+  const trace::Program program = algos::prefix_sums_program(n);
+  for (auto _ : state) {
+    std::uint64_t count = 0;
+    auto gen = program.stream();
+    trace::Step s;
+    while (gen.next(s)) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(program.profile().total()));
+}
+BENCHMARK(BM_StepGenerator);
+
+}  // namespace

@@ -1,0 +1,98 @@
+#include "advisor/characterize.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/format.hpp"
+#include "bulk/bulk.hpp"
+#include "bulk/timing_estimator.hpp"
+#include "hmm/hmm_estimator.hpp"
+#include "umm/cost_model.hpp"
+
+namespace obx::advisor {
+
+Characterization characterize(const trace::Program& program, std::size_t p,
+                              const umm::MachineConfig& machine,
+                              const hmm::HmmConfig* hier) {
+  OBX_CHECK(program.stream != nullptr, "program has no stream factory");
+  OBX_CHECK(p > 0, "at least one lane");
+  machine.validate();
+
+  Characterization c;
+  c.lanes = p;
+  const trace::StepCounts counts = program.profile();
+  c.memory_steps = counts.memory();
+  c.compute_steps = counts.alu + counts.imm;
+  c.arithmetic_intensity =
+      c.memory_steps == 0
+          ? 0.0
+          : static_cast<double>(c.compute_steps) / static_cast<double>(c.memory_steps);
+  c.reuse_ratio = static_cast<double>(c.memory_steps) /
+                  static_cast<double>(program.memory_words);
+
+  c.row_units = bulk::TimingEstimator(
+                    umm::Model::kUmm, machine,
+                    bulk::make_layout(program, p, bulk::Arrangement::kRowWise))
+                    .run(program)
+                    .time_units;
+  c.col_units = bulk::TimingEstimator(
+                    umm::Model::kUmm, machine,
+                    bulk::make_layout(program, p, bulk::Arrangement::kColumnWise))
+                    .run(program)
+                    .time_units;
+  c.coalescing_gain = c.col_units == 0
+                          ? 1.0
+                          : static_cast<double>(c.row_units) /
+                                static_cast<double>(c.col_units);
+  const TimeUnits bound = umm::theorem3_lower_bound(c.memory_steps, p, machine);
+  c.lower_bound_ratio =
+      bound == 0 ? 1.0
+                 : static_cast<double>(c.col_units) / static_cast<double>(bound);
+  const TimeUnits floor =
+      static_cast<TimeUnits>(machine.latency) * c.memory_steps;
+  c.latency_bound = 2 * floor >= c.col_units;
+  c.recommended_arrangement = c.col_units <= c.row_units
+                                  ? bulk::Arrangement::kColumnWise
+                                  : bulk::Arrangement::kRowWise;
+
+  if (hier != nullptr) {
+    const hmm::HmmEstimator est(*hier);
+    if (est.admissible(program)) {
+      c.hmm_staging_fits = true;
+      const TimeUnits staged = est.run(program, p).total();
+      const TimeUnits global = est.global_only(program, p);
+      c.hmm_staging_gain =
+          staged == 0 ? 1.0
+                      : static_cast<double>(global) / static_cast<double>(staged);
+    }
+  }
+  return c;
+}
+
+std::string Characterization::summary() const {
+  std::ostringstream os;
+  os << "per-input profile: t = " << memory_steps << " memory steps, "
+     << compute_steps << " register steps (intensity "
+     << format_fixed(arithmetic_intensity, 2) << "), reuse t/n = "
+     << format_fixed(reuse_ratio, 1) << "\n";
+  os << "bulk p = " << format_count(lanes) << ": row-wise " << row_units
+     << " units, column-wise " << col_units << " units (coalescing gain "
+     << format_fixed(coalescing_gain, 1) << "x)\n";
+  os << "regime: " << (latency_bound ? "latency-bound (the l*t floor dominates; "
+                                       "more lanes are free)"
+                                     : "bandwidth-bound (time scales with p/w)")
+     << "\n";
+  os << "column-wise is within " << format_fixed(lower_bound_ratio, 2)
+     << "x of the Theorem 3 lower bound\n";
+  os << "recommended arrangement: " << to_string(recommended_arrangement) << "\n";
+  if (hmm_staging_fits) {
+    os << "HMM shared-memory staging: fits, "
+       << format_fixed(hmm_staging_gain, 2) << "x vs global-only ("
+       << (hmm_staging_gain > 1.5 ? "recommended" : "not worth the copies") << ")\n";
+  } else if (hmm_staging_gain == 0.0) {
+    os << "HMM shared-memory staging: not evaluated or does not fit\n";
+  }
+  return os.str();
+}
+
+}  // namespace obx::advisor

@@ -1,0 +1,53 @@
+// Workload characterisation: where does a bulk oblivious program sit in the
+// model's taxonomy, and how should it be executed?
+//
+// Answers, for a (program, p, machine) triple:
+//   - memory/compute step mix and arithmetic intensity,
+//   - simulated time of both arrangements and the coalescing gain,
+//   - regime: latency-bound (l·t floor dominates) vs bandwidth-bound,
+//   - distance from the Theorem 3 lower bound,
+//   - data-reuse ratio t/n and whether HMM shared-memory staging would pay.
+// The summary() rendering backs `obx_cli analyze`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "bulk/layout.hpp"
+#include "hmm/hmm_config.hpp"
+#include "trace/program.hpp"
+#include "umm/machine_config.hpp"
+
+namespace obx::advisor {
+
+struct Characterization {
+  // Program profile (per input).
+  std::uint64_t memory_steps = 0;
+  std::uint64_t compute_steps = 0;
+  double arithmetic_intensity = 0.0;  ///< compute steps per memory step
+  double reuse_ratio = 0.0;           ///< t / memory_words
+
+  // Simulated bulk execution.
+  std::size_t lanes = 0;
+  TimeUnits row_units = 0;
+  TimeUnits col_units = 0;
+  double coalescing_gain = 0.0;  ///< row/col
+  double lower_bound_ratio = 0.0;  ///< col / Theorem-3 bound
+  bool latency_bound = false;      ///< l·t floor >= half the column time
+
+  // Recommendations.
+  bulk::Arrangement recommended_arrangement = bulk::Arrangement::kColumnWise;
+  bool hmm_staging_fits = false;
+  double hmm_staging_gain = 0.0;  ///< global-only / staged (0 if not evaluated)
+
+  std::string summary() const;
+};
+
+/// Characterises `program` for p lanes on the given machine.  When `hier` is
+/// non-null, also evaluates the HMM staged schedule.
+Characterization characterize(const trace::Program& program, std::size_t p,
+                              const umm::MachineConfig& machine,
+                              const hmm::HmmConfig* hier = nullptr);
+
+}  // namespace obx::advisor

@@ -1,0 +1,54 @@
+// Uniform description of an oblivious algorithm, for the registry-driven
+// test sweeps and the cross-algorithm benchmark suite.
+//
+// Every algorithm in src/algos provides:
+//   - a Program factory (the oblivious step stream),
+//   - a random-input generator matching the program's input_words,
+//   - a *native* sequential reference (plain C++, independent of the IR) that
+//     returns the expected output region, and
+//   - the closed-form memory-step count t(n) of Theorems 2/3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::algos {
+
+struct Algorithm {
+  std::string name;
+  std::string description;
+
+  /// Builds the oblivious program for problem size n (meaning per algorithm:
+  /// array length, polygon vertices, matrix dimension, ...).
+  std::function<trace::Program(std::size_t)> make_program;
+
+  /// One random input of program(n).input_words words.
+  std::function<std::vector<Word>(std::size_t, Rng&)> make_input;
+
+  /// Native sequential reference: expected output-region words for `input`.
+  std::function<std::vector<Word>(std::size_t, std::span<const Word>)> reference;
+
+  /// Closed-form memory-step count t(n); must equal program(n).memory_steps().
+  std::function<std::uint64_t(std::size_t)> memory_steps;
+
+  /// Problem sizes exercised by the parameterised test sweeps.
+  std::vector<std::size_t> test_sizes;
+
+  /// Tolerance for float comparison against the reference (0 = bit exact).
+  double tolerance = 0.0;
+};
+
+/// All algorithms shipped with the library.
+const std::vector<Algorithm>& registry();
+
+/// Lookup by name; throws if absent.
+const Algorithm& find(const std::string& name);
+
+}  // namespace obx::algos

@@ -1,0 +1,75 @@
+#include "algos/bitonic_sort.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+
+namespace obx::algos {
+
+using trace::Op;
+using trace::Step;
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// Registers: r0 = a[i], r1 = a[l], r2 = min, r3 = max.
+Generator<Step> stream(std::size_t n) {
+  for (std::size_t k = 2; k <= n; k <<= 1) {
+    for (std::size_t j = k >> 1; j > 0; j >>= 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t l = i ^ j;
+        if (l <= i) continue;
+        const bool ascending = (i & k) == 0;
+        co_yield Step::load(0, i);
+        co_yield Step::load(1, l);
+        co_yield Step::alu(Op::kMinF, 2, 0, 1);
+        co_yield Step::alu(Op::kMaxF, 3, 0, 1);
+        co_yield Step::store(i, ascending ? std::uint8_t{2} : std::uint8_t{3});
+        co_yield Step::store(l, ascending ? std::uint8_t{3} : std::uint8_t{2});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+trace::Program bitonic_sort_program(std::size_t n) {
+  OBX_CHECK(is_pow2(n), "bitonic sort length must be a power of two");
+  trace::Program p;
+  p.name = "bitonic-sort(n=" + std::to_string(n) + ")";
+  p.memory_words = n;
+  p.input_words = n;
+  p.output_offset = 0;
+  p.output_words = n;
+  p.register_count = 4;
+  p.stream = [n]() { return stream(n); };
+  return p;
+}
+
+std::vector<Word> bitonic_sort_random_input(std::size_t n, Rng& rng) {
+  return rng.words_f64(n, -1000.0, 1000.0);
+}
+
+std::vector<Word> bitonic_sort_reference(std::size_t n, std::span<const Word> input) {
+  OBX_CHECK(input.size() == n, "input size mismatch");
+  std::vector<double> vals(n);
+  for (std::size_t i = 0; i < n; ++i) vals[i] = trace::as_f64(input[i]);
+  std::sort(vals.begin(), vals.end());
+  std::vector<Word> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = trace::from_f64(vals[i]);
+  return out;
+}
+
+std::uint64_t bitonic_sort_memory_steps(std::size_t n) {
+  // Each (k, j) phase performs n/2 compare-exchanges of 4 memory steps.
+  std::uint64_t phases = 0;
+  for (std::size_t k = 2; k <= n; k <<= 1) {
+    for (std::size_t j = k >> 1; j > 0; j >>= 1) ++phases;
+  }
+  return phases * (n / 2) * 4;
+}
+
+}  // namespace obx::algos

@@ -1,0 +1,31 @@
+// Oblivious bitonic sorting network (the paper's "sorting" task family).
+//
+// Batcher's bitonic sort is the textbook oblivious sorting algorithm: the
+// compare-exchange pattern depends only on indices, so every memory access
+// is fixed; t = Θ(n log² n) memory steps.  Keys are IEEE doubles sorted
+// ascending.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::algos {
+
+/// Oblivious program over n f64 words (n a power of two); sorts ascending
+/// in place.
+trace::Program bitonic_sort_program(std::size_t n);
+
+std::vector<Word> bitonic_sort_random_input(std::size_t n, Rng& rng);
+
+/// Native reference: sorted copy of the input.
+std::vector<Word> bitonic_sort_reference(std::size_t n, std::span<const Word> input);
+
+/// 4 memory steps per compare-exchange.
+std::uint64_t bitonic_sort_memory_steps(std::size_t n);
+
+}  // namespace obx::algos

@@ -1,0 +1,68 @@
+#include "algos/convolution.hpp"
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+
+namespace obx::algos {
+
+using trace::Op;
+using trace::Step;
+
+namespace {
+
+constexpr std::size_t m = kConvolutionTaps;
+
+// Registers: r0 = accumulator, r1 = tap, r2 = sample, r3 = product.
+Generator<Step> stream(std::size_t n) {
+  const std::size_t outputs = n - m + 1;
+  for (std::size_t i = 0; i < outputs; ++i) {
+    co_yield Step::imm_f64(0, 0.0);
+    for (std::size_t k = 0; k < m; ++k) {
+      co_yield Step::load(1, k);
+      co_yield Step::load(2, m + i + k);
+      co_yield Step::alu(Op::kMulF, 3, 1, 2);
+      co_yield Step::alu(Op::kAddF, 0, 0, 3);
+    }
+    co_yield Step::store(m + n + i, 0);
+  }
+}
+
+}  // namespace
+
+trace::Program convolution_program(std::size_t n) {
+  OBX_CHECK(n >= m, "need at least as many samples as taps");
+  trace::Program p;
+  p.name = "convolution(n=" + std::to_string(n) + ")";
+  p.memory_words = m + n + (n - m + 1);
+  p.input_words = m + n;
+  p.output_offset = m + n;
+  p.output_words = n - m + 1;
+  p.register_count = 4;
+  p.stream = [n]() { return stream(n); };
+  return p;
+}
+
+std::vector<Word> convolution_random_input(std::size_t n, Rng& rng) {
+  return rng.words_f64(m + n, -1.0, 1.0);
+}
+
+std::vector<Word> convolution_reference(std::size_t n, std::span<const Word> input) {
+  OBX_CHECK(input.size() == m + n, "input must hold taps + samples");
+  const std::size_t outputs = n - m + 1;
+  std::vector<Word> out(outputs);
+  for (std::size_t i = 0; i < outputs; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < m; ++k) {
+      acc += trace::as_f64(input[k]) * trace::as_f64(input[m + i + k]);
+    }
+    out[i] = trace::from_f64(acc);
+  }
+  return out;
+}
+
+std::uint64_t convolution_memory_steps(std::size_t n) {
+  return (n - m + 1) * (2 * m + 1);
+}
+
+}  // namespace obx::algos

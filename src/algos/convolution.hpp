@@ -1,0 +1,34 @@
+// Oblivious FIR convolution (the paper's "signal processing" task family,
+// alongside FFT).  y[i] = Σ_k h[k]·x[i+k] for an m-tap filter over n
+// samples; both loops have data-independent bounds and affine addresses.
+// t = (n-m+1)(2m+1) memory steps.
+//
+// Canonical memory: taps h at [0, m), samples x at [m, m+n), outputs y at
+// [m+n, m+n + (n-m+1)).  The tap count is fixed at kTaps so that the problem
+// is parameterised by a single size like every other algorithm.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::algos {
+
+inline constexpr std::size_t kConvolutionTaps = 8;
+
+/// n = sample count; requires n >= kConvolutionTaps.
+trace::Program convolution_program(std::size_t n);
+
+/// kConvolutionTaps + n words: taps then samples.
+std::vector<Word> convolution_random_input(std::size_t n, Rng& rng);
+
+/// Native reference returning the n - kConvolutionTaps + 1 outputs.
+std::vector<Word> convolution_reference(std::size_t n, std::span<const Word> input);
+
+std::uint64_t convolution_memory_steps(std::size_t n);
+
+}  // namespace obx::algos

@@ -1,0 +1,109 @@
+#include "algos/edit_distance.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+
+namespace obx::algos {
+
+using trace::Op;
+using trace::Step;
+
+Addr edit_distance_d_index(std::size_t n, std::size_t i, std::size_t j) {
+  return 2 * n + i * (n + 1) + j;
+}
+
+namespace {
+
+// Registers: r0 = imm scratch, r1 = A sym, r2 = B sym, r3 = diag+cost,
+// r4 = up+1, r5 = left+1, r6 = one, r7 = mismatch flag / min scratch.
+Generator<Step> stream(std::size_t n) {
+  const auto d_at = [n](std::size_t i, std::size_t j) {
+    return edit_distance_d_index(n, i, j);
+  };
+
+  // Borders: D[i][0] = i, D[0][j] = j.
+  for (std::size_t i = 0; i <= n; ++i) {
+    co_yield Step::immediate(0, static_cast<Word>(i));
+    co_yield Step::store(d_at(i, 0), 0);
+  }
+  for (std::size_t j = 1; j <= n; ++j) {
+    co_yield Step::immediate(0, static_cast<Word>(j));
+    co_yield Step::store(d_at(0, j), 0);
+  }
+
+  co_yield Step::immediate(6, Word{1});
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      co_yield Step::load(1, i - 1);       // A[i-1]
+      co_yield Step::load(2, n + j - 1);   // B[j-1]
+      co_yield Step::alu(Op::kNeI, 7, 1, 2);  // cost = (a != b)
+      co_yield Step::load(3, d_at(i - 1, j - 1));
+      co_yield Step::alu(Op::kAddI, 3, 3, 7);  // diag + cost
+      co_yield Step::load(4, d_at(i - 1, j));
+      co_yield Step::alu(Op::kAddI, 4, 4, 6);  // up + 1
+      co_yield Step::load(5, d_at(i, j - 1));
+      co_yield Step::alu(Op::kAddI, 5, 5, 6);  // left + 1
+      co_yield Step::alu(Op::kMinI, 7, 3, 4);
+      co_yield Step::alu(Op::kMinI, 7, 7, 5);
+      co_yield Step::store(d_at(i, j), 7);
+    }
+  }
+}
+
+}  // namespace
+
+trace::Program edit_distance_program(std::size_t n) {
+  OBX_CHECK(n > 0, "strings must be non-empty");
+  trace::Program p;
+  p.name = "edit-distance(n=" + std::to_string(n) + ")";
+  p.memory_words = 2 * n + (n + 1) * (n + 1);
+  p.input_words = 2 * n;
+  p.output_offset = 2 * n;
+  p.output_words = (n + 1) * (n + 1);
+  p.register_count = 8;
+  p.stream = [n]() { return stream(n); };
+  return p;
+}
+
+std::vector<Word> edit_distance_random_input(std::size_t n, Rng& rng) {
+  return rng.words_u64(2 * n, 4);
+}
+
+std::vector<Word> edit_distance_reference(std::size_t n, std::span<const Word> input) {
+  OBX_CHECK(input.size() == 2 * n, "input must hold two length-n strings");
+  const std::size_t m = n + 1;
+  std::vector<std::int64_t> d(m * m, 0);
+  for (std::size_t i = 0; i <= n; ++i) d[i * m] = static_cast<std::int64_t>(i);
+  for (std::size_t j = 0; j <= n; ++j) d[j] = static_cast<std::int64_t>(j);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::int64_t cost = input[i - 1] != input[n + j - 1] ? 1 : 0;
+      d[i * m + j] = std::min({d[(i - 1) * m + (j - 1)] + cost,
+                               d[(i - 1) * m + j] + 1,
+                               d[i * m + (j - 1)] + 1});
+    }
+  }
+  std::vector<Word> out(m * m);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = trace::from_i64(d[i]);
+  return out;
+}
+
+std::int64_t edit_distance_native(std::span<const Word> a, std::span<const Word> b) {
+  OBX_CHECK(a.size() == b.size(), "equal-length strings");
+  const std::size_t n = a.size();
+  std::vector<Word> input(2 * n);
+  std::copy(a.begin(), a.end(), input.begin());
+  std::copy(b.begin(), b.end(), input.begin() + static_cast<std::ptrdiff_t>(n));
+  const std::vector<Word> table = edit_distance_reference(n, input);
+  return trace::as_i64(table.back());
+}
+
+std::uint64_t edit_distance_memory_steps(std::size_t n) {
+  // Borders: (n+1) + n stores; inner cells: 5 loads + 1 store each.
+  return (2 * n + 1) + n * n * 6;
+}
+
+}  // namespace obx::algos

@@ -1,0 +1,37 @@
+// Oblivious Levenshtein edit distance (the paper's "dynamic programming"
+// task family beyond OPT).  The full (n+1)×(n+1) DP table is computed
+// regardless of the data — only the *values*, never the addresses, depend on
+// the strings — via the NeI/AddI/MinI step set.  t = Θ(n²) memory steps.
+//
+// Canonical memory: string A at [0, n), string B at [n, 2n) (one symbol per
+// word), DP table D row-major at [2n, 2n + (n+1)²).  Output: the full table;
+// its last entry is the distance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::algos {
+
+trace::Program edit_distance_program(std::size_t n);
+
+/// 2n words: two strings over a 4-symbol alphabet {0,1,2,3}.
+std::vector<Word> edit_distance_random_input(std::size_t n, Rng& rng);
+
+/// Native DP; returns the full (n+1)² table as i64 words.
+std::vector<Word> edit_distance_reference(std::size_t n, std::span<const Word> input);
+
+/// Native distance of two equal-length symbol strings.
+std::int64_t edit_distance_native(std::span<const Word> a, std::span<const Word> b);
+
+std::uint64_t edit_distance_memory_steps(std::size_t n);
+
+/// Index of D[i][j] within the program's canonical memory.
+Addr edit_distance_d_index(std::size_t n, std::size_t i, std::size_t j);
+
+}  // namespace obx::algos

@@ -1,0 +1,160 @@
+#include "algos/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+
+namespace obx::algos {
+
+using trace::Op;
+using trace::Step;
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t bit_reverse(std::size_t i, std::size_t n) {
+  std::size_t r = 0;
+  for (std::size_t bit = 1; bit < n; bit <<= 1) {
+    r <<= 1;
+    r |= (i & 1);
+    i >>= 1;
+  }
+  return r;
+}
+
+/// Twiddle e^{-2*pi*i*j/len}; shared by the generator and the native mirror so
+/// both compute with identical doubles.
+std::complex<double> twiddle(std::size_t j, std::size_t len) {
+  const double ang = -2.0 * std::numbers::pi * static_cast<double>(j) /
+                     static_cast<double>(len);
+  return {std::cos(ang), std::sin(ang)};
+}
+
+// Registers: r0/r1 = u (re/im), r2/r3 = v, r4/r5 = t = v*w, r6 = scratch,
+// r7 = scratch, r8/r9 = twiddle (re/im).
+Generator<Step> stream(std::size_t n) {
+  const auto re = [](std::size_t i) { return Addr{2 * i}; };
+  const auto im = [](std::size_t i) { return Addr{2 * i + 1}; };
+
+  // Bit-reversal permutation: swap pairs with i < rev(i).
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bit_reverse(i, n);
+    if (i < j) {
+      co_yield Step::load(0, re(i));
+      co_yield Step::load(1, im(i));
+      co_yield Step::load(2, re(j));
+      co_yield Step::load(3, im(j));
+      co_yield Step::store(re(i), 2);
+      co_yield Step::store(im(i), 3);
+      co_yield Step::store(re(j), 0);
+      co_yield Step::store(im(j), 1);
+    }
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t base = 0; base < n; base += len) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const std::complex<double> w = twiddle(j, len);
+        co_yield Step::imm_f64(8, w.real());
+        co_yield Step::imm_f64(9, w.imag());
+        co_yield Step::load(0, re(base + j));
+        co_yield Step::load(1, im(base + j));
+        co_yield Step::load(2, re(base + j + half));
+        co_yield Step::load(3, im(base + j + half));
+        // t = v * w  (complex multiply)
+        co_yield Step::alu(Op::kMulF, 4, 2, 8);  // vr*wr
+        co_yield Step::alu(Op::kMulF, 6, 3, 9);  // vi*wi
+        co_yield Step::alu(Op::kSubF, 4, 4, 6);  // tr = vr*wr - vi*wi
+        co_yield Step::alu(Op::kMulF, 5, 2, 9);  // vr*wi
+        co_yield Step::alu(Op::kMulF, 7, 3, 8);  // vi*wr
+        co_yield Step::alu(Op::kAddF, 5, 5, 7);  // ti = vr*wi + vi*wr
+        // a[base+j] = u + t; a[base+j+half] = u - t
+        co_yield Step::alu(Op::kAddF, 6, 0, 4);
+        co_yield Step::alu(Op::kAddF, 7, 1, 5);
+        co_yield Step::store(re(base + j), 6);
+        co_yield Step::store(im(base + j), 7);
+        co_yield Step::alu(Op::kSubF, 6, 0, 4);
+        co_yield Step::alu(Op::kSubF, 7, 1, 5);
+        co_yield Step::store(re(base + j + half), 6);
+        co_yield Step::store(im(base + j + half), 7);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+trace::Program fft_program(std::size_t n) {
+  OBX_CHECK(is_pow2(n), "FFT length must be a power of two");
+  trace::Program p;
+  p.name = "fft(n=" + std::to_string(n) + ")";
+  p.memory_words = 2 * n;
+  p.input_words = 2 * n;
+  p.output_offset = 0;
+  p.output_words = 2 * n;
+  p.register_count = 10;
+  p.stream = [n]() { return stream(n); };
+  return p;
+}
+
+std::vector<Word> fft_random_input(std::size_t n, Rng& rng) {
+  return rng.words_f64(2 * n, -1.0, 1.0);
+}
+
+void fft_native(std::span<double> a) {
+  const std::size_t n = a.size() / 2;
+  OBX_CHECK(a.size() == 2 * n && is_pow2(n), "interleaved array of 2n doubles, n power of 2");
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bit_reverse(i, n);
+    if (i < j) {
+      std::swap(a[2 * i], a[2 * j]);
+      std::swap(a[2 * i + 1], a[2 * j + 1]);
+    }
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t base = 0; base < n; base += len) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const std::complex<double> w = twiddle(j, len);
+        const double ur = a[2 * (base + j)];
+        const double ui = a[2 * (base + j) + 1];
+        const double vr = a[2 * (base + j + half)];
+        const double vi = a[2 * (base + j + half) + 1];
+        // Mirror the program's exact operation order for bit-identity.
+        const double tr = vr * w.real() - vi * w.imag();
+        const double ti = vr * w.imag() + vi * w.real();
+        a[2 * (base + j)] = ur + tr;
+        a[2 * (base + j) + 1] = ui + ti;
+        a[2 * (base + j + half)] = ur - tr;
+        a[2 * (base + j + half) + 1] = ui - ti;
+      }
+    }
+  }
+}
+
+std::vector<Word> fft_reference(std::size_t n, std::span<const Word> input) {
+  OBX_CHECK(input.size() == 2 * n, "input must hold 2n words");
+  std::vector<double> vals(2 * n);
+  for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = trace::as_f64(input[i]);
+  fft_native(vals);
+  std::vector<Word> out(2 * n);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = trace::from_f64(vals[i]);
+  return out;
+}
+
+std::uint64_t fft_memory_steps(std::size_t n) {
+  std::uint64_t swaps = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < bit_reverse(i, n)) ++swaps;
+  }
+  std::uint64_t butterflies = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1) butterflies += n / 2;
+  return 8 * swaps + 8 * butterflies;
+}
+
+}  // namespace obx::algos

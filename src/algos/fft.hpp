@@ -1,0 +1,40 @@
+// Oblivious radix-2 FFT (the paper's signal-processing motivation: "an input
+// stream is equally partitioned into many blocks, and the FFT algorithm is
+// executed for each block ... This is exactly the bulk execution of the FFT
+// algorithm").
+//
+// Iterative Cooley-Tukey over complex doubles stored interleaved: Re(x_i) at
+// word 2i, Im(x_i) at 2i+1.  Twiddle factors depend only on loop indices, so
+// the generator embeds them as immediates — addresses and control flow never
+// touch the data, making the program oblivious with t = Θ(n log n).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::algos {
+
+/// Oblivious in-place FFT program over n complex points (n a power of two).
+/// Canonical memory: 2n words, input = output = the whole array.
+trace::Program fft_program(std::size_t n);
+
+/// 2n words: n random complex samples in [-1, 1)².
+std::vector<Word> fft_random_input(std::size_t n, Rng& rng);
+
+/// Native FFT mirroring the program's operation order exactly (bit-identical
+/// output), returning the interleaved 2n words.
+std::vector<Word> fft_reference(std::size_t n, std::span<const Word> input);
+
+/// Native in-place FFT on interleaved doubles (CPU baseline for benches).
+void fft_native(std::span<double> interleaved);
+
+/// Memory steps: 8 per bit-reversal swap + 8 per butterfly.
+std::uint64_t fft_memory_steps(std::size_t n);
+
+}  // namespace obx::algos

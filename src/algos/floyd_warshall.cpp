@@ -1,0 +1,87 @@
+#include "algos/floyd_warshall.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+
+namespace obx::algos {
+
+using trace::Op;
+using trace::Step;
+
+namespace {
+
+// Registers: r0 = dist[i][k], r1 = dist[k][j], r2 = candidate sum,
+// r3 = dist[i][j].
+Generator<Step> stream(std::size_t n) {
+  const auto at = [n](std::size_t i, std::size_t j) { return Addr{i * n + j}; };
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        co_yield Step::load(0, at(i, k));
+        co_yield Step::load(1, at(k, j));
+        co_yield Step::alu(Op::kAddF, 2, 0, 1);
+        co_yield Step::load(3, at(i, j));
+        co_yield Step::alu(Op::kCmovLtF, 3, 2, 3, 2);  // if d < dist: dist ← d
+        co_yield Step::store(at(i, j), 3);             // unconditional store
+      }
+    }
+  }
+}
+
+}  // namespace
+
+trace::Program floyd_warshall_program(std::size_t n) {
+  OBX_CHECK(n > 0, "graph needs at least one vertex");
+  trace::Program p;
+  p.name = "floyd-warshall(n=" + std::to_string(n) + ")";
+  p.memory_words = n * n;
+  p.input_words = n * n;
+  p.output_offset = 0;
+  p.output_words = n * n;
+  p.register_count = 4;
+  p.stream = [n]() { return stream(n); };
+  return p;
+}
+
+std::vector<Word> floyd_warshall_random_input(std::size_t n, Rng& rng) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<Word> m(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double v;
+      if (i == j) {
+        v = 0.0;
+      } else if (rng.next_below(2) == 0) {
+        v = rng.next_double(1.0, 10.0);
+      } else {
+        v = kInf;
+      }
+      m[i * n + j] = trace::from_f64(v);
+    }
+  }
+  return m;
+}
+
+std::vector<Word> floyd_warshall_reference(std::size_t n, std::span<const Word> input) {
+  OBX_CHECK(input.size() == n * n, "distance matrix must be n x n");
+  std::vector<double> d(n * n);
+  for (std::size_t i = 0; i < d.size(); ++i) d[i] = trace::as_f64(input[i]);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double cand = d[i * n + k] + d[k * n + j];
+        if (cand < d[i * n + j]) d[i * n + j] = cand;
+      }
+    }
+  }
+  std::vector<Word> out(n * n);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = trace::from_f64(d[i]);
+  return out;
+}
+
+std::uint64_t floyd_warshall_memory_steps(std::size_t n) { return 4 * n * n * n; }
+
+}  // namespace obx::algos

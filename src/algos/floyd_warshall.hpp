@@ -1,0 +1,34 @@
+// Oblivious Floyd-Warshall all-pairs shortest paths.
+//
+// The classic k-i-j triple loop touches dist[i][j], dist[i][k], dist[k][j]
+// at addresses that are affine in the loop counters, and the relaxation
+// `if (d < dist[i][j]) dist[i][j] = d` becomes a CmovLtF + unconditional
+// store — the same dummy-else discipline as Algorithm OPT.  t = Θ(n³).
+//
+// Canonical memory: the n×n distance matrix, row-major f64, in place.
+// Missing edges are +inf; diagonal is 0.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::algos {
+
+trace::Program floyd_warshall_program(std::size_t n);
+
+/// Random digraph: each edge present with probability ~1/2, weight in
+/// [1, 10); absent edges +inf; diagonal 0.
+std::vector<Word> floyd_warshall_random_input(std::size_t n, Rng& rng);
+
+/// Native Floyd-Warshall; returns the full distance matrix.
+std::vector<Word> floyd_warshall_reference(std::size_t n, std::span<const Word> input);
+
+/// 4 memory steps per (k, i, j) triple.
+std::uint64_t floyd_warshall_memory_steps(std::size_t n);
+
+}  // namespace obx::algos

@@ -1,0 +1,59 @@
+#include "algos/horner.hpp"
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+
+namespace obx::algos {
+
+using trace::Op;
+using trace::Step;
+
+namespace {
+
+// Registers: r0 = accumulator, r1 = x, r2 = coefficient.
+Generator<Step> stream(std::size_t n) {
+  co_yield Step::load(1, n);          // x
+  co_yield Step::load(0, n - 1);      // leading coefficient
+  for (std::size_t i = n - 1; i-- > 0;) {
+    co_yield Step::alu(Op::kMulF, 0, 0, 1);
+    co_yield Step::load(2, i);
+    co_yield Step::alu(Op::kAddF, 0, 0, 2);
+  }
+  co_yield Step::store(n + 1, 0);
+}
+
+}  // namespace
+
+trace::Program horner_program(std::size_t n) {
+  OBX_CHECK(n > 0, "polynomial needs at least one coefficient");
+  trace::Program p;
+  p.name = "horner(n=" + std::to_string(n) + ")";
+  p.memory_words = n + 2;
+  p.input_words = n + 1;
+  p.output_offset = n + 1;
+  p.output_words = 1;
+  p.register_count = 3;
+  p.stream = [n]() { return stream(n); };
+  return p;
+}
+
+std::vector<Word> horner_random_input(std::size_t n, Rng& rng) {
+  std::vector<Word> input = rng.words_f64(n, -1.0, 1.0);
+  input.push_back(trace::from_f64(rng.next_double(-2.0, 2.0)));
+  return input;
+}
+
+std::vector<Word> horner_reference(std::size_t n, std::span<const Word> input) {
+  OBX_CHECK(input.size() == n + 1, "input must hold n coefficients and x");
+  const double x = trace::as_f64(input[n]);
+  double r = trace::as_f64(input[n - 1]);
+  for (std::size_t i = n - 1; i-- > 0;) {
+    r = r * x + trace::as_f64(input[i]);
+  }
+  return {trace::from_f64(r)};
+}
+
+std::uint64_t horner_memory_steps(std::size_t n) { return n + 2; }
+
+}  // namespace obx::algos

@@ -1,0 +1,33 @@
+// Oblivious polynomial evaluation by Horner's rule.
+//
+// r ← c[n-1]; for i ← n-2 downto 0: r ← r·x + c[i].  A pure dependency
+// chain of 1 load per step — the latency-bound extreme of the model (its
+// bulk execution is dominated by the l·t term until p is very large).
+//
+// Canonical memory: coefficients c[0..n) (c[i] multiplies x^i), the
+// evaluation point x at n, the result at n+1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::algos {
+
+/// n = number of coefficients (degree n-1).
+trace::Program horner_program(std::size_t n);
+
+/// n coefficients in [-1, 1) plus a point in [-2, 2).
+std::vector<Word> horner_random_input(std::size_t n, Rng& rng);
+
+/// Native Horner evaluation; returns the single result word.
+std::vector<Word> horner_reference(std::size_t n, std::span<const Word> input);
+
+/// n + 2 memory steps: one load per coefficient, the x load, the store.
+std::uint64_t horner_memory_steps(std::size_t n);
+
+}  // namespace obx::algos

@@ -1,0 +1,91 @@
+#include "algos/lu_decomposition.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+
+namespace obx::algos {
+
+using trace::Op;
+using trace::Step;
+
+namespace {
+
+// Registers: r0 = multiplier A[i][k], r1 = pivot A[k][k], r2 = A[k][j],
+// r3 = A[i][j], r4 = product.
+Generator<Step> stream(std::size_t n) {
+  const auto at = [n](std::size_t r, std::size_t c) { return Addr{r * n + c}; };
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = k + 1; i < n; ++i) {
+      co_yield Step::load(0, at(i, k));
+      co_yield Step::load(1, at(k, k));
+      co_yield Step::alu(Op::kDivF, 0, 0, 1);  // multiplier
+      co_yield Step::store(at(i, k), 0);
+      for (std::size_t j = k + 1; j < n; ++j) {
+        co_yield Step::load(2, at(k, j));
+        co_yield Step::alu(Op::kMulF, 4, 0, 2);
+        co_yield Step::load(3, at(i, j));
+        co_yield Step::alu(Op::kSubF, 3, 3, 4);
+        co_yield Step::store(at(i, j), 3);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+trace::Program lu_program(std::size_t n) {
+  OBX_CHECK(n > 0, "matrix dimension must be positive");
+  trace::Program p;
+  p.name = "lu(n=" + std::to_string(n) + ")";
+  p.memory_words = n * n;
+  p.input_words = n * n;
+  p.output_offset = 0;
+  p.output_words = n * n;
+  p.register_count = 5;
+  p.stream = [n]() { return stream(n); };
+  return p;
+}
+
+std::vector<Word> lu_random_input(std::size_t n, Rng& rng) {
+  std::vector<Word> m(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double v = i == j ? static_cast<double>(n) + 1.0 : rng.next_double(-1.0, 1.0);
+      m[i * n + j] = trace::from_f64(v);
+    }
+  }
+  return m;
+}
+
+std::vector<Word> lu_reference(std::size_t n, std::span<const Word> input) {
+  OBX_CHECK(input.size() == n * n, "matrix must be n x n");
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = trace::as_f64(input[i]);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mult = a[i * n + k] / a[k * n + k];
+      a[i * n + k] = mult;
+      for (std::size_t j = k + 1; j < n; ++j) {
+        a[i * n + j] = a[i * n + j] - mult * a[k * n + j];
+      }
+    }
+  }
+  std::vector<Word> out(n * n);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = trace::from_f64(a[i]);
+  return out;
+}
+
+std::uint64_t lu_memory_steps(std::size_t n) {
+  std::uint64_t t = 0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    const std::uint64_t rows = n - k - 1;
+    t += rows * 3;                       // multiplier: 2 loads + 1 store
+    t += rows * (n - k - 1) * 3;         // inner: 2 loads + 1 store
+  }
+  return t;
+}
+
+}  // namespace obx::algos

@@ -1,0 +1,35 @@
+// Oblivious LU decomposition (Doolittle, no pivoting).
+//
+// Row pivoting is the classic source of data-dependent control flow in
+// dense linear algebra; omitting it (valid for diagonally dominant systems,
+// which the input generator produces) leaves a perfectly oblivious k-i-j
+// elimination: every address is affine in the loop counters.
+// t = Θ(n³) memory steps.
+//
+// Canonical memory: the n×n matrix, row-major f64, factored in place
+// (L strictly below the diagonal with implicit unit diagonal, U on and
+// above).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::algos {
+
+trace::Program lu_program(std::size_t n);
+
+/// Random diagonally dominant matrix (off-diagonals in [-1, 1), diagonal
+/// = n + 1): pivot-free elimination is numerically safe.
+std::vector<Word> lu_random_input(std::size_t n, Rng& rng);
+
+/// Native in-place Doolittle elimination, identical operation order.
+std::vector<Word> lu_reference(std::size_t n, std::span<const Word> input);
+
+std::uint64_t lu_memory_steps(std::size_t n);
+
+}  // namespace obx::algos

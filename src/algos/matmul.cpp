@@ -1,0 +1,72 @@
+#include "algos/matmul.hpp"
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+
+namespace obx::algos {
+
+using trace::Op;
+using trace::Step;
+
+namespace {
+
+// Registers: r0 = accumulator, r1 = A element, r2 = B element, r3 = product.
+Generator<Step> stream(std::size_t n) {
+  const std::size_t nn = n * n;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      co_yield Step::imm_f64(0, 0.0);
+      for (std::size_t k = 0; k < n; ++k) {
+        co_yield Step::load(1, i * n + k);
+        co_yield Step::load(2, nn + k * n + j);
+        co_yield Step::alu(Op::kMulF, 3, 1, 2);
+        co_yield Step::alu(Op::kAddF, 0, 0, 3);
+      }
+      co_yield Step::store(2 * nn + i * n + j, 0);
+    }
+  }
+}
+
+}  // namespace
+
+trace::Program matmul_program(std::size_t n) {
+  OBX_CHECK(n > 0, "matrix dimension must be positive");
+  trace::Program p;
+  p.name = "matmul(n=" + std::to_string(n) + ")";
+  p.memory_words = 3 * n * n;
+  p.input_words = 2 * n * n;
+  p.output_offset = 2 * n * n;
+  p.output_words = n * n;
+  p.register_count = 4;
+  p.stream = [n]() { return stream(n); };
+  return p;
+}
+
+std::vector<Word> matmul_random_input(std::size_t n, Rng& rng) {
+  return rng.words_f64(2 * n * n, -1.0, 1.0);
+}
+
+std::vector<Word> matmul_reference(std::size_t n, std::span<const Word> input) {
+  OBX_CHECK(input.size() == 2 * n * n, "input must hold A and B");
+  const std::size_t nn = n * n;
+  std::vector<double> a(nn), b(nn), c(nn, 0.0);
+  for (std::size_t i = 0; i < nn; ++i) a[i] = trace::as_f64(input[i]);
+  for (std::size_t i = 0; i < nn; ++i) b[i] = trace::as_f64(input[nn + i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += a[i * n + k] * b[k * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+  std::vector<Word> out(nn);
+  for (std::size_t i = 0; i < nn; ++i) out[i] = trace::from_f64(c[i]);
+  return out;
+}
+
+std::uint64_t matmul_memory_steps(std::size_t n) {
+  return n * n * (2 * n + 1);
+}
+
+}  // namespace obx::algos

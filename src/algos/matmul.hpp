@@ -1,0 +1,28 @@
+// Oblivious dense matrix multiplication (the paper's "matrix computation"
+// task family).  C = A·B over n×n IEEE doubles with the classic i-j-k loop;
+// every address is affine in the loop counters, t = n²(2n + 1) memory steps.
+//
+// Canonical memory: A at [0, n²), B at [n², 2n²), C at [2n², 3n²), row-major.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::algos {
+
+trace::Program matmul_program(std::size_t n);
+
+/// 2n² words: A then B, uniform in [-1, 1).
+std::vector<Word> matmul_random_input(std::size_t n, Rng& rng);
+
+/// Native reference returning C (n² words), same accumulation order.
+std::vector<Word> matmul_reference(std::size_t n, std::span<const Word> input);
+
+std::uint64_t matmul_memory_steps(std::size_t n);
+
+}  // namespace obx::algos

@@ -1,0 +1,67 @@
+#include "algos/odd_even_sort.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+
+namespace obx::algos {
+
+using trace::Op;
+using trace::Step;
+
+namespace {
+
+// Registers: r0 = a[i], r1 = a[i+1], r2 = min, r3 = max.
+Generator<Step> stream(std::size_t n) {
+  for (std::size_t phase = 0; phase < n; ++phase) {
+    for (std::size_t i = phase % 2; i + 1 < n; i += 2) {
+      co_yield Step::load(0, i);
+      co_yield Step::load(1, i + 1);
+      co_yield Step::alu(Op::kMinF, 2, 0, 1);
+      co_yield Step::alu(Op::kMaxF, 3, 0, 1);
+      co_yield Step::store(i, 2);
+      co_yield Step::store(i + 1, 3);
+    }
+  }
+}
+
+}  // namespace
+
+trace::Program odd_even_sort_program(std::size_t n) {
+  OBX_CHECK(n > 0, "need at least one element");
+  trace::Program p;
+  p.name = "odd-even-sort(n=" + std::to_string(n) + ")";
+  p.memory_words = n;
+  p.input_words = n;
+  p.output_offset = 0;
+  p.output_words = n;
+  p.register_count = 4;
+  p.stream = [n]() { return stream(n); };
+  return p;
+}
+
+std::vector<Word> odd_even_sort_random_input(std::size_t n, Rng& rng) {
+  return rng.words_f64(n, -1000.0, 1000.0);
+}
+
+std::vector<Word> odd_even_sort_reference(std::size_t n, std::span<const Word> input) {
+  OBX_CHECK(input.size() == n, "input size mismatch");
+  std::vector<double> vals(n);
+  for (std::size_t i = 0; i < n; ++i) vals[i] = trace::as_f64(input[i]);
+  std::sort(vals.begin(), vals.end());
+  std::vector<Word> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = trace::from_f64(vals[i]);
+  return out;
+}
+
+std::uint64_t odd_even_sort_memory_steps(std::size_t n) {
+  std::uint64_t exchanges = 0;
+  for (std::size_t phase = 0; phase < n; ++phase) {
+    for (std::size_t i = phase % 2; i + 1 < n; i += 2) ++exchanges;
+  }
+  return 4 * exchanges;
+}
+
+}  // namespace obx::algos

@@ -1,0 +1,28 @@
+// Oblivious odd-even transposition sort.
+//
+// n phases of neighbour compare-exchange (odd/even pairs alternating): the
+// simplest O(n²) oblivious sorting network, a useful contrast to the
+// O(n log² n) bitonic network — both appear in the cross-algorithm benches.
+// Keys are IEEE doubles sorted ascending in place.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::algos {
+
+trace::Program odd_even_sort_program(std::size_t n);
+
+std::vector<Word> odd_even_sort_random_input(std::size_t n, Rng& rng);
+
+std::vector<Word> odd_even_sort_reference(std::size_t n, std::span<const Word> input);
+
+/// 4 memory steps per compare-exchange, n/2-ish exchanges per phase, n phases.
+std::uint64_t odd_even_sort_memory_steps(std::size_t n);
+
+}  // namespace obx::algos

@@ -1,0 +1,145 @@
+#include "algos/opt_triangulation.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+
+namespace obx::algos {
+
+using trace::Op;
+using trace::Step;
+
+Addr opt_m_index(std::size_t n, std::size_t i, std::size_t j) {
+  return n * n + i * n + j;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Registers: r0 = 0.0, r1 = +inf, r2 = s, r3/r4 = M loads, r5 = r, r6 = c, r7 = sum.
+Generator<Step> stream(std::size_t n) {
+  const auto m_at = [n](std::size_t i, std::size_t j) { return opt_m_index(n, i, j); };
+  const auto c_at = [n](std::size_t i, std::size_t j) { return Addr{i * n + j}; };
+
+  co_yield Step::imm_f64(0, 0.0);
+  co_yield Step::imm_f64(1, kInf);
+  for (std::size_t i = 1; i <= n - 1; ++i) {
+    co_yield Step::store(m_at(i, i), 0);
+  }
+  for (std::size_t i = n - 2; i >= 1; --i) {
+    for (std::size_t j = i + 1; j <= n - 1; ++j) {
+      co_yield Step::alu(Op::kMov, 2, 1);  // s ← +inf
+      for (std::size_t k = i; k <= j - 1; ++k) {
+        co_yield Step::load(3, m_at(i, k));
+        co_yield Step::load(4, m_at(k + 1, j));
+        co_yield Step::alu(Op::kAddF, 5, 3, 4);       // r ← M[i,k] + M[k+1,j]
+        co_yield Step::alu(Op::kCmovLtF, 2, 5, 2, 5);  // if r < s then s ← r
+      }
+      co_yield Step::load(6, c_at(i - 1, j));
+      co_yield Step::alu(Op::kAddF, 7, 2, 6);
+      co_yield Step::store(m_at(i, j), 7);
+    }
+  }
+}
+
+}  // namespace
+
+trace::Program opt_program(std::size_t n) {
+  OBX_CHECK(n >= 3, "a polygon needs at least 3 vertices");
+  trace::Program p;
+  p.name = "opt-triangulation(n=" + std::to_string(n) + ")";
+  p.memory_words = 2 * n * n;
+  p.input_words = n * n;
+  p.output_offset = n * n;
+  p.output_words = n * n;
+  p.register_count = 8;
+  p.stream = [n]() { return stream(n); };
+  return p;
+}
+
+std::vector<Word> opt_random_input(std::size_t n, Rng& rng) {
+  std::vector<double> c(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double w = rng.next_double(0.0, 100.0);
+      c[i * n + j] = w;
+      c[j * n + i] = w;
+    }
+  }
+  std::vector<Word> words(n * n);
+  for (std::size_t i = 0; i < words.size(); ++i) words[i] = trace::from_f64(c[i]);
+  return words;
+}
+
+std::vector<Word> opt_reference(std::size_t n, std::span<const Word> input) {
+  OBX_CHECK(input.size() == n * n, "weight matrix must be n x n");
+  std::vector<double> c(n * n);
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = trace::as_f64(input[i]);
+
+  std::vector<double> m(n * n, 0.0);
+  for (std::size_t i = 1; i <= n - 1; ++i) m[i * n + i] = 0.0;
+  for (std::size_t i = n - 2; i >= 1; --i) {
+    for (std::size_t j = i + 1; j <= n - 1; ++j) {
+      double s = kInf;
+      for (std::size_t k = i; k <= j - 1; ++k) {
+        const double r = m[i * n + k] + m[(k + 1) * n + j];
+        if (r < s) s = r;
+      }
+      m[i * n + j] = s + c[(i - 1) * n + j];
+    }
+  }
+
+  std::vector<Word> out(n * n);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = trace::from_f64(m[i]);
+  return out;
+}
+
+double opt_native(std::size_t n, std::span<const double> c) {
+  OBX_CHECK(c.size() == n * n, "weight matrix must be n x n");
+  std::vector<double> m(n * n, 0.0);
+  for (std::size_t i = n - 2; i >= 1; --i) {
+    for (std::size_t j = i + 1; j <= n - 1; ++j) {
+      double s = kInf;
+      for (std::size_t k = i; k <= j - 1; ++k) {
+        const double r = m[i * n + k] + m[(k + 1) * n + j];
+        if (r < s) s = r;
+      }
+      m[i * n + j] = s + c[(i - 1) * n + j];
+    }
+  }
+  return m[1 * n + (n - 1)];
+}
+
+namespace {
+
+double brute(std::size_t n, std::span<const double> c, std::size_t i, std::size_t j) {
+  if (i == j) return 0.0;
+  double best = kInf;
+  for (std::size_t k = i; k <= j - 1; ++k) {
+    const double v = brute(n, c, i, k) + brute(n, c, k + 1, j);
+    if (v < best) best = v;
+  }
+  return best + c[(i - 1) * n + j];
+}
+
+}  // namespace
+
+double opt_brute_force(std::size_t n, std::span<const double> c) {
+  OBX_CHECK(c.size() == n * n, "weight matrix must be n x n");
+  return brute(n, c, 1, n - 1);
+}
+
+std::uint64_t opt_memory_steps(std::size_t n) {
+  std::uint64_t t = n - 1;  // diagonal init stores
+  for (std::uint64_t i = 1; i + 1 <= n - 1; ++i) {
+    for (std::uint64_t j = i + 1; j <= n - 1; ++j) {
+      t += 2 * (j - i) + 2;  // 2 loads per k, plus c load and M store
+    }
+  }
+  return t;
+}
+
+}  // namespace obx::algos

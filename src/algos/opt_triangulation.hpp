@@ -1,0 +1,56 @@
+// Algorithm OPT: optimal polygon triangulation by dynamic programming
+// (paper Section IV).
+//
+// A convex n-gon with chord weights c[i,j] is triangulated minimising the
+// total chord weight.  The DP of the paper:
+//
+//   for i ← 1 to n-1:        M[i,i] ← 0
+//   for i ← n-2 downto 1:
+//     for j ← i+1 to n-1:
+//       s ← +inf
+//       for k ← i to j-1:
+//         r ← M[i,k] + M[k+1,j]
+//         if r < s then s ← r else s ← s     // dummy else: oblivious
+//       M[i,j] ← s + c[i-1,j]
+//
+// The dummy else becomes a CmovLtF step; every address is an affine function
+// of the loop counters, so the program is oblivious with t = Θ(n³) memory
+// steps.  Canonical memory: c (n×n, row-major, f64) at [0, n²), M (n×n used
+// from index 1) at [n², 2n²).  The optimum is M[1, n-1].
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::algos {
+
+/// Oblivious program for a convex n-gon (n >= 3).  input = the c matrix
+/// (n² words); output = the full M matrix (n² words at offset n²), whose
+/// entry [1*n + (n-1)] is the optimal total weight.
+trace::Program opt_program(std::size_t n);
+
+/// Random symmetric chord weights in [0, 100): c[i*n+j] = c[j*n+i].
+std::vector<Word> opt_random_input(std::size_t n, Rng& rng);
+
+/// Native DP; returns the full M matrix (n² words, unused entries zero).
+std::vector<Word> opt_reference(std::size_t n, std::span<const Word> input);
+
+/// Native DP on doubles: returns M[1][n-1], the optimal total weight.
+double opt_native(std::size_t n, std::span<const double> c);
+
+/// Exponential-time brute force over all parse trees (for cross-validation,
+/// n <= ~12): recursively evaluates min over k of W(i,k)+W(k+1,j)+c[i-1,j].
+double opt_brute_force(std::size_t n, std::span<const double> c);
+
+/// Memory steps: (n-1) init stores + Σ_{i<j} (2(j-i) + 2).
+std::uint64_t opt_memory_steps(std::size_t n);
+
+/// Index of M[i][j] within the program's canonical memory.
+Addr opt_m_index(std::size_t n, std::size_t i, std::size_t j);
+
+}  // namespace obx::algos

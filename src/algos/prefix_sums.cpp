@@ -1,0 +1,63 @@
+#include "algos/prefix_sums.hpp"
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+
+namespace obx::algos {
+
+using trace::Op;
+using trace::Step;
+
+namespace {
+
+// Registers: r0 = running sum, r1 = loaded element.
+Generator<Step> stream(std::size_t n) {
+  co_yield Step::imm_f64(0, 0.0);
+  for (Addr i = 0; i < n; ++i) {
+    co_yield Step::load(1, i);
+    co_yield Step::alu(Op::kAddF, 0, 0, 1);
+    co_yield Step::store(i, 0);
+  }
+}
+
+}  // namespace
+
+trace::Program prefix_sums_program(std::size_t n) {
+  OBX_CHECK(n > 0, "prefix sums need at least one element");
+  trace::Program p;
+  p.name = "prefix-sums(n=" + std::to_string(n) + ")";
+  p.memory_words = n;
+  p.input_words = n;
+  p.output_offset = 0;
+  p.output_words = n;
+  p.register_count = 2;
+  p.stream = [n]() { return stream(n); };
+  return p;
+}
+
+std::vector<Word> prefix_sums_random_input(std::size_t n, Rng& rng) {
+  return rng.words_f64(n, -100.0, 100.0);
+}
+
+void prefix_sums_native(std::span<double> data) {
+  double r = 0.0;
+  for (double& x : data) {
+    r += x;
+    x = r;
+  }
+}
+
+std::vector<Word> prefix_sums_reference(std::size_t n, std::span<const Word> input) {
+  OBX_CHECK(input.size() == n, "input size mismatch");
+  std::vector<double> vals(n);
+  for (std::size_t i = 0; i < n; ++i) vals[i] = trace::as_f64(input[i]);
+  prefix_sums_native(vals);
+  std::vector<Word> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = trace::from_f64(vals[i]);
+  return out;
+}
+
+std::uint64_t prefix_sums_memory_steps(std::size_t n) { return 2 * n; }
+
+}  // namespace obx::algos

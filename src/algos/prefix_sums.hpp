@@ -1,0 +1,36 @@
+// Algorithm Prefix-sums (paper Section III).
+//
+//   r ← 0
+//   for i ← 0 to n-1:  r ← r + b[i];  b[i] ← r
+//
+// The canonical simple oblivious algorithm: access function a(2i) =
+// a(2i+1) = i, sequential time t = 2n memory steps.  Values are IEEE
+// doubles (the paper uses 32-bit floats; doubles keep the single-Word cell).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::algos {
+
+/// Oblivious program over n f64 words; input = output = the whole array.
+trace::Program prefix_sums_program(std::size_t n);
+
+/// n doubles uniform in [-100, 100), bit-cast to Words.
+std::vector<Word> prefix_sums_random_input(std::size_t n, Rng& rng);
+
+/// Native sequential prefix sums (the "CPU" of the paper's figures).
+std::vector<Word> prefix_sums_reference(std::size_t n, std::span<const Word> input);
+
+/// In-place native version on doubles, used by the CPU-baseline benches.
+void prefix_sums_native(std::span<double> data);
+
+/// t(n) = 2n memory steps.
+std::uint64_t prefix_sums_memory_steps(std::size_t n);
+
+}  // namespace obx::algos

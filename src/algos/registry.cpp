@@ -1,0 +1,167 @@
+#include "algos/algorithm.hpp"
+
+#include "algos/bitonic_sort.hpp"
+#include "algos/convolution.hpp"
+#include "algos/edit_distance.hpp"
+#include "algos/fft.hpp"
+#include "algos/floyd_warshall.hpp"
+#include "algos/horner.hpp"
+#include "algos/lu_decomposition.hpp"
+#include "algos/matmul.hpp"
+#include "algos/odd_even_sort.hpp"
+#include "algos/opt_triangulation.hpp"
+#include "algos/prefix_sums.hpp"
+#include "algos/summed_area.hpp"
+#include "algos/tea_cipher.hpp"
+#include "common/check.hpp"
+
+namespace obx::algos {
+
+const std::vector<Algorithm>& registry() {
+  static const std::vector<Algorithm> algorithms = [] {
+    std::vector<Algorithm> list;
+
+    list.push_back(Algorithm{
+        .name = "prefix-sums",
+        .description = "running sums of an f64 array (paper Section III)",
+        .make_program = prefix_sums_program,
+        .make_input = prefix_sums_random_input,
+        .reference = prefix_sums_reference,
+        .memory_steps = prefix_sums_memory_steps,
+        .test_sizes = {1, 2, 3, 32, 100, 1024},
+    });
+
+    list.push_back(Algorithm{
+        .name = "opt-triangulation",
+        .description = "optimal convex-polygon triangulation DP (paper Section IV)",
+        .make_program = opt_program,
+        .make_input = opt_random_input,
+        .reference = opt_reference,
+        .memory_steps = opt_memory_steps,
+        .test_sizes = {3, 4, 5, 8, 16, 32},
+    });
+
+    list.push_back(Algorithm{
+        .name = "fft",
+        .description = "radix-2 in-place FFT over interleaved complex f64",
+        .make_program = fft_program,
+        .make_input = fft_random_input,
+        .reference = fft_reference,
+        .memory_steps = fft_memory_steps,
+        .test_sizes = {1, 2, 4, 8, 64, 256},
+    });
+
+    list.push_back(Algorithm{
+        .name = "bitonic-sort",
+        .description = "Batcher's bitonic sorting network, ascending f64",
+        .make_program = bitonic_sort_program,
+        .make_input = bitonic_sort_random_input,
+        .reference = bitonic_sort_reference,
+        .memory_steps = bitonic_sort_memory_steps,
+        .test_sizes = {2, 4, 8, 64, 256},
+    });
+
+    list.push_back(Algorithm{
+        .name = "matmul",
+        .description = "dense n x n matrix multiply, i-j-k order",
+        .make_program = matmul_program,
+        .make_input = matmul_random_input,
+        .reference = matmul_reference,
+        .memory_steps = matmul_memory_steps,
+        .test_sizes = {1, 2, 4, 8, 16},
+    });
+
+    list.push_back(Algorithm{
+        .name = "edit-distance",
+        .description = "Levenshtein DP over two length-n strings",
+        .make_program = edit_distance_program,
+        .make_input = edit_distance_random_input,
+        .reference = edit_distance_reference,
+        .memory_steps = edit_distance_memory_steps,
+        .test_sizes = {1, 2, 8, 32},
+    });
+
+    list.push_back(Algorithm{
+        .name = "tea",
+        .description = "TEA block cipher, 32 rounds per 64-bit block",
+        .make_program = tea_program,
+        .make_input = tea_random_input,
+        .reference = tea_reference,
+        .memory_steps = tea_memory_steps,
+        .test_sizes = {1, 2, 8, 32},
+    });
+
+    list.push_back(Algorithm{
+        .name = "convolution",
+        .description = "8-tap FIR filter over n samples",
+        .make_program = convolution_program,
+        .make_input = convolution_random_input,
+        .reference = convolution_reference,
+        .memory_steps = convolution_memory_steps,
+        .test_sizes = {8, 16, 64, 256},
+    });
+
+    list.push_back(Algorithm{
+        .name = "floyd-warshall",
+        .description = "all-pairs shortest paths over an n-vertex digraph",
+        .make_program = floyd_warshall_program,
+        .make_input = floyd_warshall_random_input,
+        .reference = floyd_warshall_reference,
+        .memory_steps = floyd_warshall_memory_steps,
+        .test_sizes = {1, 2, 4, 8, 16},
+    });
+
+    list.push_back(Algorithm{
+        .name = "summed-area",
+        .description = "integral image (2-D prefix sums) over an n x n image",
+        .make_program = summed_area_program,
+        .make_input = summed_area_random_input,
+        .reference = summed_area_reference,
+        .memory_steps = summed_area_memory_steps,
+        .test_sizes = {1, 2, 4, 16, 32},
+    });
+
+    list.push_back(Algorithm{
+        .name = "odd-even-sort",
+        .description = "odd-even transposition sorting network, ascending f64",
+        .make_program = odd_even_sort_program,
+        .make_input = odd_even_sort_random_input,
+        .reference = odd_even_sort_reference,
+        .memory_steps = odd_even_sort_memory_steps,
+        .test_sizes = {1, 2, 3, 8, 64},
+    });
+
+    list.push_back(Algorithm{
+        .name = "lu",
+        .description = "LU decomposition without pivoting (Doolittle, in place)",
+        .make_program = lu_program,
+        .make_input = lu_random_input,
+        .reference = lu_reference,
+        .memory_steps = lu_memory_steps,
+        .test_sizes = {1, 2, 4, 8, 16},
+    });
+
+    list.push_back(Algorithm{
+        .name = "horner",
+        .description = "polynomial evaluation by Horner's rule, n coefficients",
+        .make_program = horner_program,
+        .make_input = horner_random_input,
+        .reference = horner_reference,
+        .memory_steps = horner_memory_steps,
+        .test_sizes = {1, 2, 32, 256},
+    });
+
+    return list;
+  }();
+  return algorithms;
+}
+
+const Algorithm& find(const std::string& name) {
+  for (const Algorithm& a : registry()) {
+    if (a.name == name) return a;
+  }
+  OBX_CHECK(false, "unknown algorithm: " + name);
+  return registry().front();
+}
+
+}  // namespace obx::algos

@@ -1,0 +1,81 @@
+#include "algos/summed_area.hpp"
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+
+namespace obx::algos {
+
+using trace::Op;
+using trace::Step;
+
+namespace {
+
+// Registers: r0 = running sum, r1 = element.
+Generator<Step> stream(std::size_t n) {
+  const auto at = [n](std::size_t r, std::size_t c) { return Addr{r * n + c}; };
+  // Pass 1: prefix-sum each row.
+  for (std::size_t r = 0; r < n; ++r) {
+    co_yield Step::imm_f64(0, 0.0);
+    for (std::size_t c = 0; c < n; ++c) {
+      co_yield Step::load(1, at(r, c));
+      co_yield Step::alu(Op::kAddF, 0, 0, 1);
+      co_yield Step::store(at(r, c), 0);
+    }
+  }
+  // Pass 2: prefix-sum each column.
+  for (std::size_t c = 0; c < n; ++c) {
+    co_yield Step::imm_f64(0, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      co_yield Step::load(1, at(r, c));
+      co_yield Step::alu(Op::kAddF, 0, 0, 1);
+      co_yield Step::store(at(r, c), 0);
+    }
+  }
+}
+
+}  // namespace
+
+trace::Program summed_area_program(std::size_t n) {
+  OBX_CHECK(n > 0, "image side must be positive");
+  trace::Program p;
+  p.name = "summed-area(n=" + std::to_string(n) + ")";
+  p.memory_words = n * n;
+  p.input_words = n * n;
+  p.output_offset = 0;
+  p.output_words = n * n;
+  p.register_count = 2;
+  p.stream = [n]() { return stream(n); };
+  return p;
+}
+
+std::vector<Word> summed_area_random_input(std::size_t n, Rng& rng) {
+  return rng.words_f64(n * n, 0.0, 255.0);
+}
+
+std::vector<Word> summed_area_reference(std::size_t n, std::span<const Word> input) {
+  OBX_CHECK(input.size() == n * n, "image must be n x n");
+  std::vector<double> img(n * n);
+  for (std::size_t i = 0; i < img.size(); ++i) img[i] = trace::as_f64(input[i]);
+  for (std::size_t r = 0; r < n; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      sum += img[r * n + c];
+      img[r * n + c] = sum;
+    }
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      sum += img[r * n + c];
+      img[r * n + c] = sum;
+    }
+  }
+  std::vector<Word> out(n * n);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = trace::from_f64(img[i]);
+  return out;
+}
+
+std::uint64_t summed_area_memory_steps(std::size_t n) { return 4 * n * n; }
+
+}  // namespace obx::algos

@@ -1,0 +1,29 @@
+// Oblivious summed-area table (integral image): the 2-D generalisation of
+// the paper's prefix-sums, ubiquitous in image processing.
+//
+// Two in-place passes over an n×n image — running sums along each row, then
+// along each column.  Every address is affine in the loop counters;
+// t = 4n² memory steps.  Canonical memory: the image, row-major f64.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::algos {
+
+/// n = image side length.
+trace::Program summed_area_program(std::size_t n);
+
+std::vector<Word> summed_area_random_input(std::size_t n, Rng& rng);
+
+/// Native two-pass reference (identical accumulation order).
+std::vector<Word> summed_area_reference(std::size_t n, std::span<const Word> input);
+
+std::uint64_t summed_area_memory_steps(std::size_t n);
+
+}  // namespace obx::algos

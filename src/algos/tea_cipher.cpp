@@ -1,0 +1,179 @@
+#include "algos/tea_cipher.hpp"
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+
+namespace obx::algos {
+
+using trace::Op;
+using trace::Step;
+
+namespace {
+
+constexpr std::uint32_t kDelta = 0x9e3779b9u;
+constexpr Word kMask32 = 0xffffffffULL;
+
+// Registers: r0 = v0, r1 = v1, r2..r5 = k0..k3, r6 = sum, r7 = mask,
+// r8..r10 = scratch, r11 = shift-4, r12 = shift-5.
+Generator<Step> stream(std::size_t blocks) {
+  co_yield Step::immediate(7, kMask32);
+  co_yield Step::immediate(11, Word{4});
+  co_yield Step::immediate(12, Word{5});
+  for (std::uint8_t r = 0; r < 4; ++r) {
+    co_yield Step::load(static_cast<std::uint8_t>(2 + r), Addr{r});
+  }
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const Addr v0 = 4 + 2 * b;
+    const Addr v1 = v0 + 1;
+    co_yield Step::load(0, v0);
+    co_yield Step::load(1, v1);
+    for (std::uint32_t round = 1; round <= 32; ++round) {
+      // sum is a round constant: embed it as an immediate.
+      co_yield Step::immediate(6, Word{kDelta} * round & kMask32);
+      // v0 += ((v1<<4)+k0) ^ (v1+sum) ^ ((v1>>5)+k1), all mod 2^32.
+      co_yield Step::alu(Op::kShl, 8, 1, 11);
+      co_yield Step::alu(Op::kAddI, 8, 8, 2);
+      co_yield Step::alu(Op::kAddI, 9, 1, 6);
+      co_yield Step::alu(Op::kXor, 8, 8, 9);
+      co_yield Step::alu(Op::kAnd, 9, 1, 7);   // v1 masked before >>5
+      co_yield Step::alu(Op::kShr, 9, 9, 12);
+      co_yield Step::alu(Op::kAddI, 9, 9, 3);
+      co_yield Step::alu(Op::kXor, 8, 8, 9);
+      co_yield Step::alu(Op::kAddI, 0, 0, 8);
+      co_yield Step::alu(Op::kAnd, 0, 0, 7);
+      // v1 += ((v0<<4)+k2) ^ (v0+sum) ^ ((v0>>5)+k3), all mod 2^32.
+      co_yield Step::alu(Op::kShl, 8, 0, 11);
+      co_yield Step::alu(Op::kAddI, 8, 8, 4);
+      co_yield Step::alu(Op::kAddI, 9, 0, 6);
+      co_yield Step::alu(Op::kXor, 8, 8, 9);
+      co_yield Step::alu(Op::kAnd, 9, 0, 7);
+      co_yield Step::alu(Op::kShr, 9, 9, 12);
+      co_yield Step::alu(Op::kAddI, 9, 9, 5);
+      co_yield Step::alu(Op::kXor, 8, 8, 9);
+      co_yield Step::alu(Op::kAddI, 1, 1, 8);
+      co_yield Step::alu(Op::kAnd, 1, 1, 7);
+    }
+    co_yield Step::store(v0, 0);
+    co_yield Step::store(v1, 1);
+  }
+}
+
+// Inverse rounds: registers as in `stream`, sum counting down.
+Generator<Step> decrypt_stream(std::size_t blocks) {
+  co_yield Step::immediate(7, kMask32);
+  co_yield Step::immediate(11, Word{4});
+  co_yield Step::immediate(12, Word{5});
+  for (std::uint8_t r = 0; r < 4; ++r) {
+    co_yield Step::load(static_cast<std::uint8_t>(2 + r), Addr{r});
+  }
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const Addr v0 = 4 + 2 * b;
+    const Addr v1 = v0 + 1;
+    co_yield Step::load(0, v0);
+    co_yield Step::load(1, v1);
+    for (std::uint32_t round = 32; round >= 1; --round) {
+      co_yield Step::immediate(6, Word{kDelta} * round & kMask32);
+      // v1 -= ((v0<<4)+k2) ^ (v0+sum) ^ ((v0>>5)+k3), mod 2^32.
+      co_yield Step::alu(Op::kShl, 8, 0, 11);
+      co_yield Step::alu(Op::kAddI, 8, 8, 4);
+      co_yield Step::alu(Op::kAddI, 9, 0, 6);
+      co_yield Step::alu(Op::kXor, 8, 8, 9);
+      co_yield Step::alu(Op::kAnd, 9, 0, 7);
+      co_yield Step::alu(Op::kShr, 9, 9, 12);
+      co_yield Step::alu(Op::kAddI, 9, 9, 5);
+      co_yield Step::alu(Op::kXor, 8, 8, 9);
+      co_yield Step::alu(Op::kSubI, 1, 1, 8);
+      co_yield Step::alu(Op::kAnd, 1, 1, 7);
+      // v0 -= ((v1<<4)+k0) ^ (v1+sum) ^ ((v1>>5)+k1), mod 2^32.
+      co_yield Step::alu(Op::kShl, 8, 1, 11);
+      co_yield Step::alu(Op::kAddI, 8, 8, 2);
+      co_yield Step::alu(Op::kAddI, 9, 1, 6);
+      co_yield Step::alu(Op::kXor, 8, 8, 9);
+      co_yield Step::alu(Op::kAnd, 9, 1, 7);
+      co_yield Step::alu(Op::kShr, 9, 9, 12);
+      co_yield Step::alu(Op::kAddI, 9, 9, 3);
+      co_yield Step::alu(Op::kXor, 8, 8, 9);
+      co_yield Step::alu(Op::kSubI, 0, 0, 8);
+      co_yield Step::alu(Op::kAnd, 0, 0, 7);
+    }
+    co_yield Step::store(v0, 0);
+    co_yield Step::store(v1, 1);
+  }
+}
+
+}  // namespace
+
+trace::Program tea_decrypt_program(std::size_t blocks) {
+  OBX_CHECK(blocks > 0, "need at least one block");
+  trace::Program p;
+  p.name = "tea-decrypt(blocks=" + std::to_string(blocks) + ")";
+  p.memory_words = 4 + 2 * blocks;
+  p.input_words = 4 + 2 * blocks;
+  p.output_offset = 4;
+  p.output_words = 2 * blocks;
+  p.register_count = 13;
+  p.stream = [blocks]() { return decrypt_stream(blocks); };
+  return p;
+}
+
+void tea_decrypt_block(std::uint32_t v[2], const std::uint32_t k[4]) {
+  std::uint32_t v0 = v[0];
+  std::uint32_t v1 = v[1];
+  std::uint32_t sum = kDelta * 32;
+  for (int round = 0; round < 32; ++round) {
+    v1 -= ((v0 << 4) + k[2]) ^ (v0 + sum) ^ ((v0 >> 5) + k[3]);
+    v0 -= ((v1 << 4) + k[0]) ^ (v1 + sum) ^ ((v1 >> 5) + k[1]);
+    sum -= kDelta;
+  }
+  v[0] = v0;
+  v[1] = v1;
+}
+
+trace::Program tea_program(std::size_t blocks) {
+  OBX_CHECK(blocks > 0, "need at least one block");
+  trace::Program p;
+  p.name = "tea(blocks=" + std::to_string(blocks) + ")";
+  p.memory_words = 4 + 2 * blocks;
+  p.input_words = 4 + 2 * blocks;
+  p.output_offset = 4;
+  p.output_words = 2 * blocks;
+  p.register_count = 13;
+  p.stream = [blocks]() { return stream(blocks); };
+  return p;
+}
+
+std::vector<Word> tea_random_input(std::size_t blocks, Rng& rng) {
+  return rng.words_u64(4 + 2 * blocks, 1ULL << 32);
+}
+
+void tea_encrypt_block(std::uint32_t v[2], const std::uint32_t k[4]) {
+  std::uint32_t v0 = v[0];
+  std::uint32_t v1 = v[1];
+  std::uint32_t sum = 0;
+  for (int round = 0; round < 32; ++round) {
+    sum += kDelta;
+    v0 += ((v1 << 4) + k[0]) ^ (v1 + sum) ^ ((v1 >> 5) + k[1]);
+    v1 += ((v0 << 4) + k[2]) ^ (v0 + sum) ^ ((v0 >> 5) + k[3]);
+  }
+  v[0] = v0;
+  v[1] = v1;
+}
+
+std::vector<Word> tea_reference(std::size_t blocks, std::span<const Word> input) {
+  OBX_CHECK(input.size() == 4 + 2 * blocks, "input must hold key + blocks");
+  std::uint32_t k[4];
+  for (int i = 0; i < 4; ++i) k[i] = static_cast<std::uint32_t>(input[static_cast<std::size_t>(i)]);
+  std::vector<Word> out(2 * blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::uint32_t v[2] = {static_cast<std::uint32_t>(input[4 + 2 * b]),
+                          static_cast<std::uint32_t>(input[4 + 2 * b + 1])};
+    tea_encrypt_block(v, k);
+    out[2 * b] = v[0];
+    out[2 * b + 1] = v[1];
+  }
+  return out;
+}
+
+std::uint64_t tea_memory_steps(std::size_t blocks) { return 4 + 4 * blocks; }
+
+}  // namespace obx::algos

@@ -1,0 +1,46 @@
+// Oblivious TEA encryption (the paper's "encryption/decryption" task family).
+//
+// The Tiny Encryption Algorithm processes 64-bit blocks as two 32-bit halves
+// with a 128-bit key over 32 rounds of add/xor/shift — straight-line code, so
+// trivially oblivious, and almost entirely register-resident: with
+// count_compute enabled on the machine config this algorithm exhibits the
+// compute-bound regime of the model.
+//
+// Canonical memory (one word per 32-bit quantity): key k0..k3 at [0, 4),
+// then `blocks` 2-word plaintext blocks at [4, 4 + 2*blocks).  Encryption is
+// in place; problem size n = number of blocks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::algos {
+
+trace::Program tea_program(std::size_t blocks);
+
+/// 4 + 2*blocks words: random key and plaintext (32-bit values).
+std::vector<Word> tea_random_input(std::size_t blocks, Rng& rng);
+
+/// Native TEA encryption; returns the 2*blocks ciphertext words.
+std::vector<Word> tea_reference(std::size_t blocks, std::span<const Word> input);
+
+/// Oblivious TEA *decryption* program over the same canonical memory layout
+/// (inverse rounds); composing it with tea_program is the identity on the
+/// payload words.
+trace::Program tea_decrypt_program(std::size_t blocks);
+
+/// One native TEA block encryption (32 rounds).
+void tea_encrypt_block(std::uint32_t v[2], const std::uint32_t k[4]);
+
+/// One native TEA block decryption.
+void tea_decrypt_block(std::uint32_t v[2], const std::uint32_t k[4]);
+
+/// 4 key loads + 4 memory steps per block.
+std::uint64_t tea_memory_steps(std::size_t blocks);
+
+}  // namespace obx::algos

@@ -1,0 +1,62 @@
+#include "analysis/linear_fit.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/format.hpp"
+
+namespace obx::analysis {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  OBX_CHECK(x.size() == y.size(), "x/y size mismatch");
+  OBX_CHECK(x.size() >= 2, "need at least two points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+  } else {
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+  }
+  // R².
+  const double mean_y = sy / n;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - fit.at(x[i]);
+    ss_res += e * e;
+    const double d = y[i] - mean_y;
+    ss_tot += d * d;
+  }
+  fit.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+LinearFit fit_linear_tail(std::span<const double> x, std::span<const double> y) {
+  OBX_CHECK(x.size() == y.size(), "x/y size mismatch");
+  OBX_CHECK(x.size() >= 2, "need at least two points");
+  const std::size_t start = x.size() / 2;
+  const std::size_t count = x.size() - start;
+  if (count < 2) return fit_linear(x, y);
+  return fit_linear(x.subspan(start), y.subspan(start));
+}
+
+std::string describe_fit_seconds(const LinearFit& fit, const std::string& var) {
+  // Slopes are tiny (ns per input); render with an auto unit.
+  return format_seconds(fit.intercept) + " + " + format_seconds(fit.slope) + " * " + var;
+}
+
+std::string describe_fit_units(const LinearFit& fit, const std::string& var) {
+  return format_units(fit.intercept) + " + " + format_fixed(fit.slope, 3) + " cycles * " +
+         var;
+}
+
+}  // namespace obx::analysis

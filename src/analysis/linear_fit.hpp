@@ -1,0 +1,36 @@
+// Least-squares fit of T(p) = a + b·p.
+//
+// The paper characterises every measured curve this way ("the row-wise
+// prefix-sums for n = 32 and p can be computed in approximately
+// 37 µs + (8.09)p ns"); the benches print the same decomposition for the
+// simulated curves.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace obx::analysis {
+
+struct LinearFit {
+  double intercept = 0.0;  ///< a: the latency floor (the paper's l·t term)
+  double slope = 0.0;      ///< b: per-input cost (the paper's pt/w term)
+  double r2 = 0.0;         ///< coefficient of determination
+
+  /// Predicted value at x.
+  double at(double x) const { return intercept + slope * x; }
+};
+
+/// Ordinary least squares over the given points (sizes must match, >= 2).
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Fits only the upper half of the x range, where the linear term dominates —
+/// this is how the paper extracts asymptotic slopes from log-scale sweeps.
+LinearFit fit_linear_tail(std::span<const double> x, std::span<const double> y);
+
+/// "37.043 us + 8.090 ns * p" — seconds-valued fit rendered like the paper.
+std::string describe_fit_seconds(const LinearFit& fit, const std::string& var = "p");
+
+/// Same for time-unit-valued fits: "12.4 Kcycles + 2.00 cycles * p".
+std::string describe_fit_units(const LinearFit& fit, const std::string& var = "p");
+
+}  // namespace obx::analysis

@@ -1,0 +1,45 @@
+#include "analysis/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace obx::analysis {
+
+std::vector<double> speedup(std::span<const double> baseline,
+                            std::span<const double> series) {
+  OBX_CHECK(baseline.size() == series.size(), "series size mismatch");
+  std::vector<double> out(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out[i] = series[i] == 0.0 ? 0.0 : baseline[i] / series[i];
+  }
+  return out;
+}
+
+std::optional<std::size_t> crossover_index(std::span<const double> a,
+                                           std::span<const double> b) {
+  OBX_CHECK(a.size() == b.size(), "series size mismatch");
+  std::optional<std::size_t> candidate;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) {
+      if (!candidate) candidate = i;
+    } else {
+      candidate.reset();
+    }
+  }
+  return candidate;
+}
+
+double max_value(std::span<const double> v) {
+  double best = 0.0;
+  for (double x : v) best = std::max(best, x);
+  return best;
+}
+
+double relative_error(double a, double b) {
+  const double scale = std::max(std::fabs(b), 1e-300);
+  return std::fabs(a - b) / scale;
+}
+
+}  // namespace obx::analysis

@@ -1,0 +1,26 @@
+// Series utilities for the figure benches: speedups and crossovers.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace obx::analysis {
+
+/// Element-wise baseline/series (the paper's "speedup factor of the GPU over
+/// the CPU").  Sizes must match; zero series entries yield 0.
+std::vector<double> speedup(std::span<const double> baseline,
+                            std::span<const double> series);
+
+/// First index where `a` becomes strictly smaller than `b` and stays smaller
+/// through the end; nullopt when it never does.
+std::optional<std::size_t> crossover_index(std::span<const double> a,
+                                           std::span<const double> b);
+
+/// Max element (0 for an empty span).
+double max_value(std::span<const double> v);
+
+/// Relative error |a-b| / max(|b|, eps).
+double relative_error(double a, double b);
+
+}  // namespace obx::analysis

@@ -1,0 +1,76 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace obx::analysis {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  OBX_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  OBX_CHECK(cells.size() == headers_.size(), "row width must match the header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  ";
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream file(path);
+  OBX_CHECK(file.is_open(), "cannot open CSV output file: " + path);
+  write_csv(file);
+}
+
+}  // namespace obx::analysis

@@ -1,0 +1,36 @@
+// ASCII table and CSV rendering for the benchmark harness.
+//
+// Every figure bench prints a human-readable table (the rows of the paper's
+// plots) and can dump the same data as CSV for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace obx::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated dump (header + rows); cells containing commas are quoted.
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: writes CSV to `path`, creating/truncating the file.
+  void save_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace obx::analysis

@@ -1,0 +1,33 @@
+#include "bulk/bulk.hpp"
+
+#include "common/check.hpp"
+
+namespace obx::bulk {
+
+Layout make_layout(const trace::Program& program, std::size_t p, Arrangement arrangement,
+                   std::size_t block) {
+  switch (arrangement) {
+    case Arrangement::kRowWise:
+      return Layout::row_wise(p, program.memory_words);
+    case Arrangement::kColumnWise:
+      return Layout::column_wise(p, program.memory_words);
+    case Arrangement::kBlocked:
+      OBX_CHECK(block > 0, "blocked arrangement needs a block size");
+      return Layout::blocked(p, program.memory_words, block);
+  }
+  OBX_CHECK(false, "unknown arrangement");
+  return Layout::column_wise(p, program.memory_words);
+}
+
+BulkOutputs run_bulk(const trace::Program& program, std::span<const Word> inputs,
+                     std::size_t p, Arrangement arrangement, unsigned workers) {
+  HostBulkExecutor exec(make_layout(program, p, arrangement),
+                        HostBulkExecutor::Options{.workers = workers});
+  const HostRunResult run = exec.run(program, inputs);
+  BulkOutputs out;
+  out.words_per_output = program.output_words;
+  out.flat = exec.gather_outputs(program, run.memory);
+  return out;
+}
+
+}  // namespace obx::bulk

@@ -1,0 +1,147 @@
+#include "bulk/host_executor.hpp"
+
+#include <chrono>
+
+#include "common/check.hpp"
+#include "bulk/thread_pool.hpp"
+#include "trace/step.hpp"
+
+namespace obx::bulk {
+
+HostBulkExecutor::HostBulkExecutor(Layout layout)
+    : HostBulkExecutor(layout, Options()) {}
+
+HostBulkExecutor::HostBulkExecutor(Layout layout, Options options)
+    : layout_(layout), options_(options) {}
+
+void HostBulkExecutor::run_chunk(const trace::Program& program, std::span<Word> memory,
+                                 Lane lane_begin, Lane lane_end,
+                                 trace::StepCounts* counts) const {
+  const std::size_t chunk = lane_end - lane_begin;
+  const std::size_t reg_count = std::max<std::size_t>(program.register_count, 1);
+  // Lane-major register file: register r of lane (lane_begin + i) lives at
+  // regs[r * chunk + i].
+  std::vector<Word> regs(reg_count * chunk, Word{0});
+  auto reg = [&](std::uint8_t r) { return regs.data() + std::size_t{r} * chunk; };
+
+  const std::size_t p = layout_.lanes();
+  const std::size_t n = layout_.words_per_input();
+  const std::size_t block = layout_.block();
+  Word* mem = memory.data();
+
+  trace::StepCounts local;
+  auto gen = program.stream();
+  for (const trace::Step& s : gen) {
+    switch (s.kind) {
+      case trace::StepKind::kLoad: {
+        OBX_CHECK(s.addr < n, "load beyond program memory");
+        Word* dst = reg(s.dst);
+        switch (layout_.arrangement()) {
+          case Arrangement::kColumnWise: {
+            const Word* src = mem + s.addr * p + lane_begin;
+            for (std::size_t i = 0; i < chunk; ++i) dst[i] = src[i];
+            break;
+          }
+          case Arrangement::kRowWise: {
+            for (std::size_t i = 0; i < chunk; ++i) {
+              dst[i] = mem[(lane_begin + i) * n + s.addr];
+            }
+            break;
+          }
+          case Arrangement::kBlocked: {
+            for (std::size_t i = 0; i < chunk; ++i) {
+              const Lane j = lane_begin + i;
+              dst[i] = mem[(j / block) * (n * block) + s.addr * block + (j % block)];
+            }
+            break;
+          }
+        }
+        ++local.loads;
+        break;
+      }
+      case trace::StepKind::kStore: {
+        OBX_CHECK(s.addr < n, "store beyond program memory");
+        const Word* src = reg(s.src0);
+        switch (layout_.arrangement()) {
+          case Arrangement::kColumnWise: {
+            Word* dst = mem + s.addr * p + lane_begin;
+            for (std::size_t i = 0; i < chunk; ++i) dst[i] = src[i];
+            break;
+          }
+          case Arrangement::kRowWise: {
+            for (std::size_t i = 0; i < chunk; ++i) {
+              mem[(lane_begin + i) * n + s.addr] = src[i];
+            }
+            break;
+          }
+          case Arrangement::kBlocked: {
+            for (std::size_t i = 0; i < chunk; ++i) {
+              const Lane j = lane_begin + i;
+              mem[(j / block) * (n * block) + s.addr * block + (j % block)] = src[i];
+            }
+            break;
+          }
+        }
+        ++local.stores;
+        break;
+      }
+      case trace::StepKind::kAlu:
+        trace::bulk_alu(s.op, reg(s.dst), reg(s.src0), reg(s.src1), reg(s.src2), chunk);
+        ++local.alu;
+        break;
+      case trace::StepKind::kImm: {
+        Word* dst = reg(s.dst);
+        for (std::size_t i = 0; i < chunk; ++i) dst[i] = s.imm;
+        ++local.imm;
+        break;
+      }
+    }
+  }
+  if (counts != nullptr) *counts = local;
+}
+
+HostRunResult HostBulkExecutor::run(const trace::Program& program,
+                                    std::span<const Word> inputs) const {
+  OBX_CHECK(program.stream != nullptr, "program has no stream factory");
+  OBX_CHECK(program.memory_words == layout_.words_per_input(),
+            "layout sized for a different program");
+  OBX_CHECK(inputs.size() == layout_.lanes() * program.input_words,
+            "inputs must be lane-major flat: p * input_words words");
+  OBX_CHECK(program.register_count <= 256, "register file limited to 256");
+
+  HostRunResult result;
+  result.memory.assign(layout_.total_words(), Word{0});
+  const std::size_t p = layout_.lanes();
+  for (Lane j = 0; j < p; ++j) {
+    layout_.scatter(inputs.subspan(j * program.input_words, program.input_words), j,
+                    result.memory);
+  }
+
+  // Chunks must not split a blocked layout's block (alignment below); the
+  // first chunk also reports the per-input step counts.
+  const std::size_t align =
+      layout_.arrangement() == Arrangement::kBlocked ? layout_.block() : 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  parallel_for_chunks(p, options_.workers, align,
+                      [&](std::size_t begin, std::size_t end) {
+                        run_chunk(program, result.memory, begin, end,
+                                  begin == 0 ? &result.counts : nullptr);
+                      });
+  const auto t1 = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+std::vector<Word> HostBulkExecutor::gather_outputs(const trace::Program& program,
+                                                   std::span<const Word> memory) const {
+  const std::size_t p = layout_.lanes();
+  std::vector<Word> out(p * program.output_words);
+  for (Lane j = 0; j < p; ++j) {
+    layout_.gather(memory, j, program.output_offset,
+                   std::span<Word>(out).subspan(j * program.output_words,
+                                                program.output_words));
+  }
+  return out;
+}
+
+}  // namespace obx::bulk

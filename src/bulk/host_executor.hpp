@@ -1,0 +1,56 @@
+// Lockstep host execution of a bulk oblivious program.
+//
+// This is the functional analogue of the paper's CUDA kernels: every step of
+// the oblivious program is applied across all p lanes before the next step
+// begins (per worker chunk), with a register file stored lane-major
+// (structure-of-arrays) so ALU steps and column-wise memory steps run over
+// contiguous memory and vectorise.  Results are bit-identical to running the
+// scalar interpreter p times.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "bulk/layout.hpp"
+#include "trace/program.hpp"
+
+namespace obx::bulk {
+
+struct HostRunResult {
+  std::vector<Word> memory;   ///< final arranged global memory (p·n words)
+  trace::StepCounts counts;   ///< steps in one program stream (per input)
+  double seconds = 0.0;       ///< wall-clock of the lockstep loop (excludes scatter)
+};
+
+class HostBulkExecutor {
+ public:
+  struct Options {
+    unsigned workers = 1;  ///< host threads; lanes are chunked across them
+  };
+
+  explicit HostBulkExecutor(Layout layout);
+  HostBulkExecutor(Layout layout, Options options);
+
+  /// Runs `program` on p inputs given lane-major flat: input j occupies
+  /// inputs[j*program.input_words ... ).  Requires program.memory_words ==
+  /// layout.words_per_input() and inputs.size() == p * program.input_words.
+  /// The program's stream factory must be safe to invoke concurrently.
+  HostRunResult run(const trace::Program& program, std::span<const Word> inputs) const;
+
+  /// Extracts each lane's declared output region from a run's final memory,
+  /// returned lane-major flat (p * output_words).
+  std::vector<Word> gather_outputs(const trace::Program& program,
+                                   std::span<const Word> memory) const;
+
+  const Layout& layout() const { return layout_; }
+
+ private:
+  void run_chunk(const trace::Program& program, std::span<Word> memory, Lane lane_begin,
+                 Lane lane_end, trace::StepCounts* counts) const;
+
+  Layout layout_;
+  Options options_;
+};
+
+}  // namespace obx::bulk

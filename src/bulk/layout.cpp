@@ -1,0 +1,62 @@
+#include "bulk/layout.hpp"
+
+namespace obx::bulk {
+
+std::string to_string(Arrangement a) {
+  switch (a) {
+    case Arrangement::kRowWise:
+      return "row-wise";
+    case Arrangement::kColumnWise:
+      return "column-wise";
+    case Arrangement::kBlocked:
+      return "blocked";
+  }
+  return "?";
+}
+
+Layout::Layout(Arrangement arrangement, std::size_t lanes, std::size_t words_per_input,
+               std::size_t block)
+    : arrangement_(arrangement), p_(lanes), n_(words_per_input), block_(block) {
+  OBX_CHECK(lanes > 0, "layout needs at least one lane");
+  OBX_CHECK(words_per_input > 0, "layout needs at least one word per input");
+  OBX_CHECK(block > 0 && lanes % block == 0, "block must divide the lane count");
+}
+
+Layout Layout::row_wise(std::size_t lanes, std::size_t words_per_input) {
+  return Layout(Arrangement::kRowWise, lanes, words_per_input, lanes);
+}
+
+Layout Layout::column_wise(std::size_t lanes, std::size_t words_per_input) {
+  return Layout(Arrangement::kColumnWise, lanes, words_per_input, 1);
+}
+
+Layout Layout::blocked(std::size_t lanes, std::size_t words_per_input, std::size_t block) {
+  return Layout(Arrangement::kBlocked, lanes, words_per_input, block);
+}
+
+std::string Layout::name() const {
+  if (arrangement_ == Arrangement::kBlocked) {
+    return "blocked(" + std::to_string(block_) + ")";
+  }
+  return to_string(arrangement_);
+}
+
+void Layout::scatter(std::span<const Word> input, Lane lane,
+                     std::span<Word> memory) const {
+  OBX_CHECK(input.size() <= n_, "input larger than the per-lane array");
+  OBX_CHECK(memory.size() >= total_words(), "global memory too small for layout");
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    memory[global(i, lane)] = input[i];
+  }
+}
+
+void Layout::gather(std::span<const Word> memory, Lane lane, Addr offset,
+                    std::span<Word> out) const {
+  OBX_CHECK(offset + out.size() <= n_, "gather range beyond the per-lane array");
+  OBX_CHECK(memory.size() >= total_words(), "global memory too small for layout");
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = memory[global(offset + i, lane)];
+  }
+}
+
+}  // namespace obx::bulk

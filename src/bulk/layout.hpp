@@ -1,0 +1,104 @@
+// Data arrangements for bulk execution (paper Section III, Figures 5 and 10).
+//
+// p inputs of n words each are packed into one global array of p·n words:
+//
+//   row-wise:    b_j[i] at address j·n + i   — input j is contiguous; a warp
+//                executing step i touches addresses n apart (one address
+//                group per lane: the slow, non-coalesced arrangement).
+//   column-wise: b_j[i] at address i·p + j   — lane-interleaved; a warp
+//                touches w consecutive addresses (one or two address groups:
+//                the coalesced, time-optimal arrangement of Theorem 3).
+//   blocked:     a hybrid for the layout ablation — lanes grouped in blocks
+//                of B, lane-interleaved inside a block: b_j[i] at
+//                (j/B)·(n·B) + i·B + (j mod B).  B = 1 degenerates to
+//                row-wise; B = p degenerates to column-wise.
+//
+// All three share a property the timing fast path exploits: within one step,
+// the addresses of a full warp form an arithmetic progression whose residue
+// class (mod w) is the same for every warp of the step, so a step's cost
+// depends only on that residue (see umm::StridedStepCost).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace obx::bulk {
+
+enum class Arrangement : std::uint8_t { kRowWise, kColumnWise, kBlocked };
+
+std::string to_string(Arrangement a);
+
+class Layout {
+ public:
+  static Layout row_wise(std::size_t lanes, std::size_t words_per_input);
+  static Layout column_wise(std::size_t lanes, std::size_t words_per_input);
+  /// block must divide lanes.
+  static Layout blocked(std::size_t lanes, std::size_t words_per_input, std::size_t block);
+
+  /// Global address of canonical word `a` of input `lane`.
+  Addr global(Addr a, Lane lane) const {
+    OBX_DCHECK(a < n_ && lane < p_, "layout access out of range");
+    switch (arrangement_) {
+      case Arrangement::kRowWise:
+        return lane * n_ + a;
+      case Arrangement::kColumnWise:
+        return a * p_ + lane;
+      case Arrangement::kBlocked:
+        return (lane / block_) * (n_ * block_) + a * block_ + (lane % block_);
+    }
+    return kInvalidAddr;
+  }
+
+  std::size_t lanes() const { return p_; }
+  std::size_t words_per_input() const { return n_; }
+  std::size_t total_words() const { return p_ * n_; }
+  std::size_t block() const { return block_; }
+  Arrangement arrangement() const { return arrangement_; }
+  std::string name() const;
+
+  /// Lane-to-lane address distance inside a warp (constant per arrangement).
+  std::uint64_t lane_stride() const {
+    return arrangement_ == Arrangement::kRowWise ? n_ : 1;
+  }
+
+  /// A representative base address for canonical word `a` whose residue
+  /// class mod any w equals that of every warp's first address in the step.
+  Addr stride_base(Addr a) const {
+    switch (arrangement_) {
+      case Arrangement::kRowWise:
+        return a;
+      case Arrangement::kColumnWise:
+        return a * p_;
+      case Arrangement::kBlocked:
+        return a * block_;
+    }
+    return 0;
+  }
+
+  /// True when the constant-residue property holds for warps of width w
+  /// (always for row-/column-wise; blocked requires w | block).
+  bool uniform_residue(std::uint32_t width) const {
+    return arrangement_ != Arrangement::kBlocked || block_ % width == 0;
+  }
+
+  /// Copies one input into its arranged position in global memory.
+  void scatter(std::span<const Word> input, Lane lane, std::span<Word> memory) const;
+  /// Extracts `out.size()` canonical words starting at canonical `offset`.
+  void gather(std::span<const Word> memory, Lane lane, Addr offset,
+              std::span<Word> out) const;
+
+ private:
+  Layout(Arrangement arrangement, std::size_t lanes, std::size_t words_per_input,
+         std::size_t block);
+
+  Arrangement arrangement_;
+  std::size_t p_;
+  std::size_t n_;
+  std::size_t block_;
+};
+
+}  // namespace obx::bulk

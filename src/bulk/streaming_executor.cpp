@@ -1,0 +1,54 @@
+#include "bulk/streaming_executor.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "common/check.hpp"
+#include "bulk/bulk.hpp"
+#include "bulk/host_executor.hpp"
+
+namespace obx::bulk {
+
+StreamingExecutor::StreamingExecutor(Options options) : options_(options) {
+  OBX_CHECK(options_.max_resident_lanes > 0, "need at least one resident lane");
+}
+
+StreamingExecutor::Stats StreamingExecutor::run(
+    const trace::Program& program, std::size_t p,
+    const std::function<void(Lane, std::span<Word>)>& fill_input,
+    const std::function<void(Lane, std::span<const Word>)>& consume_output) const {
+  OBX_CHECK(program.stream != nullptr, "program has no stream factory");
+  OBX_CHECK(fill_input != nullptr && consume_output != nullptr, "callbacks required");
+
+  Stats stats;
+  stats.lanes = p;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<Word> inputs;
+  for (Lane base = 0; base < p; base += options_.max_resident_lanes) {
+    const std::size_t batch = std::min<std::size_t>(options_.max_resident_lanes, p - base);
+    inputs.assign(batch * program.input_words, Word{0});
+    for (std::size_t j = 0; j < batch; ++j) {
+      fill_input(base + j,
+                 std::span<Word>(inputs.data() + j * program.input_words,
+                                 program.input_words));
+    }
+
+    const HostBulkExecutor exec(make_layout(program, batch, options_.arrangement),
+                                HostBulkExecutor::Options{.workers = options_.workers});
+    const HostRunResult run = exec.run(program, inputs);
+    const std::vector<Word> outputs = exec.gather_outputs(program, run.memory);
+    for (std::size_t j = 0; j < batch; ++j) {
+      consume_output(base + j,
+                     std::span<const Word>(outputs.data() + j * program.output_words,
+                                           program.output_words));
+    }
+    ++stats.batches;
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  stats.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return stats;
+}
+
+}  // namespace obx::bulk

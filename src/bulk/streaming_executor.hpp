@@ -1,0 +1,51 @@
+// Memory-bounded bulk execution: process p lanes in resident batches.
+//
+// Figure-scale lane counts (p = 4M at n = 32K) cannot be materialised as one
+// p·n array.  Lanes are independent, so the executor streams them through in
+// batches of at most max_resident_lanes: inputs are pulled from a caller
+// callback, each batch runs on the lockstep host executor, outputs are
+// pushed to a consumer callback, and peak memory is O(batch · n) regardless
+// of p.  Results are bit-identical to a single monolithic run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "common/types.hpp"
+#include "bulk/layout.hpp"
+#include "trace/program.hpp"
+
+namespace obx::bulk {
+
+class StreamingExecutor {
+ public:
+  struct Options {
+    std::size_t max_resident_lanes = 4096;  ///< peak memory = this · n words
+    unsigned workers = 1;                   ///< host threads per batch
+    Arrangement arrangement = Arrangement::kColumnWise;
+  };
+
+  struct Stats {
+    std::size_t batches = 0;
+    std::size_t lanes = 0;
+    double seconds = 0.0;  ///< wall-clock including callbacks
+  };
+
+  StreamingExecutor() : StreamingExecutor(Options()) {}
+  explicit StreamingExecutor(Options options);
+
+  /// Runs `program` for p lanes.  fill_input(j, dst) must write lane j's
+  /// input_words into dst; consume_output(j, out) receives lane j's output
+  /// region.  Callbacks are invoked from the calling thread, in lane order.
+  Stats run(const trace::Program& program, std::size_t p,
+            const std::function<void(Lane, std::span<Word>)>& fill_input,
+            const std::function<void(Lane, std::span<const Word>)>& consume_output) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace obx::bulk

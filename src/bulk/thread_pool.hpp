@@ -1,0 +1,25 @@
+// A small fork-join helper for partitioning lanes across host threads.
+//
+// Bulk lanes are fully independent (one input per lane), so the parallel
+// decomposition is embarrassing: split [0, p) into contiguous chunks, run the
+// whole program per chunk.  On a single-core host this degrades to a plain
+// loop; the figures of the reproduction rely on simulated UMM time, not on
+// host parallelism (see DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace obx::bulk {
+
+/// Largest sensible worker count on this host (hardware_concurrency, >= 1).
+unsigned default_worker_count();
+
+/// Invokes body(chunk_begin, chunk_end) on `workers` threads over [0, count),
+/// chunk boundaries aligned down to `align` (the layout block size, so chunks
+/// never split a block).  Runs inline when workers <= 1.  Exceptions from
+/// workers are rethrown on the caller.
+void parallel_for_chunks(std::size_t count, unsigned workers, std::size_t align,
+                         const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace obx::bulk

@@ -1,0 +1,59 @@
+#include "bulk/timing_estimator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+
+namespace obx::bulk {
+
+TimingEstimator::TimingEstimator(umm::Model model, umm::MachineConfig config, Layout layout)
+    : config_(config),
+      layout_(layout),
+      step_cost_(model, config, layout.lanes(), layout.lane_stride()) {
+  config_.validate();
+  OBX_CHECK(layout_.uniform_residue(config_.width),
+            "layout does not have uniform warp residues at this width "
+            "(blocked layouts need width | block)");
+  OBX_CHECK(layout_.arrangement() != Arrangement::kBlocked ||
+                config_.effective_group() == config_.width,
+            "the strided fast path supports blocked layouts only at the "
+            "paper's group size (group_words == width); use UmmBulkExecutor");
+}
+
+TimeUnits TimingEstimator::step_time(Addr canonical) const {
+  return step_cost_.step_time(layout_.stride_base(canonical));
+}
+
+TimingResult TimingEstimator::run(const trace::Program& program) const {
+  OBX_CHECK(program.stream != nullptr, "program has no stream factory");
+  TimingResult r;
+  TimeUnits serialized = 0;
+  TimeUnits compute_units = 0;
+  auto gen = program.stream();
+  for (const trace::Step& s : gen) {
+    if (s.is_memory()) {
+      OBX_CHECK(s.addr < program.memory_words, "access beyond program memory");
+      const umm::StepStages st = step_cost_.stages(layout_.stride_base(s.addr));
+      r.stages_total += st.stages;
+      r.warps_dispatched += st.warps;
+      serialized += st.stages + config_.latency - 1;
+      ++r.access_steps;
+    } else {
+      ++r.compute_steps;
+      if (config_.count_compute) ++compute_units;
+    }
+  }
+  if (config_.overlap_latency) {
+    // Pipeline stays full across steps: bandwidth bound vs dependency chain.
+    const TimeUnits bandwidth =
+        r.stages_total == 0 ? 0 : r.stages_total + config_.latency - 1;
+    const TimeUnits chain = static_cast<TimeUnits>(config_.latency) * r.access_steps;
+    r.time_units = std::max(bandwidth, chain) + compute_units;
+  } else {
+    r.time_units = serialized + compute_units;
+  }
+  return r;
+}
+
+}  // namespace obx::bulk

@@ -1,0 +1,47 @@
+// Closed-form-per-step timing of bulk execution: the figure-scale fast path.
+//
+// Produces exactly the same time-unit total as UmmBulkExecutor (a property
+// the test suite asserts), but in O(1) per step instead of O(p): within one
+// step, every full warp's addresses form the same residue class of the same
+// arithmetic progression (see Layout), so the per-warp stage count is a
+// single memoised lookup.  No data is allocated — p = 4M sweeps of the
+// paper's Figures 11-12 run in seconds.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "bulk/layout.hpp"
+#include "trace/program.hpp"
+#include "umm/cost_model.hpp"
+#include "umm/machine_config.hpp"
+
+namespace obx::bulk {
+
+struct TimingResult {
+  TimeUnits time_units = 0;
+  std::uint64_t access_steps = 0;
+  std::uint64_t compute_steps = 0;
+  std::uint64_t stages_total = 0;
+  std::uint64_t warps_dispatched = 0;
+};
+
+class TimingEstimator {
+ public:
+  /// Requires layout.uniform_residue(config.width) — true for row-/column-
+  /// wise always, for blocked layouts when the width divides the block.
+  TimingEstimator(umm::Model model, umm::MachineConfig config, Layout layout);
+
+  /// Streams the program once, charging each step's closed-form cost.
+  TimingResult run(const trace::Program& program) const;
+
+  /// Cost of a single access step at the given canonical address.
+  TimeUnits step_time(Addr canonical) const;
+
+ private:
+  umm::MachineConfig config_;
+  Layout layout_;
+  umm::StridedStepCost step_cost_;
+};
+
+}  // namespace obx::bulk

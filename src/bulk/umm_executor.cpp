@@ -1,0 +1,84 @@
+#include "bulk/umm_executor.hpp"
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+
+namespace obx::bulk {
+
+UmmBulkExecutor::UmmBulkExecutor(umm::Model model, umm::MachineConfig config, Layout layout)
+    : model_(model), config_(config), layout_(layout) {
+  config_.validate();
+}
+
+UmmRunResult UmmBulkExecutor::run(const trace::Program& program,
+                                  std::span<const Word> inputs) const {
+  OBX_CHECK(program.stream != nullptr, "program has no stream factory");
+  OBX_CHECK(program.memory_words == layout_.words_per_input(),
+            "layout sized for a different program");
+  OBX_CHECK(inputs.size() == layout_.lanes() * program.input_words,
+            "inputs must be lane-major flat: p * input_words words");
+
+  const std::size_t p = layout_.lanes();
+  umm::Machine machine(model_, config_, layout_.total_words());
+  for (Lane j = 0; j < p; ++j) {
+    layout_.scatter(inputs.subspan(j * program.input_words, program.input_words), j,
+                    machine.memory().span());
+  }
+
+  const std::size_t reg_count = std::max<std::size_t>(program.register_count, 1);
+  std::vector<Word> regs(reg_count * p, Word{0});
+  auto reg = [&](std::uint8_t r) { return regs.data() + std::size_t{r} * p; };
+
+  std::vector<Addr> addrs(p);
+  auto fill_addrs = [&](Addr canonical) {
+    for (Lane j = 0; j < p; ++j) addrs[j] = layout_.global(canonical, j);
+  };
+
+  auto gen = program.stream();
+  for (const trace::Step& s : gen) {
+    switch (s.kind) {
+      case trace::StepKind::kLoad: {
+        OBX_CHECK(s.addr < program.memory_words, "load beyond program memory");
+        fill_addrs(s.addr);
+        machine.step_read(addrs, std::span<Word>(reg(s.dst), p));
+        break;
+      }
+      case trace::StepKind::kStore: {
+        OBX_CHECK(s.addr < program.memory_words, "store beyond program memory");
+        fill_addrs(s.addr);
+        machine.step_write(addrs, std::span<const Word>(reg(s.src0), p));
+        break;
+      }
+      case trace::StepKind::kAlu:
+        trace::bulk_alu(s.op, reg(s.dst), reg(s.src0), reg(s.src1), reg(s.src2), p);
+        machine.step_compute();
+        break;
+      case trace::StepKind::kImm: {
+        Word* dst = reg(s.dst);
+        for (Lane j = 0; j < p; ++j) dst[j] = s.imm;
+        machine.step_compute();
+        break;
+      }
+    }
+  }
+
+  UmmRunResult result;
+  result.time_units = machine.time_units();
+  result.stats = machine.stats();
+  result.memory.assign(machine.memory().span().begin(), machine.memory().span().end());
+  return result;
+}
+
+std::vector<Word> UmmBulkExecutor::gather_outputs(const trace::Program& program,
+                                                  std::span<const Word> memory) const {
+  const std::size_t p = layout_.lanes();
+  std::vector<Word> out(p * program.output_words);
+  for (Lane j = 0; j < p; ++j) {
+    layout_.gather(memory, j, program.output_offset,
+                   std::span<Word>(out).subspan(j * program.output_words,
+                                                program.output_words));
+  }
+  return out;
+}
+
+}  // namespace obx::bulk

@@ -1,0 +1,47 @@
+// Cycle-accurate bulk execution on the UMM / DMM simulator.
+//
+// Functionally identical to HostBulkExecutor, but every memory step is routed
+// through umm::Machine, which charges the exact pipelined batch time of the
+// model (per-warp address-group or bank-conflict stage counts, latency l).
+// This is the executor behind the reproduction's "GPU" series: its time-unit
+// output is the quantity Lemma 1 / Theorems 2-3 bound.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "bulk/layout.hpp"
+#include "trace/program.hpp"
+#include "umm/machine.hpp"
+
+namespace obx::bulk {
+
+struct UmmRunResult {
+  TimeUnits time_units = 0;   ///< simulated machine time
+  umm::TimerStats stats;      ///< warps, stages, step mix
+  std::vector<Word> memory;   ///< final arranged global memory
+};
+
+class UmmBulkExecutor {
+ public:
+  UmmBulkExecutor(umm::Model model, umm::MachineConfig config, Layout layout);
+
+  /// Runs `program` on p lane-major flat inputs.  O(p) work per step — use
+  /// TimingEstimator for figure-scale p when only time is needed.
+  UmmRunResult run(const trace::Program& program, std::span<const Word> inputs) const;
+
+  std::vector<Word> gather_outputs(const trace::Program& program,
+                                   std::span<const Word> memory) const;
+
+  const Layout& layout() const { return layout_; }
+  const umm::MachineConfig& config() const { return config_; }
+  umm::Model model() const { return model_; }
+
+ private:
+  umm::Model model_;
+  umm::MachineConfig config_;
+  Layout layout_;
+};
+
+}  // namespace obx::bulk

@@ -1,0 +1,18 @@
+#include "common/check.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace obx::detail {
+
+void check_failed(std::string_view condition, std::string_view message,
+                  const std::source_location& loc) {
+  std::ostringstream os;
+  os << "OBX_CHECK failed: " << condition << " — " << message << " ["
+     << loc.file_name() << ':' << loc.line() << " in " << loc.function_name() << ']';
+  throw std::logic_error(os.str());
+}
+
+}  // namespace obx::detail

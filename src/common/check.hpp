@@ -1,0 +1,30 @@
+// Lightweight runtime checking.
+//
+// OBX_CHECK is always on (argument validation of the public API); OBX_DCHECK
+// compiles away in release builds and guards internal invariants on hot paths.
+#pragma once
+
+#include <source_location>
+#include <string_view>
+
+namespace obx::detail {
+
+[[noreturn]] void check_failed(std::string_view condition, std::string_view message,
+                               const std::source_location& loc);
+
+}  // namespace obx::detail
+
+#define OBX_CHECK(cond, msg)                                                        \
+  do {                                                                              \
+    if (!(cond)) [[unlikely]] {                                                     \
+      ::obx::detail::check_failed(#cond, (msg), std::source_location::current());   \
+    }                                                                               \
+  } while (false)
+
+#ifdef NDEBUG
+#define OBX_DCHECK(cond, msg) \
+  do {                        \
+  } while (false)
+#else
+#define OBX_DCHECK(cond, msg) OBX_CHECK(cond, msg)
+#endif

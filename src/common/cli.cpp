@@ -1,0 +1,78 @@
+#include "common/cli.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace obx::cli {
+
+Args Args::parse(int argc, const char* const* argv,
+                 const std::set<std::string>& bool_flags,
+                 const std::set<std::string>& known_options) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      args.positional_.push_back(std::move(token));
+      continue;
+    }
+    std::string key = token.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      has_value = true;
+    }
+    OBX_CHECK(!key.empty(), "empty option name");
+    if (!known_options.empty()) {
+      OBX_CHECK(known_options.count(key) > 0 || bool_flags.count(key) > 0,
+                "unknown option --" + key);
+    }
+    if (bool_flags.count(key) > 0) {
+      OBX_CHECK(!has_value, "flag --" + key + " takes no value");
+      args.options_[key] = "true";
+      continue;
+    }
+    if (!has_value) {
+      OBX_CHECK(i + 1 < argc, "option --" + key + " needs a value");
+      value = argv[++i];
+    }
+    args.options_[key] = std::move(value);
+  }
+  return args;
+}
+
+std::string Args::get(const std::string& key, const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  std::int64_t out = 0;
+  const auto& s = it->second;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  OBX_CHECK(ec == std::errc() && ptr == s.data() + s.size(),
+            "option --" + key + " is not an integer: " + s);
+  return out;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(it->second, &consumed);
+    OBX_CHECK(consumed == it->second.size(),
+              "option --" + key + " is not a number: " + it->second);
+    return v;
+  } catch (const std::invalid_argument&) {
+    OBX_CHECK(false, "option --" + key + " is not a number: " + it->second);
+  }
+  return fallback;
+}
+
+}  // namespace obx::cli

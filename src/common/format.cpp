@@ -1,0 +1,45 @@
+#include "common/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace obx {
+
+std::string format_count(std::uint64_t n) {
+  struct Suffix {
+    std::uint64_t unit;
+    char label;
+  };
+  constexpr std::array<Suffix, 3> suffixes{{{1ULL << 30, 'G'}, {1ULL << 20, 'M'}, {1ULL << 10, 'K'}}};
+  for (const auto& s : suffixes) {
+    if (n >= s.unit && n % s.unit == 0) {
+      return std::to_string(n / s.unit) + s.label;
+    }
+  }
+  return std::to_string(n);
+}
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  const double a = std::fabs(seconds);
+  if (a >= 1.0) return format_fixed(seconds, 3) + " s";
+  if (a >= 1e-3) return format_fixed(seconds * 1e3, 3) + " ms";
+  if (a >= 1e-6) return format_fixed(seconds * 1e6, 3) + " us";
+  return format_fixed(seconds * 1e9, 3) + " ns";
+}
+
+std::string format_units(double units) {
+  const double a = std::fabs(units);
+  if (a >= 1e9) return format_fixed(units / 1e9, 3) + " Gcycles";
+  if (a >= 1e6) return format_fixed(units / 1e6, 3) + " Mcycles";
+  if (a >= 1e3) return format_fixed(units / 1e3, 3) + " Kcycles";
+  return format_fixed(units, 0) + " cycles";
+}
+
+}  // namespace obx

@@ -1,0 +1,22 @@
+// Human-readable formatting helpers shared by benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace obx {
+
+/// 1024 → "1K", 4194304 → "4M", 3000 → "3000" (only exact binary multiples
+/// get a suffix, matching the paper's axis labels: 1K, 32K, 4M, ...).
+std::string format_count(std::uint64_t n);
+
+/// Seconds with an auto-selected unit: "37.0 us", "67.9 ms", "2.13 s".
+std::string format_seconds(double seconds);
+
+/// "12.3 Kcycles", "4.5 Mcycles", ... for UMM time units.
+std::string format_units(double units);
+
+/// Fixed-point with the given number of decimals.
+std::string format_fixed(double v, int decimals);
+
+}  // namespace obx

@@ -1,0 +1,97 @@
+// Minimal C++20 coroutine generator.
+//
+// Oblivious programs in obx are *streams* of steps: an OPT instance for a
+// 512-gon issues ~10^8 memory operations, far too many to materialise as a
+// vector.  Algorithms are therefore written as coroutines yielding one
+// trace::Step at a time, and executors pull from the stream.  This type is a
+// deliberately small subset of std::generator (which lands in C++23).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace obx {
+
+template <typename T>
+class Generator {
+ public:
+  struct promise_type {
+    T current{};
+    std::exception_ptr exception;
+
+    Generator get_return_object() {
+      return Generator{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    std::suspend_always yield_value(T value) noexcept {
+      current = std::move(value);
+      return {};
+    }
+    void return_void() noexcept {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  Generator() = default;
+  explicit Generator(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Generator(Generator&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Generator& operator=(Generator&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Generator(const Generator&) = delete;
+  Generator& operator=(const Generator&) = delete;
+  ~Generator() { destroy(); }
+
+  /// Advances the coroutine and stores the next value; returns false when the
+  /// stream is exhausted.  Rethrows any exception escaping the coroutine body.
+  bool next(T& out) {
+    if (!handle_ || handle_.done()) return false;
+    handle_.resume();
+    if (handle_.promise().exception) std::rethrow_exception(handle_.promise().exception);
+    if (handle_.done()) return false;
+    out = handle_.promise().current;
+    return true;
+  }
+
+  /// Input-iterator interface so generators work with range-for.
+  struct Sentinel {};
+  class Iterator {
+   public:
+    explicit Iterator(Generator* g) : gen_(g) { advance(); }
+    const T& operator*() const { return value_; }
+    Iterator& operator++() {
+      advance();
+      return *this;
+    }
+    bool operator==(Sentinel) const { return done_; }
+
+   private:
+    void advance() { done_ = !gen_->next(value_); }
+    Generator* gen_;
+    T value_{};
+    bool done_ = false;
+  };
+
+  Iterator begin() { return Iterator{this}; }
+  Sentinel end() { return Sentinel{}; }
+
+  bool valid() const { return handle_ != nullptr; }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace obx

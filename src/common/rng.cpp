@@ -1,0 +1,69 @@
+#include "common/rng.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace obx {
+namespace {
+
+// splitmix64: expands a single seed into the xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  OBX_CHECK(bound != 0, "next_below requires a nonzero bound");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                              std::numeric_limits<std::uint64_t>::max() % bound;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+double Rng::next_double() {
+  // 53 high bits → uniform [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+std::vector<Word> Rng::words_f64(std::size_t n, double lo, double hi) {
+  std::vector<Word> out(n);
+  for (auto& w : out) w = std::bit_cast<Word>(next_double(lo, hi));
+  return out;
+}
+
+std::vector<Word> Rng::words_u64(std::size_t n, std::uint64_t bound) {
+  std::vector<Word> out(n);
+  for (auto& w : out) w = next_below(bound);
+  return out;
+}
+
+}  // namespace obx

@@ -1,0 +1,36 @@
+// Deterministic pseudo-random inputs for tests, benches and examples.
+//
+// A small xoshiro256** implementation: fast, seedable, identical on every
+// platform (std::mt19937 distribution output is not portable across
+// standard-library implementations, which would make golden tests brittle).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace obx {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+  /// Uniform double in [0, 1).
+  double next_double();
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+
+  /// n doubles in [lo, hi) bit-cast into Words.
+  std::vector<Word> words_f64(std::size_t n, double lo, double hi);
+  /// n non-negative integers below `bound`, stored as raw Words.
+  std::vector<Word> words_u64(std::size_t n, std::uint64_t bound);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace obx

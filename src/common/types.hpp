@@ -1,0 +1,30 @@
+// Core scalar types shared by every obx module.
+//
+// The Unified Memory Machine (UMM) of Nakano et al. operates on a flat,
+// word-addressed memory.  We fix the machine word to 64 bits: wide enough to
+// hold an IEEE double (prefix-sums, FFT), a signed integer (dynamic
+// programming), or raw bits (ciphers), so a single register file and memory
+// image serve every oblivious algorithm in the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace obx {
+
+/// Machine word. Typed views (f64 / i64 / u64) are provided by value.hpp.
+using Word = std::uint64_t;
+
+/// Word address into either the canonical (per-input) array of an oblivious
+/// algorithm or the global memory of a machine model.
+using Addr = std::uint64_t;
+
+/// Count of UMM/DMM time units (clock cycles of the model).
+using TimeUnits = std::uint64_t;
+
+/// Lane index: which of the p bulk inputs a thread works on.
+using Lane = std::uint64_t;
+
+inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+}  // namespace obx

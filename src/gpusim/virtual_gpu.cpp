@@ -1,0 +1,35 @@
+#include "gpusim/virtual_gpu.hpp"
+
+#include "common/check.hpp"
+#include "bulk/bulk.hpp"
+
+namespace obx::gpusim {
+
+GpuSpec gtx_titan() {
+  GpuSpec spec;
+  spec.name = "virtual-gtx-titan";
+  spec.clock_hz = 837e6;
+  spec.multiprocessors = 14;
+  spec.threads_per_block = 64;
+  spec.memory = umm::gtx_titan_like();
+  return spec;
+}
+
+VirtualGpu::VirtualGpu(GpuSpec spec) : spec_(std::move(spec)) {
+  OBX_CHECK(spec_.clock_hz > 0, "clock must be positive");
+  spec_.memory.validate();
+}
+
+TimeUnits VirtualGpu::estimate_units(const trace::Program& program, std::size_t p,
+                                     bulk::Arrangement arrangement) const {
+  const bulk::Layout layout = bulk::make_layout(program, p, arrangement);
+  const bulk::TimingEstimator estimator(umm::Model::kUmm, spec_.memory, layout);
+  return estimator.run(program).time_units;
+}
+
+double VirtualGpu::estimate_seconds(const trace::Program& program, std::size_t p,
+                                    bulk::Arrangement arrangement) const {
+  return seconds_from_units(estimate_units(program, p, arrangement));
+}
+
+}  // namespace obx::gpusim

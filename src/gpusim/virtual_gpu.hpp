@@ -1,0 +1,63 @@
+// Virtual GPU: the reproduction's stand-in for the paper's GeForce GTX Titan.
+//
+// The paper's own methodology argues that the UMM *is* the model of GPU
+// global-memory behaviour, so the virtual device is simply a UMM timing
+// engine plus a clock that converts time units into seconds.  Functional
+// results come from the lockstep host executor (bit-identical to CUDA
+// kernels computing in the same order); timing comes from the UMM cost
+// model.  See DESIGN.md §2 for why this substitution preserves the shapes of
+// Figures 11-12.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "bulk/layout.hpp"
+#include "bulk/timing_estimator.hpp"
+#include "trace/program.hpp"
+#include "umm/machine_config.hpp"
+
+namespace obx::gpusim {
+
+struct GpuSpec {
+  std::string name;
+  double clock_hz = 1.0;        ///< time units → seconds conversion
+  std::uint32_t multiprocessors = 1;  ///< informational (paper: 14 SMs)
+  std::uint32_t threads_per_block = 64;  ///< paper's launch config
+  umm::MachineConfig memory;    ///< the UMM parameters (w, l)
+};
+
+/// GeForce-GTX-Titan-like device: 837 MHz core clock, 14 SMs, warp width 32,
+/// a few hundred cycles of global-memory latency.
+GpuSpec gtx_titan();
+
+class VirtualGpu {
+ public:
+  explicit VirtualGpu(GpuSpec spec);
+
+  /// Simulated seconds for one bulk run of `program` over p lanes in the
+  /// given arrangement (timing fast path, no data allocated).
+  double estimate_seconds(const trace::Program& program, std::size_t p,
+                          bulk::Arrangement arrangement) const;
+
+  /// Raw simulated time units for the same run.
+  TimeUnits estimate_units(const trace::Program& program, std::size_t p,
+                           bulk::Arrangement arrangement) const;
+
+  double seconds_from_units(TimeUnits units) const {
+    return static_cast<double>(units) / spec_.clock_hz;
+  }
+
+  /// Number of CUDA-style blocks a launch of p threads would use.
+  std::uint64_t blocks_for(std::size_t p) const {
+    return (p + spec_.threads_per_block - 1) / spec_.threads_per_block;
+  }
+
+  const GpuSpec& spec() const { return spec_; }
+
+ private:
+  GpuSpec spec_;
+};
+
+}  // namespace obx::gpusim

@@ -1,0 +1,43 @@
+// The Hierarchical Memory Machine (HMM) — Nakano's companion model to the
+// DMM and UMM, cited by the paper as the faithful model of a whole GPU: d
+// streaming multiprocessors, each a DMM with a small fast shared memory,
+// all connected to one large UMM-style global memory.
+//
+// The paper's experiments deliberately bypass the hierarchy ("All input and
+// output data are stored in the global memory ... we do not use the shared
+// memory").  This module quantifies what that choice costs: an HMM schedule
+// stages each lane's canonical array in shared memory, runs the oblivious
+// program there at shared-memory latency, and streams inputs/outputs
+// through the global pipeline once — so algorithms with t >> n (OPT's
+// Θ(n³) over Θ(n²) words) gain enormously, while t ≈ n algorithms
+// (prefix-sums) gain nothing.
+#pragma once
+
+#include <cstdint>
+
+#include "umm/machine_config.hpp"
+
+namespace obx::hmm {
+
+struct HmmConfig {
+  /// d: number of streaming multiprocessors (each one a DMM).
+  std::uint32_t num_sms = 14;
+
+  /// Shared memory of one SM: width = banks, small latency.
+  umm::MachineConfig shared{.width = 32, .latency = 2};
+
+  /// Global memory shared by all SMs: a UMM with DRAM-scale latency.
+  umm::MachineConfig global{.width = 32, .latency = 200};
+
+  /// Capacity of one SM's shared memory, in words (GTX Titan: 48 KB ≈ 6K
+  /// 8-byte words).  A lane's canonical array must fit for the staged
+  /// schedule to be admissible.
+  std::size_t shared_capacity_words = 6 * 1024;
+
+  void validate() const;
+};
+
+/// GTX-Titan-like hierarchy matching gpusim::gtx_titan()'s global memory.
+HmmConfig gtx_titan_hmm();
+
+}  // namespace obx::hmm

@@ -1,0 +1,69 @@
+#include "hmm/hmm_estimator.hpp"
+
+#include "common/check.hpp"
+#include "bulk/layout.hpp"
+#include "bulk/timing_estimator.hpp"
+
+namespace obx::hmm {
+
+void HmmConfig::validate() const {
+  OBX_CHECK(num_sms > 0, "HMM needs at least one SM");
+  shared.validate();
+  global.validate();
+  OBX_CHECK(shared_capacity_words > 0, "shared memory capacity must be positive");
+}
+
+HmmConfig gtx_titan_hmm() {
+  HmmConfig cfg;
+  cfg.num_sms = 14;
+  cfg.shared = umm::MachineConfig{.width = 32, .latency = 2};
+  cfg.global = umm::gtx_titan_like();
+  cfg.shared_capacity_words = 6 * 1024;
+  return cfg;
+}
+
+HmmEstimator::HmmEstimator(HmmConfig config) : config_(config) { config_.validate(); }
+
+bool HmmEstimator::admissible(const trace::Program& program) const {
+  return program.memory_words <= config_.shared_capacity_words;
+}
+
+namespace {
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) { return (a + b - 1) / b; }
+
+/// Fully pipelined bulk copy of `words` canonical words for p lanes through
+/// the global pipeline (coalesced, transfers independent).
+TimeUnits streamed_copy(std::uint64_t words, std::uint64_t p,
+                        const umm::MachineConfig& global) {
+  if (words == 0) return 0;
+  return ceil_div(p, global.width) * words + global.latency - 1;
+}
+
+}  // namespace
+
+HmmTiming HmmEstimator::run(const trace::Program& program, std::size_t p) const {
+  OBX_CHECK(p > 0, "at least one lane");
+  OBX_CHECK(admissible(program),
+            "per-lane array does not fit in shared memory; run global-only");
+
+  HmmTiming t;
+  t.lanes_per_sm = ceil_div(p, config_.num_sms);
+  t.copy_in = streamed_copy(program.input_words, p, config_.global);
+  t.copy_out = streamed_copy(program.output_words, p, config_.global);
+
+  // Compute phase: the busiest SM, column-wise in its shared DMM.
+  const bulk::Layout shared_layout =
+      bulk::Layout::column_wise(t.lanes_per_sm, program.memory_words);
+  const bulk::TimingEstimator sm(umm::Model::kDmm, config_.shared, shared_layout);
+  t.compute = sm.run(program).time_units;
+  return t;
+}
+
+TimeUnits HmmEstimator::global_only(const trace::Program& program, std::size_t p) const {
+  const bulk::Layout layout = bulk::Layout::column_wise(p, program.memory_words);
+  const bulk::TimingEstimator est(umm::Model::kUmm, config_.global, layout);
+  return est.run(program).time_units;
+}
+
+}  // namespace obx::hmm

@@ -1,0 +1,55 @@
+// Timing of the staged (shared-memory) bulk schedule on the HMM.
+//
+// Schedule for p lanes over d SMs (lanes split evenly, column-wise inside
+// each SM's shared memory):
+//   1. copy-in:  stream each lane's input words global → shared.  The
+//      transfers are mutually independent, so the global pipeline stays
+//      full: time = ceil(p/w)·input_words + L - 1.
+//   2. compute:  every SM runs the oblivious program against its shared
+//      DMM in parallel; per step cost ceil(p_sm/w_s) + l_s - 1 (stride-1
+//      shared layout is bank-conflict-free).  SMs overlap perfectly, so the
+//      phase costs one SM's time (the one with the most lanes).
+//   3. copy-out: stream output words shared → global, like copy-in.
+//
+// Functional results are unchanged from any other executor (staging moves
+// data, not semantics), so this module is timing-only; use
+// bulk::HostBulkExecutor for values.
+#pragma once
+
+#include "common/types.hpp"
+#include "hmm/hmm_config.hpp"
+#include "trace/program.hpp"
+
+namespace obx::hmm {
+
+struct HmmTiming {
+  TimeUnits copy_in = 0;
+  TimeUnits compute = 0;
+  TimeUnits copy_out = 0;
+  std::size_t lanes_per_sm = 0;  ///< lanes of the busiest SM
+
+  TimeUnits total() const { return copy_in + compute + copy_out; }
+};
+
+class HmmEstimator {
+ public:
+  explicit HmmEstimator(HmmConfig config);
+
+  /// True when one lane's canonical array fits in an SM's shared memory —
+  /// the staged schedule's admissibility condition.
+  bool admissible(const trace::Program& program) const;
+
+  /// Timing of the staged schedule for p lanes.  Throws if inadmissible.
+  HmmTiming run(const trace::Program& program, std::size_t p) const;
+
+  /// Timing of the paper's global-only schedule on the same global memory
+  /// (column-wise UMM execution) — the comparison baseline.
+  TimeUnits global_only(const trace::Program& program, std::size_t p) const;
+
+  const HmmConfig& config() const { return config_; }
+
+ private:
+  HmmConfig config_;
+};
+
+}  // namespace obx::hmm

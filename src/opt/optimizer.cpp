@@ -1,0 +1,93 @@
+#include "opt/optimizer.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "opt/passes.hpp"
+
+namespace obx::opt {
+
+using trace::Step;
+
+namespace {
+
+trace::StepCounts count(const std::vector<Step>& steps) {
+  trace::StepCounts c;
+  for (const Step& s : steps) {
+    switch (s.kind) {
+      case trace::StepKind::kLoad:
+        ++c.loads;
+        break;
+      case trace::StepKind::kStore:
+        ++c.stores;
+        break;
+      case trace::StepKind::kAlu:
+        ++c.alu;
+        break;
+      case trace::StepKind::kImm:
+        ++c.imm;
+        break;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+OptimizeResult optimize(const trace::Program& program, const OptimizeOptions& options) {
+  OBX_CHECK(program.stream != nullptr, "program has no stream factory");
+  OBX_CHECK(options.max_rounds >= 1, "need at least one round");
+
+  // Capture the stream once.
+  std::vector<Step> steps;
+  {
+    auto gen = program.stream();
+    for (const Step& s : gen) {
+      OBX_CHECK(steps.size() < options.max_steps, "program too long to optimise");
+      steps.push_back(s);
+    }
+  }
+
+  OptimizeResult result;
+  result.before = count(steps);
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    const std::size_t round_start = steps.size();
+    auto apply = [&](const char* name, auto&& pass) {
+      const std::size_t before = steps.size();
+      steps = pass(std::move(steps));
+      if (before != steps.size()) {
+        result.reports.push_back({name, before - steps.size()});
+      }
+    };
+    if (options.remove_nops) {
+      apply("remove-nops", [](std::vector<Step> s) { return remove_nops(std::move(s)); });
+    }
+    if (options.dedup_immediates) {
+      apply("dedup-immediates", [&](std::vector<Step> s) {
+        return dedup_immediates(std::move(s), program.register_count);
+      });
+    }
+    if (options.forward_loads) {
+      apply("forward-loads", [&](std::vector<Step> s) {
+        return forward_loads(std::move(s), program.register_count);
+      });
+    }
+    if (options.eliminate_dead_stores) {
+      apply("eliminate-dead-stores", [&](std::vector<Step> s) {
+        return eliminate_dead_stores(std::move(s), program.output_offset,
+                                     program.output_words);
+      });
+    }
+    if (steps.size() == round_start) break;  // fixed point
+  }
+
+  result.after = count(steps);
+  result.program = trace::make_replay_program(
+      program.name + "+opt", program.memory_words, program.input_words,
+      program.output_offset, program.output_words, program.register_count,
+      std::move(steps));
+  return result;
+}
+
+}  // namespace obx::opt

@@ -1,0 +1,55 @@
+// The pass pipeline: capture a program, run the peephole passes to a fixed
+// point, and rebuild a replayable Program with the same declared regions.
+//
+// Semantics contract: for every input, the optimised program leaves the
+// declared output region bit-identical to the original (scratch memory may
+// differ — dead stores are gone).  Obliviousness is preserved: the pipeline
+// is a deterministic function of the step stream alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/program.hpp"
+
+namespace obx::opt {
+
+struct PassReport {
+  std::string pass;
+  std::size_t removed = 0;  ///< net steps removed by this application
+};
+
+struct OptimizeResult {
+  trace::Program program;  ///< the optimised, replayable program
+  trace::StepCounts before;
+  trace::StepCounts after;
+  std::vector<PassReport> reports;
+
+  /// Relative reduction of the paper's t (memory steps): 0 = no change.
+  double memory_step_reduction() const {
+    if (before.memory() == 0) return 0.0;
+    return 1.0 - static_cast<double>(after.memory()) /
+                     static_cast<double>(before.memory());
+  }
+};
+
+struct OptimizeOptions {
+  bool forward_loads = true;
+  bool eliminate_dead_stores = true;
+  bool dedup_immediates = true;
+  bool remove_nops = true;
+  /// Passes repeat until no pass removes a step, up to this many rounds.
+  int max_rounds = 4;
+  /// Refuse to capture programs longer than this many steps.
+  std::size_t max_steps = 1u << 24;
+};
+
+/// Optimises `program` (which must be capturable: at most max_steps steps).
+OptimizeResult optimize(const trace::Program& program, const OptimizeOptions& options);
+
+inline OptimizeResult optimize(const trace::Program& program) {
+  return optimize(program, OptimizeOptions{});
+}
+
+}  // namespace obx::opt

@@ -1,0 +1,154 @@
+#include "opt/passes.hpp"
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace obx::opt {
+
+using trace::Op;
+using trace::Step;
+using trace::StepKind;
+
+std::vector<Step> forward_loads(std::vector<Step> steps, std::size_t register_count) {
+  OBX_CHECK(register_count >= 1 && register_count <= 256, "bad register count");
+  // reg_addr[r]: the address whose current value register r is known to
+  // hold; addr_reg[a]: one register currently holding address a's value.
+  constexpr Addr kNone = kInvalidAddr;
+  std::vector<Addr> reg_addr(register_count, kNone);
+  std::unordered_map<Addr, std::uint8_t> addr_reg;
+
+  auto unbind_reg = [&](std::uint8_t r) {
+    if (reg_addr[r] != kNone) {
+      auto it = addr_reg.find(reg_addr[r]);
+      if (it != addr_reg.end() && it->second == r) addr_reg.erase(it);
+      reg_addr[r] = kNone;
+    }
+  };
+  auto unbind_addr = [&](Addr a) {
+    auto it = addr_reg.find(a);
+    if (it != addr_reg.end()) addr_reg.erase(it);
+    for (std::size_t r = 0; r < register_count; ++r) {
+      if (reg_addr[r] == a) reg_addr[r] = kNone;
+    }
+  };
+  auto bind = [&](std::uint8_t r, Addr a) {
+    unbind_reg(r);
+    reg_addr[r] = a;
+    addr_reg[a] = r;
+  };
+
+  std::vector<Step> out;
+  out.reserve(steps.size());
+  for (const Step& s : steps) {
+    switch (s.kind) {
+      case StepKind::kLoad: {
+        OBX_CHECK(s.dst < register_count, "register out of range");
+        const auto it = addr_reg.find(s.addr);
+        if (it != addr_reg.end()) {
+          const std::uint8_t holder = it->second;
+          if (holder == s.dst) {
+            // Redundant load: destination already holds the value.
+            break;
+          }
+          // Store-to-load / load-to-load forwarding: copy register-register.
+          out.push_back(Step::alu(Op::kMov, s.dst, holder));
+          unbind_reg(s.dst);
+          reg_addr[s.dst] = s.addr;  // secondary holder; addr_reg keeps `holder`
+          break;
+        }
+        bind(s.dst, s.addr);
+        out.push_back(s);
+        break;
+      }
+      case StepKind::kStore: {
+        OBX_CHECK(s.src0 < register_count, "register out of range");
+        // The stored register now holds the address's current value; every
+        // other binding to this address is stale.
+        unbind_addr(s.addr);
+        bind(s.src0, s.addr);
+        out.push_back(s);
+        break;
+      }
+      case StepKind::kAlu:
+        OBX_CHECK(s.dst < register_count, "register out of range");
+        unbind_reg(s.dst);
+        out.push_back(s);
+        break;
+      case StepKind::kImm:
+        OBX_CHECK(s.dst < register_count, "register out of range");
+        unbind_reg(s.dst);
+        out.push_back(s);
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Step> eliminate_dead_stores(std::vector<Step> steps, Addr output_offset,
+                                        std::size_t output_words) {
+  // Backward liveness over memory addresses.  The declared output region is
+  // live at program end; a store to a dead address is unobservable.
+  std::unordered_set<Addr> live;
+  for (std::size_t i = 0; i < output_words; ++i) live.insert(output_offset + i);
+
+  std::vector<bool> keep(steps.size(), true);
+  for (std::size_t idx = steps.size(); idx-- > 0;) {
+    const Step& s = steps[idx];
+    if (s.kind == StepKind::kStore) {
+      if (live.erase(s.addr) == 0) keep[idx] = false;  // never read again
+    } else if (s.kind == StepKind::kLoad) {
+      live.insert(s.addr);
+    }
+  }
+  std::vector<Step> out;
+  out.reserve(steps.size());
+  for (std::size_t idx = 0; idx < steps.size(); ++idx) {
+    if (keep[idx]) out.push_back(steps[idx]);
+  }
+  return out;
+}
+
+std::vector<Step> dedup_immediates(std::vector<Step> steps, std::size_t register_count) {
+  OBX_CHECK(register_count >= 1 && register_count <= 256, "bad register count");
+  std::vector<std::optional<Word>> known(register_count);
+  std::vector<Step> out;
+  out.reserve(steps.size());
+  for (const Step& s : steps) {
+    switch (s.kind) {
+      case StepKind::kImm:
+        OBX_CHECK(s.dst < register_count, "register out of range");
+        if (known[s.dst] == s.imm) break;  // already holds this constant
+        known[s.dst] = s.imm;
+        out.push_back(s);
+        break;
+      case StepKind::kLoad:
+      case StepKind::kAlu:
+        OBX_CHECK(s.dst < register_count, "register out of range");
+        known[s.dst].reset();
+        out.push_back(s);
+        break;
+      case StepKind::kStore:
+        out.push_back(s);
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Step> remove_nops(std::vector<Step> steps) {
+  std::vector<Step> out;
+  out.reserve(steps.size());
+  for (const Step& s : steps) {
+    if (s.kind == StepKind::kAlu) {
+      if (s.op == Op::kNop) continue;
+      if (s.op == Op::kMov && s.dst == s.src0) continue;
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace obx::opt

@@ -1,0 +1,44 @@
+// Peephole optimisation passes over oblivious step streams.
+//
+// Every pass is a pure function vector<Step> → vector<Step> preserving the
+// program's observable semantics: the final contents of the declared output
+// region (and of every address that survives liveness) are bit-identical on
+// all inputs.  Because the transforms are themselves data-independent, an
+// oblivious input program yields an oblivious output program — typically
+// with *fewer memory steps*, i.e. a smaller t in Theorems 2/3 and a
+// proportionally faster bulk execution.
+//
+// Passes assume the single-basic-block, literal-address IR of trace::Step
+// (exactly what Recorder and the algorithm generators emit).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/step.hpp"
+
+namespace obx::opt {
+
+/// Forwards memory through registers: a load from an address whose current
+/// value is known to live in a register becomes a Mov (store-to-load
+/// forwarding), or disappears entirely when the destination already holds
+/// it (redundant-load elimination).
+std::vector<trace::Step> forward_loads(std::vector<trace::Step> steps,
+                                       std::size_t register_count);
+
+/// Removes stores whose value can never be observed: overwritten before any
+/// load, and outside the declared output region [output_offset,
+/// output_offset + output_words).
+std::vector<trace::Step> eliminate_dead_stores(std::vector<trace::Step> steps,
+                                               Addr output_offset,
+                                               std::size_t output_words);
+
+/// Drops immediates that re-load a constant the register already holds.
+std::vector<trace::Step> dedup_immediates(std::vector<trace::Step> steps,
+                                          std::size_t register_count);
+
+/// Drops no-ops: kNop ALU steps and self-moves (Mov r, r).
+std::vector<trace::Step> remove_nops(std::vector<trace::Step> steps);
+
+}  // namespace obx::opt

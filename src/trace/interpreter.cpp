@@ -1,0 +1,54 @@
+#include "trace/interpreter.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace obx::trace {
+
+InterpreterResult interpret(const Program& program, std::span<const Word> input) {
+  OBX_CHECK(program.stream != nullptr, "program has no stream factory");
+  OBX_CHECK(input.size() == program.input_words,
+            "input size must match the program's declared input_words");
+  OBX_CHECK(program.input_words <= program.memory_words, "input larger than memory");
+  OBX_CHECK(program.register_count <= 256, "register file limited to 256");
+
+  InterpreterResult r;
+  r.memory.assign(program.memory_words, Word{0});
+  std::copy(input.begin(), input.end(), r.memory.begin());
+
+  std::vector<Word> regs(std::max<std::size_t>(program.register_count, 1), Word{0});
+
+  auto gen = program.stream();
+  for (const Step& s : gen) {
+    switch (s.kind) {
+      case StepKind::kLoad:
+        OBX_CHECK(s.addr < r.memory.size(), "load beyond program memory");
+        OBX_CHECK(s.dst < regs.size(), "register index out of range");
+        regs[s.dst] = r.memory[s.addr];
+        ++r.counts.loads;
+        break;
+      case StepKind::kStore:
+        OBX_CHECK(s.addr < r.memory.size(), "store beyond program memory");
+        OBX_CHECK(s.src0 < regs.size(), "register index out of range");
+        r.memory[s.addr] = regs[s.src0];
+        ++r.counts.stores;
+        break;
+      case StepKind::kAlu:
+        OBX_CHECK(s.dst < regs.size() && s.src0 < regs.size() && s.src1 < regs.size() &&
+                      s.src2 < regs.size(),
+                  "register index out of range");
+        regs[s.dst] = apply_alu(s.op, regs[s.src0], regs[s.src1], regs[s.src2], regs[s.dst]);
+        ++r.counts.alu;
+        break;
+      case StepKind::kImm:
+        OBX_CHECK(s.dst < regs.size(), "register index out of range");
+        regs[s.dst] = s.imm;
+        ++r.counts.imm;
+        break;
+    }
+  }
+  return r;
+}
+
+}  // namespace obx::trace

@@ -1,0 +1,33 @@
+// Scalar reference interpreter: runs an oblivious program for ONE input on
+// the sequential RAM of the paper.  Used as the semantic ground truth that
+// every bulk executor must reproduce bit-for-bit, and as the unit-cost RAM
+// baseline (one time unit per memory step).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::trace {
+
+struct InterpreterResult {
+  std::vector<Word> memory;  ///< final canonical memory image
+  StepCounts counts;         ///< steps executed by kind
+
+  /// RAM time: one unit per memory step, matching the paper's convention of
+  /// charging local computation zero time.
+  std::uint64_t ram_time() const { return counts.memory(); }
+
+  /// The program's declared output region.
+  std::span<const Word> output(const Program& p) const {
+    return std::span<const Word>(memory).subspan(p.output_offset, p.output_words);
+  }
+};
+
+/// Executes `program` with the first input.size() memory words initialised
+/// from `input` (the rest zero).  input.size() must equal program.input_words.
+InterpreterResult interpret(const Program& program, std::span<const Word> input);
+
+}  // namespace obx::trace

@@ -1,0 +1,98 @@
+#include "trace/oblivious_checker.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace obx::trace {
+
+TraceMemory::TraceMemory(std::vector<Word> initial) : cells_(std::move(initial)) {}
+
+Word TraceMemory::load(Addr a) {
+  OBX_CHECK(a < cells_.size(), "TraceMemory load out of bounds");
+  trace_.push_back(a);
+  return cells_[a];
+}
+
+void TraceMemory::store(Addr a, Word v) {
+  OBX_CHECK(a < cells_.size(), "TraceMemory store out of bounds");
+  trace_.push_back(a);
+  cells_[a] = v;
+}
+
+double TraceMemory::load_f64(Addr a) { return std::bit_cast<double>(load(a)); }
+void TraceMemory::store_f64(Addr a, double v) { store(a, std::bit_cast<Word>(v)); }
+
+namespace {
+
+std::vector<Addr> program_address_trace(const Program& program) {
+  std::vector<Addr> trace;
+  auto gen = program.stream();
+  for (const Step& s : gen) {
+    if (s.is_memory()) trace.push_back(s.addr);
+  }
+  return trace;
+}
+
+std::optional<std::string> compare_traces(const std::vector<Addr>& a,
+                                          const std::vector<Addr>& b, int trial) {
+  if (a.size() != b.size()) {
+    std::ostringstream os;
+    os << "trace length differs on trial " << trial << ": " << a.size() << " vs "
+       << b.size();
+    return os.str();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      std::ostringstream os;
+      os << "address differs at step " << i << " on trial " << trial << ": " << a[i]
+         << " vs " << b[i];
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ObliviousnessReport check_program(const Program& program, int trials) {
+  OBX_CHECK(trials >= 1, "at least one trial");
+  ObliviousnessReport report;
+  report.access_function = program_address_trace(program);
+  for (int t = 1; t < trials; ++t) {
+    const std::vector<Addr> replay = program_address_trace(program);
+    if (auto mismatch = compare_traces(report.access_function, replay, t)) {
+      report.oblivious = false;
+      report.detail = "stream factory is not replay-deterministic: " + *mismatch;
+      report.access_function.clear();
+      return report;
+    }
+  }
+  return report;
+}
+
+ObliviousnessReport check_callback(
+    const std::function<void(TraceMemory&)>& algorithm, std::size_t input_words,
+    int trials, std::uint64_t seed) {
+  OBX_CHECK(trials >= 2, "need at least two trials to witness data independence");
+  ObliviousnessReport report;
+  Rng rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    TraceMemory mem(rng.words_f64(input_words, -1e6, 1e6));
+    algorithm(mem);
+    if (t == 0) {
+      report.access_function = mem.trace();
+      continue;
+    }
+    if (auto mismatch = compare_traces(report.access_function, mem.trace(), t)) {
+      report.oblivious = false;
+      report.detail = "access trace depends on input data: " + *mismatch;
+      report.access_function.clear();
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace obx::trace

@@ -1,0 +1,72 @@
+// Mechanical verification of the paper's obliviousness definition.
+//
+// A sequential algorithm is oblivious when there is a function a(i) such
+// that on *every* input the algorithm accesses address a(i) (or nothing) at
+// each time i.  Two checkers:
+//
+//  1. check_program — for Programs in the obx IR.  The IR makes addressing
+//     structurally data-independent, but a buggy stream factory could still
+//     yield different step sequences on different invocations (e.g. hidden
+//     state in the generator closure); this replays the stream several times
+//     and confirms the address trace is identical, and additionally runs the
+//     interpreter over random inputs to confirm execution doesn't depend on
+//     data in any way that changes the trace length.
+//
+//  2. check_callback — for arbitrary user code written against an
+//     instrumented memory (TraceMemory).  The callback runs on `trials`
+//     random inputs; the recorded address sequences must coincide.  This is
+//     the checker to run over hand-written algorithms before trusting their
+//     bulk execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::trace {
+
+/// Instrumented flat memory handed to check_callback user code.  Every load
+/// and store is appended to the access trace.
+class TraceMemory {
+ public:
+  explicit TraceMemory(std::vector<Word> initial);
+
+  Word load(Addr a);
+  void store(Addr a, Word v);
+
+  /// f64 conveniences so algorithms read naturally.
+  double load_f64(Addr a);
+  void store_f64(Addr a, double v);
+
+  std::size_t size() const { return cells_.size(); }
+  const std::vector<Addr>& trace() const { return trace_; }
+
+ private:
+  std::vector<Word> cells_;
+  std::vector<Addr> trace_;
+};
+
+struct ObliviousnessReport {
+  bool oblivious = true;
+  std::string detail;  ///< human-readable mismatch description when !oblivious
+
+  /// The common access function a(i) when oblivious (empty otherwise).
+  std::vector<Addr> access_function;
+};
+
+/// Replays `program`'s stream `trials` times (the address trace of an IR
+/// program is input-independent by construction, so replays suffice).
+ObliviousnessReport check_program(const Program& program, int trials = 3);
+
+/// Runs `algorithm` on `trials` random word inputs of size `input_words`
+/// (values drawn from the given seed sequence) and compares access traces.
+ObliviousnessReport check_callback(
+    const std::function<void(TraceMemory&)>& algorithm, std::size_t input_words,
+    int trials = 5, std::uint64_t seed = 42);
+
+}  // namespace obx::trace

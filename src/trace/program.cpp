@@ -1,0 +1,90 @@
+#include "trace/program.hpp"
+
+#include "common/check.hpp"
+
+namespace obx::trace {
+
+StepCounts Program::profile() const {
+  OBX_CHECK(stream != nullptr, "program has no stream factory");
+  StepCounts counts;
+  auto gen = stream();
+  for (const Step& s : gen) {
+    switch (s.kind) {
+      case StepKind::kLoad:
+        ++counts.loads;
+        break;
+      case StepKind::kStore:
+        ++counts.stores;
+        break;
+      case StepKind::kAlu:
+        ++counts.alu;
+        break;
+      case StepKind::kImm:
+        ++counts.imm;
+        break;
+    }
+  }
+  return counts;
+}
+
+TracedProgram TracedProgram::capture(const Program& source, std::size_t max_steps) {
+  OBX_CHECK(source.stream != nullptr, "program has no stream factory");
+  auto steps = std::make_shared<std::vector<Step>>();
+  auto gen = source.stream();
+  for (const Step& s : gen) {
+    OBX_CHECK(steps->size() < max_steps, "program too long to capture");
+    steps->push_back(s);
+  }
+  TracedProgram out;
+  out.program_ = source;
+  out.steps_ = steps;
+  out.program_.stream = [steps]() -> Generator<Step> {
+    for (const Step& s : *steps) co_yield s;
+  };
+  return out;
+}
+
+Program concat_programs(const Program& first, const Program& second, std::string name) {
+  OBX_CHECK(first.stream != nullptr && second.stream != nullptr,
+            "both programs need stream factories");
+  OBX_CHECK(first.memory_words == second.memory_words,
+            "composed programs must share one canonical memory layout");
+  Program p;
+  p.name = name.empty() ? first.name + " ; " + second.name : std::move(name);
+  p.memory_words = first.memory_words;
+  p.input_words = first.input_words;
+  p.output_offset = second.output_offset;
+  p.output_words = second.output_words;
+  p.register_count = std::max(first.register_count, second.register_count);
+  auto f1 = first.stream;
+  auto f2 = second.stream;
+  p.stream = [f1, f2]() -> Generator<Step> {
+    {
+      auto g1 = f1();
+      for (const Step& s : g1) co_yield s;
+    }
+    auto g2 = f2();
+    for (const Step& s : g2) co_yield s;
+  };
+  return p;
+}
+
+Program make_replay_program(std::string name, std::size_t memory_words,
+                            std::size_t input_words, std::size_t output_offset,
+                            std::size_t output_words, std::size_t register_count,
+                            std::vector<Step> steps) {
+  auto shared = std::make_shared<std::vector<Step>>(std::move(steps));
+  Program p;
+  p.name = std::move(name);
+  p.memory_words = memory_words;
+  p.input_words = input_words;
+  p.output_offset = output_offset;
+  p.output_words = output_words;
+  p.register_count = register_count;
+  p.stream = [shared]() -> Generator<Step> {
+    for (const Step& s : *shared) co_yield s;
+  };
+  return p;
+}
+
+}  // namespace obx::trace

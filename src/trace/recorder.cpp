@@ -1,0 +1,218 @@
+#include "trace/recorder.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "trace/value.hpp"
+
+namespace obx::trace {
+
+// ---------------------------------------------------------------------------
+// RegHandle
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+RegHandle::RegHandle(Recorder* rec, std::uint8_t idx) : rec_(rec), idx_(idx) {}
+
+RegHandle::RegHandle(const RegHandle& other) : rec_(other.rec_), idx_(other.idx_) {
+  retain();
+}
+
+RegHandle::RegHandle(RegHandle&& other) noexcept : rec_(other.rec_), idx_(other.idx_) {
+  other.rec_ = nullptr;
+}
+
+RegHandle& RegHandle::operator=(const RegHandle& other) {
+  if (this == &other) return *this;
+  release();
+  rec_ = other.rec_;
+  idx_ = other.idx_;
+  retain();
+  return *this;
+}
+
+RegHandle& RegHandle::operator=(RegHandle&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  rec_ = other.rec_;
+  idx_ = other.idx_;
+  other.rec_ = nullptr;
+  return *this;
+}
+
+RegHandle::~RegHandle() { release(); }
+
+std::uint8_t RegHandle::index() const {
+  OBX_CHECK(rec_ != nullptr, "use of an unbound value handle");
+  return idx_;
+}
+
+void RegHandle::retain() {
+  if (rec_ != nullptr) rec_->retain_reg(idx_);
+}
+
+void RegHandle::release() {
+  if (rec_ != nullptr) {
+    rec_->release_reg(idx_);
+    rec_ = nullptr;
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Recorder core
+// ---------------------------------------------------------------------------
+
+Recorder::Recorder(std::size_t memory_words) : memory_words_(memory_words) {
+  OBX_CHECK(memory_words > 0, "recorded program needs at least one memory word");
+}
+
+std::uint8_t Recorder::alloc_reg() {
+  if (!free_list_.empty()) {
+    const std::uint8_t idx = free_list_.back();
+    free_list_.pop_back();
+    refcounts_[idx] = 1;
+    return idx;
+  }
+  OBX_CHECK(refcounts_.size() < 256, "recorder ran out of registers (max 256 live values)");
+  refcounts_.push_back(1);
+  high_water_ = refcounts_.size();
+  return static_cast<std::uint8_t>(refcounts_.size() - 1);
+}
+
+void Recorder::retain_reg(std::uint8_t idx) { ++refcounts_[idx]; }
+
+void Recorder::release_reg(std::uint8_t idx) {
+  OBX_DCHECK(refcounts_[idx] > 0, "register over-released");
+  if (--refcounts_[idx] == 0) free_list_.push_back(idx);
+}
+
+std::uint8_t Recorder::emit_binary(Op op, std::uint8_t a, std::uint8_t b) {
+  OBX_CHECK(!finished_, "recorder already finished");
+  const std::uint8_t dst = alloc_reg();
+  steps_.push_back(Step::alu(op, dst, a, b));
+  return dst;
+}
+
+std::uint8_t Recorder::emit_imm(Word v) {
+  OBX_CHECK(!finished_, "recorder already finished");
+  const std::uint8_t dst = alloc_reg();
+  steps_.push_back(Step::immediate(dst, v));
+  return dst;
+}
+
+std::uint8_t Recorder::emit_load(Addr a) {
+  OBX_CHECK(!finished_, "recorder already finished");
+  OBX_CHECK(a < memory_words_, "recorded load out of bounds");
+  const std::uint8_t dst = alloc_reg();
+  steps_.push_back(Step::load(dst, a));
+  return dst;
+}
+
+void Recorder::emit_store(Addr a, std::uint8_t src) {
+  OBX_CHECK(!finished_, "recorder already finished");
+  OBX_CHECK(a < memory_words_, "recorded store out of bounds");
+  steps_.push_back(Step::store(a, src));
+}
+
+void Recorder::make_unique(detail::RegHandle& h) {
+  OBX_CHECK(h.recorder() == this, "value handle belongs to another recorder");
+  const std::uint8_t idx = h.index();
+  if (refcounts_[idx] == 1) return;
+  // Shared: move the value into a private register first.
+  const std::uint8_t fresh = emit_binary(Op::kMov, idx, 0);
+  h = detail::RegHandle(this, fresh);  // releases old share, adopts fresh (refcount 1)
+}
+
+// ---------------------------------------------------------------------------
+// Typed API
+// ---------------------------------------------------------------------------
+
+Recorder::FVal Recorder::fimm(double v) { return FVal(this, emit_imm(from_f64(v))); }
+Recorder::IVal Recorder::iimm(std::int64_t v) { return IVal(this, emit_imm(from_i64(v))); }
+Recorder::UVal Recorder::uimm(Word v) { return UVal(this, emit_imm(v)); }
+
+Recorder::FVal Recorder::fload(Addr a) { return FVal(this, emit_load(a)); }
+Recorder::IVal Recorder::iload(Addr a) { return IVal(this, emit_load(a)); }
+Recorder::UVal Recorder::uload(Addr a) { return UVal(this, emit_load(a)); }
+
+void Recorder::fstore(Addr a, const FVal& v) { emit_store(a, v.index()); }
+void Recorder::istore(Addr a, const IVal& v) { emit_store(a, v.index()); }
+void Recorder::ustore(Addr a, const UVal& v) { emit_store(a, v.index()); }
+
+void Recorder::cmov_lt(FVal& dst, const FVal& a, const FVal& b, const FVal& src) {
+  make_unique(dst);
+  steps_.push_back(Step::alu(Op::kCmovLtF, dst.index(), a.index(), b.index(), src.index()));
+}
+
+void Recorder::cmov_lt(IVal& dst, const IVal& a, const IVal& b, const IVal& src) {
+  make_unique(dst);
+  steps_.push_back(Step::alu(Op::kCmovLtI, dst.index(), a.index(), b.index(), src.index()));
+}
+
+Recorder::FVal Recorder::fmin(const FVal& a, const FVal& b) {
+  return FVal(this, emit_binary(Op::kMinF, a.index(), b.index()));
+}
+Recorder::FVal Recorder::fmax(const FVal& a, const FVal& b) {
+  return FVal(this, emit_binary(Op::kMaxF, a.index(), b.index()));
+}
+Recorder::IVal Recorder::imin(const IVal& a, const IVal& b) {
+  return IVal(this, emit_binary(Op::kMinI, a.index(), b.index()));
+}
+Recorder::IVal Recorder::imax(const IVal& a, const IVal& b) {
+  return IVal(this, emit_binary(Op::kMaxI, a.index(), b.index()));
+}
+
+Program Recorder::finish(std::string name, std::size_t input_words,
+                         std::size_t output_offset, std::size_t output_words) && {
+  OBX_CHECK(!finished_, "recorder already finished");
+  OBX_CHECK(input_words <= memory_words_, "input larger than memory");
+  OBX_CHECK(output_offset + output_words <= memory_words_, "output region out of bounds");
+  finished_ = true;
+  return make_replay_program(std::move(name), memory_words_, input_words, output_offset,
+                             output_words, std::max<std::size_t>(high_water_, 1),
+                             std::move(steps_));
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+struct RecorderAccess {
+  template <typename V>
+  static V binary(const V& a, const V& b, Op op) {
+    Recorder* rec = a.recorder();
+    OBX_CHECK(rec != nullptr && rec == b.recorder(),
+              "operands must come from the same recorder");
+    return V(rec, rec->emit_binary(op, a.index(), b.index()));
+  }
+};
+
+}  // namespace detail
+
+#define OBX_DEFINE_BINOP(TYPE, OPSYM, OPCODE)                                       \
+  Recorder::TYPE operator OPSYM(const Recorder::TYPE& a, const Recorder::TYPE& b) { \
+    return detail::RecorderAccess::binary(a, b, OPCODE);                            \
+  }
+
+OBX_DEFINE_BINOP(FVal, +, Op::kAddF)
+OBX_DEFINE_BINOP(FVal, -, Op::kSubF)
+OBX_DEFINE_BINOP(FVal, *, Op::kMulF)
+OBX_DEFINE_BINOP(FVal, /, Op::kDivF)
+OBX_DEFINE_BINOP(IVal, +, Op::kAddI)
+OBX_DEFINE_BINOP(IVal, -, Op::kSubI)
+OBX_DEFINE_BINOP(IVal, *, Op::kMulI)
+OBX_DEFINE_BINOP(UVal, &, Op::kAnd)
+OBX_DEFINE_BINOP(UVal, |, Op::kOr)
+OBX_DEFINE_BINOP(UVal, ^, Op::kXor)
+OBX_DEFINE_BINOP(UVal, <<, Op::kShl)
+OBX_DEFINE_BINOP(UVal, >>, Op::kShr)
+OBX_DEFINE_BINOP(UVal, +, Op::kAddI)
+
+#undef OBX_DEFINE_BINOP
+
+}  // namespace obx::trace

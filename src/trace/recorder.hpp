@@ -1,0 +1,185 @@
+// Recorder: the sequential-to-bulk conversion front end.
+//
+// The paper's conclusion sketches, as future work, "a conversion system that
+// automatically converts a sequential program written in C language into a
+// CUDA C program for the bulk execution".  This is that system for C++: the
+// user writes the plain sequential algorithm against typed value handles
+// (FVal/IVal/UVal) and memory accessors; every arithmetic operator emits an
+// ALU step and every accessor emits a load/store step with a *literal*
+// address.  The recorded Program is oblivious by construction — a value
+// handle cannot be converted to bool or used as an index, so data-dependent
+// control flow and data-dependent addressing are compile errors, and the
+// oblivious `if r < s then s←r else s←s` idiom is expressed with cmov_lt.
+//
+//   Recorder rec(n);
+//   auto r = rec.fimm(0.0);
+//   for (Addr i = 0; i < n; ++i) {
+//     r = r + rec.fload(i);     // read b[i]
+//     rec.fstore(i, r);         // write prefix sum
+//   }
+//   Program prefix = std::move(rec).finish("prefix-sums", n, 0, n);
+//
+// Handles are value types: operations produce fresh registers, copies share a
+// register, and the recorder recycles registers whose handles have died, so
+// recorded loops use a bounded register file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/program.hpp"
+#include "trace/step.hpp"
+
+namespace obx::trace {
+
+class Recorder;
+
+namespace detail {
+
+/// Internal gateway used by the free operator functions (keeps Recorder's
+/// emission machinery out of the public API).
+struct RecorderAccess;
+
+/// Shared refcounted register handle; base of the typed value wrappers.
+class RegHandle {
+ public:
+  RegHandle() = default;
+  RegHandle(Recorder* rec, std::uint8_t idx);
+  RegHandle(const RegHandle& other);
+  RegHandle(RegHandle&& other) noexcept;
+  RegHandle& operator=(const RegHandle& other);
+  RegHandle& operator=(RegHandle&& other) noexcept;
+  ~RegHandle();
+
+  bool bound() const { return rec_ != nullptr; }
+  std::uint8_t index() const;
+  Recorder* recorder() const { return rec_; }
+
+ private:
+  void retain();
+  void release();
+  Recorder* rec_ = nullptr;
+  std::uint8_t idx_ = 0;
+};
+
+}  // namespace detail
+
+class Recorder {
+ public:
+  /// memory_words: size of the canonical per-input array the recorded
+  /// program addresses.
+  explicit Recorder(std::size_t memory_words);
+
+  class FVal;  // IEEE double
+  class IVal;  // signed 64-bit
+  class UVal;  // raw 64-bit / bitwise
+
+  // --- constants -----------------------------------------------------------
+  FVal fimm(double v);
+  IVal iimm(std::int64_t v);
+  UVal uimm(Word v);
+
+  // --- memory --------------------------------------------------------------
+  FVal fload(Addr a);
+  IVal iload(Addr a);
+  UVal uload(Addr a);
+  void fstore(Addr a, const FVal& v);
+  void istore(Addr a, const IVal& v);
+  void ustore(Addr a, const UVal& v);
+
+  // --- oblivious conditionals ----------------------------------------------
+  /// dst = (a < b) ? src : dst, in constant time (paper's dummy-else trick).
+  void cmov_lt(FVal& dst, const FVal& a, const FVal& b, const FVal& src);
+  void cmov_lt(IVal& dst, const IVal& a, const IVal& b, const IVal& src);
+
+  // --- named ops not covered by operators -----------------------------------
+  FVal fmin(const FVal& a, const FVal& b);
+  FVal fmax(const FVal& a, const FVal& b);
+  IVal imin(const IVal& a, const IVal& b);
+  IVal imax(const IVal& a, const IVal& b);
+
+  /// Seals the recording.  The recorder is consumed (rvalue-qualified); all
+  /// value handles must have been destroyed or be destroyed before the
+  /// Recorder itself goes out of scope.
+  Program finish(std::string name, std::size_t input_words, std::size_t output_offset,
+                 std::size_t output_words) &&;
+
+  std::size_t steps_recorded() const { return steps_.size(); }
+  std::size_t registers_used() const { return high_water_; }
+
+ private:
+  friend class detail::RegHandle;
+  friend struct detail::RecorderAccess;
+  friend class FVal;
+  friend class IVal;
+  friend class UVal;
+
+  std::uint8_t alloc_reg();
+  void retain_reg(std::uint8_t idx);
+  void release_reg(std::uint8_t idx);
+  std::uint8_t emit_binary(Op op, std::uint8_t a, std::uint8_t b);
+  std::uint8_t emit_imm(Word v);
+  std::uint8_t emit_load(Addr a);
+  void emit_store(Addr a, std::uint8_t src);
+  /// Gives `h` sole ownership of its register, copying it first if shared.
+  void make_unique(detail::RegHandle& h);
+
+  std::size_t memory_words_;
+  std::vector<Step> steps_;
+  std::vector<std::uint16_t> refcounts_;
+  std::vector<std::uint8_t> free_list_;
+  std::size_t high_water_ = 0;
+  bool finished_ = false;
+};
+
+// Typed wrappers.  Construction is private to the Recorder; arithmetic is via
+// free operators declared below.
+class Recorder::FVal : public detail::RegHandle {
+ public:
+  FVal() = default;
+
+ private:
+  friend class Recorder;
+  friend struct detail::RecorderAccess;
+  using detail::RegHandle::RegHandle;
+};
+
+class Recorder::IVal : public detail::RegHandle {
+ public:
+  IVal() = default;
+
+ private:
+  friend class Recorder;
+  friend struct detail::RecorderAccess;
+  using detail::RegHandle::RegHandle;
+};
+
+class Recorder::UVal : public detail::RegHandle {
+ public:
+  UVal() = default;
+
+ private:
+  friend class Recorder;
+  friend struct detail::RecorderAccess;
+  using detail::RegHandle::RegHandle;
+};
+
+Recorder::FVal operator+(const Recorder::FVal& a, const Recorder::FVal& b);
+Recorder::FVal operator-(const Recorder::FVal& a, const Recorder::FVal& b);
+Recorder::FVal operator*(const Recorder::FVal& a, const Recorder::FVal& b);
+Recorder::FVal operator/(const Recorder::FVal& a, const Recorder::FVal& b);
+
+Recorder::IVal operator+(const Recorder::IVal& a, const Recorder::IVal& b);
+Recorder::IVal operator-(const Recorder::IVal& a, const Recorder::IVal& b);
+Recorder::IVal operator*(const Recorder::IVal& a, const Recorder::IVal& b);
+
+Recorder::UVal operator&(const Recorder::UVal& a, const Recorder::UVal& b);
+Recorder::UVal operator|(const Recorder::UVal& a, const Recorder::UVal& b);
+Recorder::UVal operator^(const Recorder::UVal& a, const Recorder::UVal& b);
+Recorder::UVal operator<<(const Recorder::UVal& a, const Recorder::UVal& b);
+Recorder::UVal operator>>(const Recorder::UVal& a, const Recorder::UVal& b);
+Recorder::UVal operator+(const Recorder::UVal& a, const Recorder::UVal& b);
+
+}  // namespace obx::trace

@@ -1,0 +1,188 @@
+#include "trace/serialize.hpp"
+
+#include <charconv>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+
+namespace obx::trace {
+namespace {
+
+constexpr Op kAllOps[] = {
+    Op::kNop,  Op::kAddF, Op::kSubF, Op::kMulF, Op::kDivF,    Op::kMinF,
+    Op::kMaxF, Op::kNegF, Op::kAddI, Op::kSubI, Op::kMulI,    Op::kMinI,
+    Op::kMaxI, Op::kAnd,  Op::kOr,   Op::kXor,  Op::kShl,     Op::kShr,
+    Op::kNotU, Op::kLtF,  Op::kLeF,  Op::kEqF,  Op::kLtI,     Op::kLeI,
+    Op::kEqI,  Op::kNeI,  Op::kLtU,  Op::kSelect, Op::kCmovLtF, Op::kCmovLtI,
+    Op::kMov};
+
+const std::map<std::string, Op>& op_table() {
+  static const std::map<std::string, Op> table = [] {
+    std::map<std::string, Op> t;
+    for (Op op : kAllOps) t[to_string(op)] = op;
+    return t;
+  }();
+  return table;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  OBX_CHECK(false, ".obx parse error at line " + std::to_string(line) + ": " + what);
+  std::abort();  // unreachable
+}
+
+/// Splits on spaces and commas, drops brackets.
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ' ' || c == ',' || c == '[' || c == ']' || c == '\t') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& s, std::size_t line, int base = 10) {
+  std::uint64_t v = 0;
+  std::string_view body = s;
+  if (base == 16 && body.rfind("0x", 0) == 0) body.remove_prefix(2);
+  const auto [ptr, ec] = std::from_chars(body.data(), body.data() + body.size(), v, base);
+  if (ec != std::errc() || ptr != body.data() + body.size()) {
+    fail(line, "bad number: " + s);
+  }
+  return v;
+}
+
+std::uint8_t parse_reg(const std::string& s, std::size_t line) {
+  if (s.size() < 2 || s[0] != 'r') fail(line, "bad register: " + s);
+  const std::uint64_t idx = parse_u64(s.substr(1), line);
+  if (idx > 255) fail(line, "register out of range: " + s);
+  return static_cast<std::uint8_t>(idx);
+}
+
+}  // namespace
+
+void serialize_program(const Program& program, std::ostream& os) {
+  OBX_CHECK(program.stream != nullptr, "program has no stream factory");
+  os << "obx 1 memory=" << program.memory_words << " input=" << program.input_words
+     << " output=" << program.output_offset << '+' << program.output_words
+     << " regs=" << program.register_count << " name=\"" << program.name << "\"\n";
+  auto gen = program.stream();
+  for (const Step& s : gen) {
+    switch (s.kind) {
+      case StepKind::kLoad:
+        os << "load r" << int{s.dst} << ", [" << s.addr << "]\n";
+        break;
+      case StepKind::kStore:
+        os << "store [" << s.addr << "], r" << int{s.src0} << '\n';
+        break;
+      case StepKind::kAlu:
+        os << to_string(s.op) << " r" << int{s.dst} << ", r" << int{s.src0} << ", r"
+           << int{s.src1} << ", r" << int{s.src2} << '\n';
+        break;
+      case StepKind::kImm:
+        os << "imm r" << int{s.dst} << ", 0x" << std::hex << s.imm << std::dec << '\n';
+        break;
+    }
+  }
+}
+
+std::string serialize_program(const Program& program) {
+  std::ostringstream os;
+  serialize_program(program, os);
+  return os.str();
+}
+
+Program parse_program(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  // Header.
+  OBX_CHECK(static_cast<bool>(std::getline(is, line)), "empty .obx input");
+  ++line_no;
+  std::size_t memory = 0, input = 0, out_off = 0, out_words = 0, regs = 0;
+  std::string name;
+  {
+    std::istringstream hs(line);
+    std::string magic;
+    int version = 0;
+    hs >> magic >> version;
+    if (magic != "obx" || version != 1) fail(line_no, "bad header: " + line);
+    std::string field;
+    while (hs >> field) {
+      const auto eq = field.find('=');
+      if (eq == std::string::npos) fail(line_no, "bad header field: " + field);
+      const std::string key = field.substr(0, eq);
+      std::string value = field.substr(eq + 1);
+      if (key == "memory") {
+        memory = parse_u64(value, line_no);
+      } else if (key == "input") {
+        input = parse_u64(value, line_no);
+      } else if (key == "output") {
+        const auto plus = value.find('+');
+        if (plus == std::string::npos) fail(line_no, "bad output field: " + value);
+        out_off = parse_u64(value.substr(0, plus), line_no);
+        out_words = parse_u64(value.substr(plus + 1), line_no);
+      } else if (key == "regs") {
+        regs = parse_u64(value, line_no);
+      } else if (key == "name") {
+        // name="..." may contain spaces: consume to the closing quote.
+        if (value.size() < 1 || value.front() != '"') fail(line_no, "bad name field");
+        value.erase(0, 1);
+        while (value.empty() || value.back() != '"') {
+          std::string more;
+          if (!(hs >> more)) fail(line_no, "unterminated name");
+          value += ' ';
+          value += more;
+        }
+        value.pop_back();
+        name = value;
+      } else {
+        fail(line_no, "unknown header field: " + key);
+      }
+    }
+  }
+  if (memory == 0) fail(line_no, "header missing memory=");
+
+  std::vector<Step> steps;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto toks = tokens_of(line);
+    if (toks.empty() || toks[0].rfind("#", 0) == 0) continue;  // blank / comment
+    const std::string& mnemonic = toks[0];
+    if (mnemonic == "load") {
+      if (toks.size() != 3) fail(line_no, "load needs reg, addr");
+      steps.push_back(Step::load(parse_reg(toks[1], line_no), parse_u64(toks[2], line_no)));
+    } else if (mnemonic == "store") {
+      if (toks.size() != 3) fail(line_no, "store needs addr, reg");
+      steps.push_back(Step::store(parse_u64(toks[1], line_no), parse_reg(toks[2], line_no)));
+    } else if (mnemonic == "imm") {
+      if (toks.size() != 3) fail(line_no, "imm needs reg, value");
+      steps.push_back(
+          Step::immediate(parse_reg(toks[1], line_no), parse_u64(toks[2], line_no, 16)));
+    } else {
+      const auto it = op_table().find(mnemonic);
+      if (it == op_table().end()) fail(line_no, "unknown mnemonic: " + mnemonic);
+      if (toks.size() != 5) fail(line_no, "alu needs 4 registers");
+      steps.push_back(Step::alu(it->second, parse_reg(toks[1], line_no),
+                                parse_reg(toks[2], line_no), parse_reg(toks[3], line_no),
+                                parse_reg(toks[4], line_no)));
+    }
+  }
+  return make_replay_program(std::move(name), memory, input, out_off, out_words,
+                             std::max<std::size_t>(regs, 1), std::move(steps));
+}
+
+Program parse_program(const std::string& text) {
+  std::istringstream is(text);
+  return parse_program(is);
+}
+
+}  // namespace obx::trace

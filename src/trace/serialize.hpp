@@ -1,0 +1,34 @@
+// Text serialisation of oblivious programs (.obx format).
+//
+// A readable, diff-able, machine-parsable dump: one header line with the
+// declared regions, then one instruction per line in the assembly syntax of
+// trace::to_string.  Round-trips exactly (including immediate bit patterns,
+// which are hex).  Used by `obx_cli dump` and by golden tests.
+//
+//   obx 1 memory=8 input=8 output=0+8 regs=2 name="prefix-sums(n=8)"
+//   imm r0, 0x0
+//   load r1, [0]
+//   addf r0, r0, r1, r0
+//   store [0], r0
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/program.hpp"
+
+namespace obx::trace {
+
+/// Writes `program` (streamed once) to `os`.
+void serialize_program(const Program& program, std::ostream& os);
+
+/// Convenience: serialise to a string.
+std::string serialize_program(const Program& program);
+
+/// Parses a .obx stream back into a replayable Program.  Throws
+/// std::logic_error with a line number on malformed input.
+Program parse_program(std::istream& is);
+Program parse_program(const std::string& text);
+
+}  // namespace obx::trace

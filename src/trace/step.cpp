@@ -1,0 +1,198 @@
+#include "trace/step.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "trace/value.hpp"
+
+namespace obx::trace {
+
+Step Step::imm_f64(std::uint8_t dst, double value) {
+  return immediate(dst, from_f64(value));
+}
+
+Word apply_alu(Op op, Word a, Word b, Word c, Word old_dst) {
+  switch (op) {
+    case Op::kNop:
+      return old_dst;
+    case Op::kAddF:
+      return from_f64(as_f64(a) + as_f64(b));
+    case Op::kSubF:
+      return from_f64(as_f64(a) - as_f64(b));
+    case Op::kMulF:
+      return from_f64(as_f64(a) * as_f64(b));
+    case Op::kDivF:
+      return from_f64(as_f64(a) / as_f64(b));
+    case Op::kMinF:
+      return from_f64(as_f64(a) < as_f64(b) ? as_f64(a) : as_f64(b));
+    case Op::kMaxF:
+      return from_f64(as_f64(a) > as_f64(b) ? as_f64(a) : as_f64(b));
+    case Op::kNegF:
+      return from_f64(-as_f64(a));
+    case Op::kAddI:
+      return from_i64(as_i64(a) + as_i64(b));
+    case Op::kSubI:
+      return from_i64(as_i64(a) - as_i64(b));
+    case Op::kMulI:
+      return from_i64(as_i64(a) * as_i64(b));
+    case Op::kMinI:
+      return from_i64(as_i64(a) < as_i64(b) ? as_i64(a) : as_i64(b));
+    case Op::kMaxI:
+      return from_i64(as_i64(a) > as_i64(b) ? as_i64(a) : as_i64(b));
+    case Op::kAnd:
+      return a & b;
+    case Op::kOr:
+      return a | b;
+    case Op::kXor:
+      return a ^ b;
+    case Op::kShl:
+      return a << (b & 63);
+    case Op::kShr:
+      return a >> (b & 63);
+    case Op::kNotU:
+      return ~a;
+    case Op::kLtF:
+      return from_bool(as_f64(a) < as_f64(b));
+    case Op::kLeF:
+      return from_bool(as_f64(a) <= as_f64(b));
+    case Op::kEqF:
+      return from_bool(as_f64(a) == as_f64(b));
+    case Op::kLtI:
+      return from_bool(as_i64(a) < as_i64(b));
+    case Op::kLeI:
+      return from_bool(as_i64(a) <= as_i64(b));
+    case Op::kEqI:
+      return from_bool(a == b);
+    case Op::kNeI:
+      return from_bool(a != b);
+    case Op::kLtU:
+      return from_bool(a < b);
+    case Op::kSelect:
+      return a != 0 ? b : c;
+    case Op::kCmovLtF:
+      return as_f64(a) < as_f64(b) ? c : old_dst;
+    case Op::kCmovLtI:
+      return as_i64(a) < as_i64(b) ? c : old_dst;
+    case Op::kMov:
+      return a;
+  }
+  OBX_CHECK(false, "unknown ALU op");
+  return old_dst;
+}
+
+namespace {
+
+template <typename F>
+void alu_loop(Word* dst, const Word* a, const Word* b, const Word* c, std::size_t count,
+              F&& f) {
+  for (std::size_t i = 0; i < count; ++i) dst[i] = f(a[i], b[i], c[i], dst[i]);
+}
+
+}  // namespace
+
+void bulk_alu(Op op, Word* dst, const Word* a, const Word* b, const Word* c,
+              std::size_t count) {
+#define OBX_ALU_CASE(OPCODE, EXPR)                                            \
+  case OPCODE:                                                                \
+    alu_loop(dst, a, b, c, count,                                             \
+             [](Word x, Word y, Word z, Word d) -> Word {                     \
+               (void)x; (void)y; (void)z; (void)d;                            \
+               return (EXPR);                                                 \
+             });                                                              \
+    return;
+
+  switch (op) {
+    OBX_ALU_CASE(Op::kNop, d)
+    OBX_ALU_CASE(Op::kAddF, from_f64(as_f64(x) + as_f64(y)))
+    OBX_ALU_CASE(Op::kSubF, from_f64(as_f64(x) - as_f64(y)))
+    OBX_ALU_CASE(Op::kMulF, from_f64(as_f64(x) * as_f64(y)))
+    OBX_ALU_CASE(Op::kDivF, from_f64(as_f64(x) / as_f64(y)))
+    OBX_ALU_CASE(Op::kMinF, from_f64(as_f64(x) < as_f64(y) ? as_f64(x) : as_f64(y)))
+    OBX_ALU_CASE(Op::kMaxF, from_f64(as_f64(x) > as_f64(y) ? as_f64(x) : as_f64(y)))
+    OBX_ALU_CASE(Op::kNegF, from_f64(-as_f64(x)))
+    OBX_ALU_CASE(Op::kAddI, from_i64(as_i64(x) + as_i64(y)))
+    OBX_ALU_CASE(Op::kSubI, from_i64(as_i64(x) - as_i64(y)))
+    OBX_ALU_CASE(Op::kMulI, from_i64(as_i64(x) * as_i64(y)))
+    OBX_ALU_CASE(Op::kMinI, from_i64(as_i64(x) < as_i64(y) ? as_i64(x) : as_i64(y)))
+    OBX_ALU_CASE(Op::kMaxI, from_i64(as_i64(x) > as_i64(y) ? as_i64(x) : as_i64(y)))
+    OBX_ALU_CASE(Op::kAnd, x & y)
+    OBX_ALU_CASE(Op::kOr, x | y)
+    OBX_ALU_CASE(Op::kXor, x ^ y)
+    OBX_ALU_CASE(Op::kShl, x << (y & 63))
+    OBX_ALU_CASE(Op::kShr, x >> (y & 63))
+    OBX_ALU_CASE(Op::kNotU, ~x)
+    OBX_ALU_CASE(Op::kLtF, from_bool(as_f64(x) < as_f64(y)))
+    OBX_ALU_CASE(Op::kLeF, from_bool(as_f64(x) <= as_f64(y)))
+    OBX_ALU_CASE(Op::kEqF, from_bool(as_f64(x) == as_f64(y)))
+    OBX_ALU_CASE(Op::kLtI, from_bool(as_i64(x) < as_i64(y)))
+    OBX_ALU_CASE(Op::kLeI, from_bool(as_i64(x) <= as_i64(y)))
+    OBX_ALU_CASE(Op::kEqI, from_bool(x == y))
+    OBX_ALU_CASE(Op::kNeI, from_bool(x != y))
+    OBX_ALU_CASE(Op::kLtU, from_bool(x < y))
+    OBX_ALU_CASE(Op::kSelect, x != 0 ? y : z)
+    OBX_ALU_CASE(Op::kCmovLtF, as_f64(x) < as_f64(y) ? z : d)
+    OBX_ALU_CASE(Op::kCmovLtI, as_i64(x) < as_i64(y) ? z : d)
+    OBX_ALU_CASE(Op::kMov, x)
+  }
+#undef OBX_ALU_CASE
+  OBX_CHECK(false, "unknown ALU op");
+}
+
+std::string to_string(Op op) {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kAddF: return "addf";
+    case Op::kSubF: return "subf";
+    case Op::kMulF: return "mulf";
+    case Op::kDivF: return "divf";
+    case Op::kMinF: return "minf";
+    case Op::kMaxF: return "maxf";
+    case Op::kNegF: return "negf";
+    case Op::kAddI: return "addi";
+    case Op::kSubI: return "subi";
+    case Op::kMulI: return "muli";
+    case Op::kMinI: return "mini";
+    case Op::kMaxI: return "maxi";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kNotU: return "not";
+    case Op::kLtF: return "ltf";
+    case Op::kLeF: return "lef";
+    case Op::kEqF: return "eqf";
+    case Op::kLtI: return "lti";
+    case Op::kLeI: return "lei";
+    case Op::kEqI: return "eqi";
+    case Op::kNeI: return "nei";
+    case Op::kLtU: return "ltu";
+    case Op::kSelect: return "select";
+    case Op::kCmovLtF: return "cmovltf";
+    case Op::kCmovLtI: return "cmovlti";
+    case Op::kMov: return "mov";
+  }
+  return "?";
+}
+
+std::string to_string(const Step& step) {
+  std::ostringstream os;
+  switch (step.kind) {
+    case StepKind::kLoad:
+      os << "load r" << int{step.dst} << ", [" << step.addr << ']';
+      break;
+    case StepKind::kStore:
+      os << "store [" << step.addr << "], r" << int{step.src0};
+      break;
+    case StepKind::kAlu:
+      os << to_string(step.op) << " r" << int{step.dst} << ", r" << int{step.src0} << ", r"
+         << int{step.src1} << ", r" << int{step.src2};
+      break;
+    case StepKind::kImm:
+      os << "imm r" << int{step.dst} << ", 0x" << std::hex << step.imm;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace obx::trace

@@ -1,0 +1,23 @@
+// Typed views of the 64-bit machine word.
+//
+// Memory and registers hold raw Words; the instruction decides the type.  An
+// IEEE double is stored bit-for-bit (so float algorithms are exact w.r.t. a
+// native implementation), integers are stored two's-complement.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace obx::trace {
+
+inline double as_f64(Word w) { return std::bit_cast<double>(w); }
+inline Word from_f64(double d) { return std::bit_cast<Word>(d); }
+
+inline std::int64_t as_i64(Word w) { return static_cast<std::int64_t>(w); }
+inline Word from_i64(std::int64_t v) { return static_cast<Word>(v); }
+
+inline Word from_bool(bool b) { return b ? Word{1} : Word{0}; }
+
+}  // namespace obx::trace

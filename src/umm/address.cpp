@@ -1,0 +1,15 @@
+#include "umm/address.hpp"
+
+#include "common/check.hpp"
+
+namespace obx::umm {
+
+std::uint64_t groups_spanned(Addr first, std::uint64_t count, std::uint32_t width) {
+  OBX_CHECK(width > 0, "width must be positive");
+  if (count == 0) return 0;
+  const std::uint64_t lo = address_group_of(first, width);
+  const std::uint64_t hi = address_group_of(first + count - 1, width);
+  return hi - lo + 1;
+}
+
+}  // namespace obx::umm

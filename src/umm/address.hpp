@@ -1,0 +1,27 @@
+// Address arithmetic of the memory machine models.
+//
+// The flat address space is carved two ways (paper Fig. 2):
+//   bank          B[j] = { j, j+w, j+2w, ... }        — DMM conflict domain
+//   address group A[j] = { j*w, j*w+1, ..., (j+1)w-1 } — UMM coalescing domain
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace obx::umm {
+
+/// Index of the memory bank holding address a (a mod w).
+constexpr std::uint64_t bank_of(Addr a, std::uint32_t width) { return a % width; }
+
+/// Index of the address group containing address a (a div w).
+constexpr std::uint64_t address_group_of(Addr a, std::uint32_t width) { return a / width; }
+
+/// True when the w addresses [first, first+w) form exactly one address group,
+/// i.e. the access is perfectly coalesced.
+constexpr bool is_group_aligned(Addr first, std::uint32_t width) { return first % width == 0; }
+
+/// Number of address groups spanned by the contiguous range [first, first+count).
+std::uint64_t groups_spanned(Addr first, std::uint64_t count, std::uint32_t width);
+
+}  // namespace obx::umm

@@ -1,0 +1,135 @@
+#include "umm/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "umm/address.hpp"
+#include "umm/warp.hpp"
+
+namespace obx::umm {
+
+namespace {
+
+std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+StridedStepCost::StridedStepCost(Model model, MachineConfig config, std::uint64_t p,
+                                 std::uint64_t stride)
+    : model_(model),
+      config_(config),
+      p_(p),
+      stride_(stride),
+      full_warps_(p / config.width),
+      tail_lanes_(p % config.width),
+      modulus_(model == Model::kUmm ? config.effective_group() : config.width),
+      delta_((config.width * stride) % modulus_),
+      period_(modulus_ / gcd_u64(delta_ == 0 ? modulus_ : delta_, modulus_)),
+      full_warp_count_(modulus_, 0),
+      tail_warp_count_(modulus_, 0) {
+  config_.validate();
+  OBX_CHECK(p > 0, "at least one lane");
+}
+
+std::uint64_t StridedStepCost::count_for_residue(std::uint64_t residue,
+                                                 std::uint64_t lanes) const {
+  // Direct evaluation via the generic warp-cost function on synthetic
+  // addresses residue, residue+stride, ..., residue+(lanes-1)*stride.
+  std::vector<Addr> addrs(lanes);
+  for (std::uint64_t j = 0; j < lanes; ++j) addrs[j] = residue + j * stride_;
+  return warp_stages(model_, addrs, config_);
+}
+
+std::uint64_t StridedStepCost::memoised_full(std::uint64_t residue) const {
+  std::uint64_t& memo = full_warp_count_[residue];
+  if (memo == 0) memo = count_for_residue(residue, config_.width);
+  return memo;
+}
+
+StepStages StridedStepCost::stages(Addr base) const {
+  const std::uint64_t r0 = base % modulus_;
+  StepStages out;
+  if (full_warps_ > 0) {
+    if (delta_ == 0) {
+      // The paper's models: every warp shares the base residue.
+      out.stages += full_warps_ * memoised_full(r0);
+    } else {
+      // Transaction extension: warp m's residue is (r0 + m*delta) mod g,
+      // cycling with period g / gcd(delta, g).  Sum one period, multiply.
+      const std::uint64_t reps = full_warps_ / period_;
+      const std::uint64_t rem = full_warps_ % period_;
+      std::uint64_t cycle_sum = 0;
+      std::uint64_t rem_sum = 0;
+      std::uint64_t r = r0;
+      for (std::uint64_t m = 0; m < period_; ++m) {
+        const std::uint64_t k = memoised_full(r);
+        cycle_sum += k;
+        if (m < rem) rem_sum += k;
+        r = (r + delta_) % modulus_;
+      }
+      out.stages += reps * cycle_sum + rem_sum;
+    }
+    out.warps += full_warps_;
+  }
+  if (tail_lanes_ > 0) {
+    const std::uint64_t r_tail = (r0 + full_warps_ * delta_) % modulus_;
+    std::uint64_t& memo = tail_warp_count_[r_tail];
+    if (memo == 0) memo = count_for_residue(r_tail, tail_lanes_);
+    out.stages += memo;
+    out.warps += 1;
+  }
+  return out;
+}
+
+TimeUnits StridedStepCost::step_time(Addr base) const {
+  const StepStages s = stages(base);
+  if (s.stages == 0) return 0;
+  return s.stages + config_.latency - 1;
+}
+
+namespace {
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+TimeUnits lemma1_row_wise(std::uint64_t n, std::uint64_t p, const MachineConfig& cfg) {
+  // Each of the 2n steps touches p addresses spaced n apart: with n >= w they
+  // fall in p distinct address groups (p stages); with n < w several lanes
+  // share a group, leaving ceil(p*n/w) coalesced stages.
+  const std::uint64_t stages =
+      n >= cfg.width ? p : std::max<std::uint64_t>(ceil_div(p * n, cfg.width), 1);
+  return 2 * n * (stages + cfg.latency - 1);
+}
+
+TimeUnits lemma1_column_wise(std::uint64_t n, std::uint64_t p, const MachineConfig& cfg) {
+  return 2 * n * (ceil_div(p, cfg.width) + cfg.latency - 1);
+}
+
+TimeUnits theorem2_row_wise(std::uint64_t t, std::uint64_t p, const MachineConfig& cfg) {
+  return t * (p + cfg.latency - 1);
+}
+
+TimeUnits theorem2_column_wise(std::uint64_t t, std::uint64_t p, const MachineConfig& cfg) {
+  return t * (ceil_div(p, cfg.width) + cfg.latency - 1);
+}
+
+TimeUnits theorem3_lower_bound(std::uint64_t t, std::uint64_t p, const MachineConfig& cfg) {
+  return std::max<TimeUnits>(ceil_div(p * t, cfg.width),
+                             static_cast<TimeUnits>(cfg.latency) * t);
+}
+
+std::uint64_t dmm_strided_warp_stages(std::uint64_t stride, std::uint32_t width) {
+  OBX_CHECK(width > 0, "width must be positive");
+  // gcd(0, w) = w covers the broadcast / stride-multiple-of-w case.
+  return gcd_u64(stride % width, width);
+}
+
+}  // namespace obx::umm

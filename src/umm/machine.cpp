@@ -1,0 +1,28 @@
+#include "umm/machine.hpp"
+
+#include "common/check.hpp"
+
+namespace obx::umm {
+
+Machine::Machine(Model model, MachineConfig config, std::size_t memory_words)
+    : memory_(memory_words), timer_(model, config) {}
+
+TimeUnits Machine::step_read(std::span<const Addr> addrs, std::span<Word> out) {
+  OBX_CHECK(addrs.size() == out.size(), "one destination per thread");
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    if (addrs[i] == kInvalidAddr) continue;
+    out[i] = memory_.load(addrs[i]);
+  }
+  return timer_.charge_step(addrs);
+}
+
+TimeUnits Machine::step_write(std::span<const Addr> addrs, std::span<const Word> values) {
+  OBX_CHECK(addrs.size() == values.size(), "one value per thread");
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    if (addrs[i] == kInvalidAddr) continue;
+    memory_.store(addrs[i], values[i]);
+  }
+  return timer_.charge_step(addrs);
+}
+
+}  // namespace obx::umm

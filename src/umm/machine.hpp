@@ -1,0 +1,41 @@
+// Facade combining functional memory and time-unit accounting: a runnable
+// UMM (or DMM) on which bulk steps can be both *executed* and *timed*.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "umm/machine_config.hpp"
+#include "umm/memory_image.hpp"
+#include "umm/timers.hpp"
+
+namespace obx::umm {
+
+class Machine {
+ public:
+  Machine(Model model, MachineConfig config, std::size_t memory_words);
+
+  /// One bulk read step: thread i reads addrs[i] into out[i] (inactive lanes
+  /// marked kInvalidAddr are left untouched).  Returns the step's time units.
+  TimeUnits step_read(std::span<const Addr> addrs, std::span<Word> out);
+
+  /// One bulk write step: thread i writes values[i] to addrs[i].
+  TimeUnits step_write(std::span<const Addr> addrs, std::span<const Word> values);
+
+  /// One register-only step across all threads.
+  TimeUnits step_compute() { return timer_.charge_compute(); }
+
+  MemoryImage& memory() { return memory_; }
+  const MemoryImage& memory() const { return memory_; }
+  TimeUnits time_units() const { return timer_.time_units(); }
+  const TimerStats& stats() const { return timer_.stats(); }
+  const MachineConfig& config() const { return timer_.config(); }
+  Model model() const { return timer_.model(); }
+
+ private:
+  MemoryImage memory_;
+  AccessTimer timer_;
+};
+
+}  // namespace obx::umm

@@ -1,0 +1,23 @@
+#include "umm/machine_config.hpp"
+
+#include "common/check.hpp"
+
+namespace obx::umm {
+
+void MachineConfig::validate() const {
+  OBX_CHECK(width > 0, "machine width w must be positive");
+  OBX_CHECK(latency > 0, "memory latency l must be positive");
+}
+
+MachineConfig gtx_titan_like() {
+  // Width 32 matches the CUDA warp.  Latency 200 is chosen so that the fixed
+  // l·t term of the simulated prefix-sums matches the order of the paper's
+  // measured 14-37 us intercepts at the Titan clock (see EXPERIMENTS.md).
+  return MachineConfig{.width = 32, .latency = 200, .count_compute = false};
+}
+
+MachineConfig figure_example() {
+  return MachineConfig{.width = 4, .latency = 5, .count_compute = false};
+}
+
+}  // namespace obx::umm

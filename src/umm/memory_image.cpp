@@ -1,0 +1,19 @@
+#include "umm/memory_image.hpp"
+
+#include <algorithm>
+
+namespace obx::umm {
+
+MemoryImage::MemoryImage(std::size_t words) : cells_(words, Word{0}) {}
+
+void MemoryImage::fill(Addr offset, std::span<const Word> data) {
+  OBX_CHECK(offset + data.size() <= cells_.size(), "fill out of bounds");
+  std::copy(data.begin(), data.end(), cells_.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+void MemoryImage::extract(Addr offset, std::span<Word> out) const {
+  OBX_CHECK(offset + out.size() <= cells_.size(), "extract out of bounds");
+  std::copy_n(cells_.begin() + static_cast<std::ptrdiff_t>(offset), out.size(), out.begin());
+}
+
+}  // namespace obx::umm

@@ -1,0 +1,38 @@
+// Functional storage of a memory machine: a flat, bounds-checked word array.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace obx::umm {
+
+class MemoryImage {
+ public:
+  explicit MemoryImage(std::size_t words);
+
+  Word load(Addr a) const {
+    OBX_DCHECK(a < cells_.size(), "load out of bounds");
+    return cells_[a];
+  }
+  void store(Addr a, Word v) {
+    OBX_DCHECK(a < cells_.size(), "store out of bounds");
+    cells_[a] = v;
+  }
+
+  std::size_t size() const { return cells_.size(); }
+  std::span<Word> span() { return cells_; }
+  std::span<const Word> span() const { return cells_; }
+
+  /// Copies `data` into [offset, offset + data.size()).
+  void fill(Addr offset, std::span<const Word> data);
+  /// Copies [offset, offset + out.size()) into `out`.
+  void extract(Addr offset, std::span<Word> out) const;
+
+ private:
+  std::vector<Word> cells_;
+};
+
+}  // namespace obx::umm

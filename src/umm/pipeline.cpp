@@ -1,0 +1,30 @@
+#include "umm/pipeline.hpp"
+
+#include "common/check.hpp"
+
+namespace obx::umm {
+
+TimeUnits batch_completion_time(std::span<const std::uint64_t> stage_counts,
+                                std::uint32_t latency) {
+  OBX_CHECK(latency > 0, "latency must be positive");
+  std::uint64_t stages = 0;
+  for (std::uint64_t k : stage_counts) stages += k;
+  if (stages == 0) return 0;  // no warp was dispatched
+  return stages + latency - 1;
+}
+
+AccessPipeline::AccessPipeline(MachineConfig config) : config_(config) {
+  config_.validate();
+}
+
+TimeUnits AccessPipeline::submit_batch(std::span<const std::uint64_t> stage_counts) {
+  const TimeUnits t = batch_completion_time(stage_counts, config_.latency);
+  if (t > 0) {
+    ++batches_;
+    for (std::uint64_t k : stage_counts) stages_total_ += k;
+  }
+  now_ += t;
+  return t;
+}
+
+}  // namespace obx::umm

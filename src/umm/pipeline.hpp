@@ -1,0 +1,54 @@
+// The l-stage memory pipeline of the machine models (paper Fig. 4).
+//
+// Warps are dispatched in round-robin order; a warp whose request spans k
+// address groups (UMM) or has k-way bank conflicts (DMM) occupies k pipeline
+// stages.  A batch of warp requests occupying S stages in total completes
+// S + l - 1 time units after the first stage enters the pipeline.  The
+// paper's worked example — W(0) spanning 3 groups followed by W(1) spanning
+// 1 group at l = 5 — completes at 3 + 1 + 5 - 1 = 8 time units.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+#include "umm/machine_config.hpp"
+
+namespace obx::umm {
+
+/// Completion time of one batch of warp requests entering an idle pipeline.
+/// `stage_counts[i]` is the stages occupied by the i-th dispatched warp;
+/// zero-stage entries (inactive warps) are skipped.  Returns 0 for an empty
+/// batch.
+TimeUnits batch_completion_time(std::span<const std::uint64_t> stage_counts,
+                                std::uint32_t latency);
+
+/// A stateful pipeline that tracks the machine clock across batches.
+///
+/// Within a batch warps stream through back-to-back; *between* batches the
+/// issuing threads are dependent on their previous access (a thread may hold
+/// only one outstanding request), so the pipeline drains fully — exactly the
+/// serialisation that produces the l·t term of Theorems 2 and 3.
+class AccessPipeline {
+ public:
+  explicit AccessPipeline(MachineConfig config);
+
+  /// Advances the clock by one batch of warp requests and returns the batch's
+  /// completion time (time units consumed by this batch).
+  TimeUnits submit_batch(std::span<const std::uint64_t> stage_counts);
+
+  /// Advances the clock by `units` without memory traffic (compute steps).
+  void advance(TimeUnits units) { now_ += units; }
+
+  TimeUnits now() const { return now_; }
+  std::uint64_t batches_submitted() const { return batches_; }
+  std::uint64_t stages_total() const { return stages_total_; }
+
+ private:
+  MachineConfig config_;
+  TimeUnits now_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t stages_total_ = 0;
+};
+
+}  // namespace obx::umm

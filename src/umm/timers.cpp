@@ -1,0 +1,57 @@
+#include "umm/timers.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "umm/warp.hpp"
+
+namespace obx::umm {
+
+AccessTimer::AccessTimer(Model model, MachineConfig config)
+    : model_(model), config_(config), pipeline_(config) {
+  config_.validate();
+}
+
+TimeUnits AccessTimer::charge_step(std::span<const Addr> addrs) {
+  const std::uint32_t w = config_.width;
+  std::uint64_t total_stages = 0;
+  std::uint64_t warps = 0;
+  for (std::size_t base = 0; base < addrs.size(); base += w) {
+    const std::size_t count = std::min<std::size_t>(w, addrs.size() - base);
+    const std::uint64_t k = warp_stages(model_, addrs.subspan(base, count), config_);
+    if (k > 0) {
+      total_stages += k;
+      ++warps;
+    }
+  }
+  return charge_precomputed(total_stages, warps);
+}
+
+TimeUnits AccessTimer::charge_precomputed(std::uint64_t total_stages, std::uint64_t warps) {
+  if (total_stages == 0) return 0;
+  ++stats_.access_steps;
+  stats_.warps_dispatched += warps;
+  stats_.stages_total += total_stages;
+  const TimeUnits t = total_stages + config_.latency - 1;
+  pipeline_.advance(t);
+  return t;
+}
+
+TimeUnits AccessTimer::charge_compute() {
+  ++stats_.compute_steps;
+  if (!config_.count_compute) return 0;
+  pipeline_.advance(1);
+  ++compute_units_;
+  return 1;
+}
+
+TimeUnits AccessTimer::time_units() const {
+  if (!config_.overlap_latency) return pipeline_.now();
+  const TimeUnits bandwidth =
+      stats_.stages_total == 0 ? 0 : stats_.stages_total + config_.latency - 1;
+  const TimeUnits chain =
+      static_cast<TimeUnits>(config_.latency) * stats_.access_steps;
+  return std::max(bandwidth, chain) + compute_units_;
+}
+
+}  // namespace obx::umm

@@ -1,0 +1,63 @@
+// Time-unit accounting for bulk steps on the UMM / DMM.
+//
+// One *step* of a bulk execution is the same instruction executed by all p
+// threads; an access step produces up to p memory requests (thread i's
+// request at index i, inactive threads marked kInvalidAddr).  The timer
+// splits the request vector into warps of w, computes each warp's stage
+// count under the selected model, and charges the pipelined batch time
+// (total stages + l - 1).  Consecutive steps of the same thread serialise on
+// the memory latency, which is what the stateful AccessPipeline models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+#include "umm/machine_config.hpp"
+#include "umm/pipeline.hpp"
+
+namespace obx::umm {
+
+struct TimerStats {
+  std::uint64_t access_steps = 0;   ///< steps that touched memory
+  std::uint64_t compute_steps = 0;  ///< register-only steps
+  std::uint64_t warps_dispatched = 0;
+  std::uint64_t stages_total = 0;   ///< Σ per-warp stage counts
+};
+
+class AccessTimer {
+ public:
+  AccessTimer(Model model, MachineConfig config);
+
+  /// Charges one access step: `addrs[i]` is thread i's global address, or
+  /// kInvalidAddr when thread i sits this step out.  Returns the time units
+  /// consumed by the step.
+  TimeUnits charge_step(std::span<const Addr> addrs);
+
+  /// Charges one access step whose per-warp stage counts were computed
+  /// elsewhere (the closed-form fast path of cost_model.hpp).
+  TimeUnits charge_precomputed(std::uint64_t total_stages, std::uint64_t warps);
+
+  /// Charges a register-only step (zero unless config.count_compute is set).
+  TimeUnits charge_compute();
+
+  /// Total machine time.  Serialized policy (the paper's model): the sum of
+  /// per-step batch times.  Overlap policy: max(total stages + l - 1,
+  /// l * access steps) — the pipeline never drains between steps, bounded
+  /// below by each thread's dependency chain.  Compute charges add on top in
+  /// both policies.
+  TimeUnits time_units() const;
+
+  const TimerStats& stats() const { return stats_; }
+  const MachineConfig& config() const { return config_; }
+  Model model() const { return model_; }
+
+ private:
+  Model model_;
+  MachineConfig config_;
+  AccessPipeline pipeline_;
+  TimerStats stats_;
+  TimeUnits compute_units_ = 0;
+};
+
+}  // namespace obx::umm

@@ -1,0 +1,71 @@
+#include "umm/warp.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "umm/address.hpp"
+
+namespace obx::umm {
+namespace {
+
+constexpr std::size_t kStackWidth = 128;
+
+}  // namespace
+
+std::uint64_t umm_warp_stages(std::span<const Addr> addrs, std::uint32_t width) {
+  OBX_DCHECK(addrs.size() <= kStackWidth || width > kStackWidth,
+             "warp wider than the machine width");
+  // Collect the address groups of active lanes, sort, count distinct runs.
+  std::uint64_t groups[kStackWidth];
+  std::vector<std::uint64_t> heap;
+  std::uint64_t* buf = groups;
+  if (addrs.size() > kStackWidth) {
+    heap.resize(addrs.size());
+    buf = heap.data();
+  }
+  std::size_t active = 0;
+  for (Addr a : addrs) {
+    if (a == kInvalidAddr) continue;
+    buf[active++] = address_group_of(a, width);
+  }
+  if (active == 0) return 0;
+  std::sort(buf, buf + active);
+  std::uint64_t distinct = 1;
+  for (std::size_t i = 1; i < active; ++i) {
+    if (buf[i] != buf[i - 1]) ++distinct;
+  }
+  return distinct;
+}
+
+std::uint64_t dmm_warp_stages(std::span<const Addr> addrs, std::uint32_t width) {
+  // Count requests per bank; the warp is replayed once per conflicting round,
+  // so its stage count is the maximum multiplicity.
+  std::uint64_t counts_stack[kStackWidth] = {};
+  std::vector<std::uint64_t> heap;
+  std::uint64_t* counts = counts_stack;
+  if (width > kStackWidth) {
+    heap.assign(width, 0);
+    counts = heap.data();
+  }
+  std::uint64_t max_count = 0;
+  for (Addr a : addrs) {
+    if (a == kInvalidAddr) continue;
+    const std::uint64_t c = ++counts[bank_of(a, width)];
+    max_count = std::max(max_count, c);
+  }
+  return max_count;
+}
+
+std::uint64_t warp_stages(Model model, std::span<const Addr> addrs, std::uint32_t width) {
+  return model == Model::kUmm ? umm_warp_stages(addrs, width)
+                              : dmm_warp_stages(addrs, width);
+}
+
+std::uint64_t warp_stages(Model model, std::span<const Addr> addrs,
+                          const MachineConfig& config) {
+  return model == Model::kUmm ? umm_warp_stages(addrs, config.effective_group())
+                              : dmm_warp_stages(addrs, config.width);
+}
+
+}  // namespace obx::umm

@@ -1,0 +1,39 @@
+// Per-warp access cost of the UMM and DMM.
+//
+// A warp of w threads issues at most one memory request per thread.  The cost
+// of a warp's combined request, in pipeline stages, is
+//   UMM: the number of distinct address groups among the requested addresses
+//        (one broadcast address per stage), and
+//   DMM: the maximum number of requests destined for any single bank (bank
+//        conflicts are serialised).
+// Threads may sit out a step: inactive lanes are marked with kInvalidAddr and
+// contribute nothing; a fully inactive warp is not dispatched at all.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+#include "umm/machine_config.hpp"
+
+namespace obx::umm {
+
+/// Stages occupied by one warp request on the UMM: distinct address groups
+/// (of `group_words` words each) among the active addresses.  The paper's
+/// pure UMM has group_words = width; the transaction-granularity extension
+/// allows smaller groups.
+std::uint64_t umm_warp_stages(std::span<const Addr> addrs, std::uint32_t group_words);
+
+/// Stages occupied by one warp request on the DMM: maximum bank multiplicity
+/// among the active addresses (`banks` = machine width).
+std::uint64_t dmm_warp_stages(std::span<const Addr> addrs, std::uint32_t banks);
+
+/// Dispatches on the model enum; `width` serves as both the group size (UMM)
+/// and the bank count (DMM) — the paper's models.
+std::uint64_t warp_stages(Model model, std::span<const Addr> addrs, std::uint32_t width);
+
+/// Config-aware dispatch honouring the transaction-granularity extension.
+std::uint64_t warp_stages(Model model, std::span<const Addr> addrs,
+                          const MachineConfig& config);
+
+}  // namespace obx::umm

@@ -1,0 +1,71 @@
+// Address arithmetic: banks, address groups, spans (paper Fig. 2).
+#include <gtest/gtest.h>
+
+#include "umm/address.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace obx::umm;
+
+TEST(Address, BankInterleaving) {
+  // w = 4: bank B[j] = {j, j+4, j+8, ...}.
+  EXPECT_EQ(bank_of(0, 4), 0u);
+  EXPECT_EQ(bank_of(5, 4), 1u);
+  EXPECT_EQ(bank_of(10, 4), 2u);
+  EXPECT_EQ(bank_of(15, 4), 3u);
+}
+
+TEST(Address, AddressGroups) {
+  // w = 4: group A[j] = {4j, 4j+1, 4j+2, 4j+3}.
+  EXPECT_EQ(address_group_of(0, 4), 0u);
+  EXPECT_EQ(address_group_of(3, 4), 0u);
+  EXPECT_EQ(address_group_of(4, 4), 1u);
+  EXPECT_EQ(address_group_of(15, 4), 3u);
+}
+
+TEST(Address, GroupAlignment) {
+  EXPECT_TRUE(is_group_aligned(0, 4));
+  EXPECT_TRUE(is_group_aligned(8, 4));
+  EXPECT_FALSE(is_group_aligned(9, 4));
+  EXPECT_TRUE(is_group_aligned(32, 32));
+  EXPECT_FALSE(is_group_aligned(33, 32));
+}
+
+TEST(Address, GroupsSpannedEmpty) { EXPECT_EQ(groups_spanned(5, 0, 4), 0u); }
+
+TEST(Address, GroupsSpannedAligned) {
+  EXPECT_EQ(groups_spanned(0, 4, 4), 1u);
+  EXPECT_EQ(groups_spanned(0, 8, 4), 2u);
+  EXPECT_EQ(groups_spanned(4, 4, 4), 1u);
+}
+
+TEST(Address, GroupsSpannedMisaligned) {
+  EXPECT_EQ(groups_spanned(1, 4, 4), 2u);
+  EXPECT_EQ(groups_spanned(3, 2, 4), 2u);
+  EXPECT_EQ(groups_spanned(3, 1, 4), 1u);
+}
+
+TEST(Address, GroupsSpannedRejectsZeroWidth) {
+  EXPECT_THROW(groups_spanned(0, 1, 0), std::logic_error);
+}
+
+class GroupsSpannedProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GroupsSpannedProperty, MatchesDirectEnumeration) {
+  const std::uint32_t w = GetParam();
+  for (Addr first = 0; first < 3 * w; ++first) {
+    for (std::uint64_t count = 1; count <= 2 * w; ++count) {
+      // Count distinct groups by enumeration.
+      std::uint64_t expected = address_group_of(first + count - 1, w) -
+                               address_group_of(first, w) + 1;
+      EXPECT_EQ(groups_spanned(first, count, w), expected)
+          << "first=" << first << " count=" << count << " w=" << w;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GroupsSpannedProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 7u, 8u, 32u));
+
+}  // namespace

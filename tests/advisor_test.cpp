@@ -1,0 +1,91 @@
+// Workload characterisation and execution advice.
+#include <gtest/gtest.h>
+
+#include "advisor/characterize.hpp"
+#include "algos/horner.hpp"
+#include "algos/opt_triangulation.hpp"
+#include "algos/prefix_sums.hpp"
+#include "algos/tea_cipher.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace obx::advisor;
+
+const umm::MachineConfig kCfg{.width = 32, .latency = 200};
+
+TEST(Advisor, ProfileNumbers) {
+  const Characterization c = characterize(algos::prefix_sums_program(32), 1024, kCfg);
+  EXPECT_EQ(c.memory_steps, 64u);
+  EXPECT_EQ(c.compute_steps, 33u);  // 32 adds + 1 imm
+  EXPECT_NEAR(c.reuse_ratio, 2.0, 1e-12);
+  EXPECT_EQ(c.lanes, 1024u);
+}
+
+TEST(Advisor, RecommendsColumnWise) {
+  const Characterization c =
+      characterize(algos::prefix_sums_program(64), 1 << 16, kCfg);
+  EXPECT_EQ(c.recommended_arrangement, bulk::Arrangement::kColumnWise);
+  EXPECT_GT(c.coalescing_gain, 16.0);
+  EXPECT_LT(c.lower_bound_ratio, 3.0);
+  EXPECT_GE(c.lower_bound_ratio, 1.0);
+}
+
+TEST(Advisor, DetectsLatencyBoundRegime) {
+  // Few lanes: the l*t floor dominates.
+  const Characterization small = characterize(algos::prefix_sums_program(64), 64, kCfg);
+  EXPECT_TRUE(small.latency_bound);
+  // Many lanes: bandwidth takes over.
+  const Characterization big =
+      characterize(algos::prefix_sums_program(64), 1 << 20, kCfg);
+  EXPECT_FALSE(big.latency_bound);
+}
+
+TEST(Advisor, ComputeBoundProgramHasHighIntensity) {
+  const Characterization tea = characterize(algos::tea_program(8), 1024, kCfg);
+  EXPECT_GT(tea.arithmetic_intensity, 50.0);
+  const Characterization prefix =
+      characterize(algos::prefix_sums_program(64), 1024, kCfg);
+  EXPECT_LT(prefix.arithmetic_intensity, 2.0);
+}
+
+TEST(Advisor, HmmAdviceFollowsReuse) {
+  const hmm::HmmConfig hier = hmm::gtx_titan_hmm();
+  const Characterization opt =
+      characterize(algos::opt_program(32), 1 << 14, kCfg, &hier);
+  EXPECT_TRUE(opt.hmm_staging_fits);
+  EXPECT_GT(opt.hmm_staging_gain, 1.5);
+
+  const Characterization horner =
+      characterize(algos::horner_program(64), 1 << 14, kCfg, &hier);
+  EXPECT_TRUE(horner.hmm_staging_fits);
+  EXPECT_LT(horner.hmm_staging_gain, opt.hmm_staging_gain);
+}
+
+TEST(Advisor, OversizedProgramDoesNotFitHmm) {
+  hmm::HmmConfig hier = hmm::gtx_titan_hmm();
+  hier.shared_capacity_words = 16;
+  const Characterization c =
+      characterize(algos::prefix_sums_program(64), 1024, kCfg, &hier);
+  EXPECT_FALSE(c.hmm_staging_fits);
+  EXPECT_EQ(c.hmm_staging_gain, 0.0);
+}
+
+TEST(Advisor, SummaryMentionsTheEssentials) {
+  const hmm::HmmConfig hier = hmm::gtx_titan_hmm();
+  const Characterization c =
+      characterize(algos::opt_program(16), 1 << 14, kCfg, &hier);
+  const std::string s = c.summary();
+  EXPECT_NE(s.find("memory steps"), std::string::npos);
+  EXPECT_NE(s.find("coalescing gain"), std::string::npos);
+  EXPECT_NE(s.find("recommended arrangement: column-wise"), std::string::npos);
+  EXPECT_NE(s.find("Theorem 3"), std::string::npos);
+  EXPECT_NE(s.find("HMM"), std::string::npos);
+}
+
+TEST(Advisor, Validation) {
+  EXPECT_THROW(characterize(trace::Program{}, 4, kCfg), std::logic_error);
+  EXPECT_THROW(characterize(algos::prefix_sums_program(4), 0, kCfg), std::logic_error);
+}
+
+}  // namespace

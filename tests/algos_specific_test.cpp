@@ -1,0 +1,354 @@
+// Algorithm-specific semantic checks beyond the registry sweep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "algos/bitonic_sort.hpp"
+#include "algos/edit_distance.hpp"
+#include "algos/fft.hpp"
+#include "algos/lu_decomposition.hpp"
+#include "algos/matmul.hpp"
+#include "algos/opt_triangulation.hpp"
+#include "algos/prefix_sums.hpp"
+#include "algos/tea_cipher.hpp"
+#include "common/rng.hpp"
+#include "trace/interpreter.hpp"
+#include "trace/value.hpp"
+
+namespace {
+
+using namespace obx;
+using trace::as_f64;
+using trace::as_i64;
+using trace::from_f64;
+
+// ---------------------------------------------------------------------------
+// OPT
+// ---------------------------------------------------------------------------
+
+TEST(Opt, MatchesBruteForceOnSmallPolygons) {
+  Rng rng(11);
+  for (std::size_t n = 4; n <= 10; ++n) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const std::vector<Word> input = algos::opt_random_input(n, rng);
+      std::vector<double> c(n * n);
+      for (std::size_t i = 0; i < c.size(); ++i) c[i] = as_f64(input[i]);
+      EXPECT_DOUBLE_EQ(algos::opt_native(n, c), algos::opt_brute_force(n, c))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(Opt, TriangleHasSingleTriangulation) {
+  // n = 3: the polygon is already a triangle; the DP value is just
+  // c[0][2] (the chord closing the parse tree's root region).
+  std::vector<double> c(9, 0.0);
+  c[0 * 3 + 2] = 7.5;
+  c[2 * 3 + 0] = 7.5;
+  EXPECT_DOUBLE_EQ(algos::opt_native(3, c), 7.5);
+}
+
+TEST(Opt, QuadrilateralPicksCheaperDiagonal) {
+  // n = 4: two triangulations, using diagonal (0,2) or (1,3).
+  const std::size_t n = 4;
+  std::vector<double> c(n * n, 0.0);
+  auto set = [&](std::size_t i, std::size_t j, double w) {
+    c[i * n + j] = w;
+    c[j * n + i] = w;
+  };
+  set(0, 2, 10.0);  // diagonal A
+  set(1, 3, 2.0);   // diagonal B
+  set(0, 3, 1.0);   // the root edge weight is added to every triangulation
+  EXPECT_DOUBLE_EQ(algos::opt_native(n, c), 2.0 + 1.0);
+  set(1, 3, 50.0);
+  EXPECT_DOUBLE_EQ(algos::opt_native(n, c), 10.0 + 1.0);
+}
+
+TEST(Opt, MIndexLayout) {
+  EXPECT_EQ(algos::opt_m_index(8, 1, 7), 64u + 8u + 7u);
+}
+
+TEST(Opt, DummyElseKeepsStepCountDataIndependent) {
+  // Two adversarial inputs (ascending vs descending weights) must execute
+  // exactly the same number of steps.
+  const std::size_t n = 8;
+  const trace::Program program = algos::opt_program(n);
+  std::vector<Word> up(n * n), down(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    up[i] = from_f64(static_cast<double>(i));
+    down[i] = from_f64(static_cast<double>(n * n - i));
+  }
+  const auto r1 = trace::interpret(program, up);
+  const auto r2 = trace::interpret(program, down);
+  EXPECT_EQ(r1.counts.total(), r2.counts.total());
+}
+
+// ---------------------------------------------------------------------------
+// FFT
+// ---------------------------------------------------------------------------
+
+std::vector<std::complex<double>> naive_dft(const std::vector<std::complex<double>>& x) {
+  const std::size_t n = x.size();
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * t) /
+                         static_cast<double>(n);
+      acc += x[t] * std::complex<double>{std::cos(ang), std::sin(ang)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+TEST(Fft, MatchesNaiveDft) {
+  Rng rng(13);
+  for (std::size_t n : {2u, 4u, 8u, 16u, 64u}) {
+    std::vector<double> data(2 * n);
+    std::vector<std::complex<double>> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = {rng.next_double(-1, 1), rng.next_double(-1, 1)};
+      data[2 * i] = x[i].real();
+      data[2 * i + 1] = x[i].imag();
+    }
+    algos::fft_native(data);
+    const auto expected = naive_dft(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(data[2 * i], expected[i].real(), 1e-9 * static_cast<double>(n));
+      EXPECT_NEAR(data[2 * i + 1], expected[i].imag(), 1e-9 * static_cast<double>(n));
+    }
+  }
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<double> data(16, 0.0);
+  data[0] = 1.0;  // delta at t = 0
+  algos::fft_native(data);
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_NEAR(data[2 * k], 1.0, 1e-12);
+    EXPECT_NEAR(data[2 * k + 1], 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(algos::fft_program(3), std::logic_error);
+  EXPECT_THROW(algos::fft_program(0), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Bitonic sort
+// ---------------------------------------------------------------------------
+
+TEST(BitonicSort, SortsAdversarialPatterns) {
+  const std::size_t n = 64;
+  const trace::Program program = algos::bitonic_sort_program(n);
+  std::vector<std::vector<double>> patterns;
+  std::vector<double> descending(n), constant(n, 3.0), sawtooth(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    descending[i] = static_cast<double>(n - i);
+    sawtooth[i] = static_cast<double>(i % 7);
+  }
+  patterns = {descending, constant, sawtooth};
+  for (const auto& pat : patterns) {
+    std::vector<Word> input(n);
+    for (std::size_t i = 0; i < n; ++i) input[i] = from_f64(pat[i]);
+    const auto run = trace::interpret(program, input);
+    for (std::size_t i = 1; i < n; ++i) {
+      EXPECT_LE(as_f64(run.memory[i - 1]), as_f64(run.memory[i]));
+    }
+  }
+}
+
+TEST(BitonicSort, OutputIsAPermutation) {
+  const std::size_t n = 32;
+  const trace::Program program = algos::bitonic_sort_program(n);
+  Rng rng(17);
+  std::vector<Word> input = algos::bitonic_sort_random_input(n, rng);
+  const auto run = trace::interpret(program, input);
+  std::vector<Word> sorted_in = input;
+  std::vector<Word> out(run.memory.begin(), run.memory.begin() + static_cast<long>(n));
+  auto by_f64 = [](Word a, Word b) { return as_f64(a) < as_f64(b); };
+  std::sort(sorted_in.begin(), sorted_in.end(), by_f64);
+  EXPECT_EQ(out, sorted_in);
+}
+
+TEST(BitonicSort, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(algos::bitonic_sort_program(10), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Edit distance
+// ---------------------------------------------------------------------------
+
+TEST(EditDistance, KnownValues) {
+  // kitten → sitting is the classic; with equal lengths use 4-symbol words.
+  const std::vector<Word> a{0, 1, 2, 3};
+  EXPECT_EQ(algos::edit_distance_native(a, a), 0);
+  const std::vector<Word> b{0, 1, 2, 0};
+  EXPECT_EQ(algos::edit_distance_native(a, b), 1);
+  const std::vector<Word> c{3, 2, 1, 0};
+  EXPECT_EQ(algos::edit_distance_native(a, c), 4);  // palindromic flip
+}
+
+TEST(EditDistance, SymmetryProperty) {
+  Rng rng(19);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 6;
+    const auto sa = rng.words_u64(n, 4);
+    const auto sb = rng.words_u64(n, 4);
+    EXPECT_EQ(algos::edit_distance_native(sa, sb), algos::edit_distance_native(sb, sa));
+  }
+}
+
+TEST(EditDistance, BoundedByLength) {
+  Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 8;
+    const auto sa = rng.words_u64(n, 4);
+    const auto sb = rng.words_u64(n, 4);
+    const auto d = algos::edit_distance_native(sa, sb);
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, static_cast<std::int64_t>(n));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TEA
+// ---------------------------------------------------------------------------
+
+TEST(Tea, EncryptionChangesPlaintext) {
+  std::uint32_t v[2] = {0x01234567u, 0x89abcdefu};
+  const std::uint32_t k[4] = {1, 2, 3, 4};
+  algos::tea_encrypt_block(v, k);
+  EXPECT_NE(v[0], 0x01234567u);
+  EXPECT_NE(v[1], 0x89abcdefu);
+}
+
+TEST(Tea, DecryptionInverts) {
+  // Inline TEA decryption (the inverse rounds) must restore the plaintext.
+  std::uint32_t v[2] = {0xdeadbeefu, 0xcafebabeu};
+  const std::uint32_t k[4] = {0x11111111u, 0x22222222u, 0x33333333u, 0x44444444u};
+  const std::uint32_t p0 = v[0];
+  const std::uint32_t p1 = v[1];
+  algos::tea_encrypt_block(v, k);
+  std::uint32_t sum = 0x9e3779b9u * 32;
+  for (int i = 0; i < 32; ++i) {
+    v[1] -= ((v[0] << 4) + k[2]) ^ (v[0] + sum) ^ ((v[0] >> 5) + k[3]);
+    v[0] -= ((v[1] << 4) + k[0]) ^ (v[1] + sum) ^ ((v[1] >> 5) + k[1]);
+    sum -= 0x9e3779b9u;
+  }
+  EXPECT_EQ(v[0], p0);
+  EXPECT_EQ(v[1], p1);
+}
+
+TEST(Tea, ComposedEncryptDecryptIsIdentityOnPayload) {
+  // One composed oblivious program: encrypt ; decrypt.
+  const std::size_t blocks = 3;
+  const trace::Program round_trip = trace::concat_programs(
+      algos::tea_program(blocks), algos::tea_decrypt_program(blocks));
+  Rng rng(41);
+  const std::vector<Word> plain = algos::tea_random_input(blocks, rng);
+  const auto run = trace::interpret(round_trip, plain);
+  EXPECT_EQ(run.memory, plain);
+}
+
+TEST(Tea, IrDecryptInvertsIrEncrypt) {
+  // Chain the two oblivious programs through the interpreter: the payload
+  // must round-trip bit-exactly.
+  const std::size_t blocks = 4;
+  Rng rng(31);
+  const std::vector<Word> plain = algos::tea_random_input(blocks, rng);
+
+  const auto enc = trace::interpret(algos::tea_program(blocks), plain);
+  const auto dec = trace::interpret(algos::tea_decrypt_program(blocks), enc.memory);
+  EXPECT_EQ(dec.memory, plain);
+  // And the ciphertext is not the plaintext.
+  EXPECT_NE(enc.memory, plain);
+}
+
+TEST(Tea, NativeDecryptInverts) {
+  std::uint32_t v[2] = {0x12345678u, 0x9abcdef0u};
+  const std::uint32_t k[4] = {7, 8, 9, 10};
+  const std::uint32_t p0 = v[0], p1 = v[1];
+  algos::tea_encrypt_block(v, k);
+  algos::tea_decrypt_block(v, k);
+  EXPECT_EQ(v[0], p0);
+  EXPECT_EQ(v[1], p1);
+}
+
+TEST(Tea, BlocksAreIndependent) {
+  // Encrypting [b0, b1] must equal encrypting b0 and b1 separately (ECB).
+  Rng rng(29);
+  std::vector<Word> two = algos::tea_random_input(2, rng);
+  std::vector<Word> first(two.begin(), two.begin() + 6);
+  std::vector<Word> second(two.begin(), two.begin() + 4);
+  second.push_back(two[6]);
+  second.push_back(two[7]);
+  const auto both = algos::tea_reference(2, two);
+  const auto only_first = algos::tea_reference(1, first);
+  const auto only_second = algos::tea_reference(1, second);
+  EXPECT_EQ(both[0], only_first[0]);
+  EXPECT_EQ(both[1], only_first[1]);
+  EXPECT_EQ(both[2], only_second[0]);
+  EXPECT_EQ(both[3], only_second[1]);
+}
+
+// ---------------------------------------------------------------------------
+// LU decomposition
+// ---------------------------------------------------------------------------
+
+TEST(Lu, ReconstructsTheMatrix) {
+  // L (unit diagonal) times U must reproduce A to rounding error.
+  Rng rng(37);
+  for (const std::size_t n : {2u, 4u, 8u, 16u}) {
+    const std::vector<Word> input = algos::lu_random_input(n, rng);
+    const std::vector<Word> factored = algos::lu_reference(n, input);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double sum = 0.0;
+        for (std::size_t k = 0; k <= std::min(i, j); ++k) {
+          const double l = k == i ? 1.0 : as_f64(factored[i * n + k]);
+          const double u = as_f64(factored[k * n + j]);
+          sum += l * u;
+        }
+        EXPECT_NEAR(sum, as_f64(input[i * n + j]), 1e-9) << "n=" << n << " (" << i
+                                                         << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(Lu, IdentityIsFixedPoint) {
+  const std::size_t n = 4;
+  std::vector<Word> eye(n * n, from_f64(0.0));
+  for (std::size_t i = 0; i < n; ++i) eye[i * n + i] = from_f64(1.0);
+  EXPECT_EQ(algos::lu_reference(n, eye), eye);
+}
+
+// ---------------------------------------------------------------------------
+// Matmul / prefix sums extras
+// ---------------------------------------------------------------------------
+
+TEST(Matmul, IdentityIsNeutral) {
+  const std::size_t n = 4;
+  std::vector<Word> input(2 * n * n, from_f64(0.0));
+  Rng rng(31);
+  for (std::size_t i = 0; i < n * n; ++i) input[i] = from_f64(rng.next_double(-5, 5));
+  for (std::size_t i = 0; i < n; ++i) input[n * n + i * n + i] = from_f64(1.0);
+  const auto c = algos::matmul_reference(n, input);
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_EQ(c[i], input[i]);
+}
+
+TEST(PrefixSums, LastElementIsTotal) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  algos::prefix_sums_native(v);
+  EXPECT_DOUBLE_EQ(v[3], 10.0);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Registry-wide algorithm sweep: every algorithm, every declared size —
+// step counts match the closed form, the interpreter matches the native
+// reference bit-for-bit, and the program is oblivious.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "algos/algorithm.hpp"
+#include "common/rng.hpp"
+#include "trace/interpreter.hpp"
+#include "trace/oblivious_checker.hpp"
+
+namespace {
+
+using namespace obx;
+
+using Case = std::tuple<std::string, std::size_t>;
+
+class AlgorithmSweep : public ::testing::TestWithParam<Case> {
+ protected:
+  const algos::Algorithm& algo() const { return algos::find(std::get<0>(GetParam())); }
+  std::size_t size() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(AlgorithmSweep, MemoryStepsMatchClosedForm) {
+  const trace::Program program = algo().make_program(size());
+  EXPECT_EQ(program.memory_steps(), algo().memory_steps(size()));
+}
+
+TEST_P(AlgorithmSweep, InterpreterMatchesNativeReference) {
+  const trace::Program program = algo().make_program(size());
+  Rng rng(size() * 31 + 7);
+  for (int trial = 0; trial < 3; ++trial) {
+    const std::vector<Word> input = algo().make_input(size(), rng);
+    ASSERT_EQ(input.size(), program.input_words);
+    const trace::InterpreterResult run = trace::interpret(program, input);
+    const std::vector<Word> expected = algo().reference(size(), input);
+    const auto got = run.output(program);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(got[i], expected[i])
+          << algo().name << " n=" << size() << " trial " << trial << " word " << i;
+    }
+  }
+}
+
+TEST_P(AlgorithmSweep, ProgramIsOblivious) {
+  const trace::Program program = algo().make_program(size());
+  const auto report = trace::check_program(program, 2);
+  EXPECT_TRUE(report.oblivious) << report.detail;
+}
+
+TEST_P(AlgorithmSweep, DeclaredRegionsAreConsistent) {
+  const trace::Program program = algo().make_program(size());
+  EXPECT_LE(program.input_words, program.memory_words);
+  EXPECT_LE(program.output_offset + program.output_words, program.memory_words);
+  EXPECT_GT(program.output_words, 0u);
+  EXPECT_GT(program.register_count, 0u);
+  EXPECT_LE(program.register_count, 256u);
+}
+
+std::vector<Case> sweep_cases() {
+  std::vector<Case> cases;
+  for (const auto& algo : algos::registry()) {
+    for (std::size_t n : algo.test_sizes) cases.emplace_back(algo.name, n);
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, AlgorithmSweep, ::testing::ValuesIn(sweep_cases()),
+                         [](const ::testing::TestParamInfo<Case>& param_info) {
+                           std::string name = std::get<0>(param_info.param) + "_n" +
+                                              std::to_string(std::get<1>(param_info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Registry, LookupWorks) {
+  EXPECT_EQ(algos::find("fft").name, "fft");
+  EXPECT_THROW(algos::find("nope"), std::logic_error);
+  EXPECT_EQ(algos::registry().size(), 13u);
+}
+
+}  // namespace

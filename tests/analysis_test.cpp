@@ -1,0 +1,150 @@
+// analysis/: linear fits, speedups, crossovers, tables.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/linear_fit.hpp"
+#include "analysis/series.hpp"
+#include "analysis/table.hpp"
+
+namespace {
+
+using namespace obx::analysis;
+
+TEST(LinearFit, RecoversExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double v : x) y.push_back(37.0 + 8.09 * v);
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.intercept, 37.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 8.09, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.at(10.0), 37.0 + 80.9, 1e-9);
+}
+
+TEST(LinearFit, HandlesNoise) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(5.0 + 2.0 * i + ((i % 2 == 0) ? 0.1 : -0.1));
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 0.01);
+  EXPECT_NEAR(fit.intercept, 5.0, 0.2);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(LinearFit, ConstantSeries) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{4, 4, 4};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+}
+
+TEST(LinearFit, TailIgnoresSmallXRegime) {
+  // The floor-then-linear curve the paper's figures show: constant for
+  // small p, linear after.  The tail fit must recover the asymptotic slope.
+  std::vector<double> x, y;
+  for (double p = 64; p <= 65536; p *= 2) {
+    x.push_back(p);
+    y.push_back(std::max(1000.0, 2.0 * p));
+  }
+  const LinearFit tail = fit_linear_tail(x, y);
+  EXPECT_NEAR(tail.slope, 2.0, 0.05);
+}
+
+TEST(LinearFit, RejectsBadInput) {
+  const std::vector<double> one{1};
+  EXPECT_THROW(fit_linear(one, one), std::logic_error);
+  const std::vector<double> two{1, 2};
+  const std::vector<double> three{1, 2, 3};
+  EXPECT_THROW(fit_linear(two, three), std::logic_error);
+}
+
+TEST(LinearFit, Describe) {
+  LinearFit fit;
+  fit.intercept = 37e-6;
+  fit.slope = 8.09e-9;
+  const std::string s = describe_fit_seconds(fit);
+  EXPECT_NE(s.find("us"), std::string::npos);
+  EXPECT_NE(s.find("ns * p"), std::string::npos);
+}
+
+TEST(Series, Speedup) {
+  const std::vector<double> cpu{100, 200, 400};
+  const std::vector<double> gpu{10, 10, 10};
+  const auto s = speedup(cpu, gpu);
+  EXPECT_EQ(s, (std::vector<double>{10, 20, 40}));
+  const std::vector<double> zero{0, 0, 0};
+  EXPECT_EQ(speedup(cpu, zero), (std::vector<double>{0, 0, 0}));
+}
+
+TEST(Series, CrossoverFindsStablePoint) {
+  const std::vector<double> a{10, 9, 5, 3, 1};
+  const std::vector<double> b{5, 5, 5, 5, 5};
+  // a dips below b at index 3 and stays below.
+  const auto idx = crossover_index(a, b);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 3u);
+}
+
+TEST(Series, CrossoverRejectsTransientDips) {
+  const std::vector<double> a{1, 9, 1, 9};
+  const std::vector<double> b{5, 5, 5, 5};
+  EXPECT_FALSE(crossover_index(a, b).has_value());
+}
+
+TEST(Series, MaxAndRelativeError) {
+  const std::vector<double> v{1.0, 7.0, 3.0};
+  EXPECT_EQ(max_value(v), 7.0);
+  EXPECT_EQ(max_value({}), 0.0);
+  EXPECT_NEAR(relative_error(101.0, 100.0), 0.01, 1e-12);
+}
+
+TEST(Table, PrintsAligned) {
+  Table t({"p", "time"});
+  t.add_row({"64", "1.5 ms"});
+  t.add_row({"4M", "10.0 ms"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("p"), std::string::npos);
+  EXPECT_NE(out.find("4M"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name", "value"});
+  t.add_row({"a,b", "quote\"inside"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, SaveCsvWritesFile) {
+  const std::string path = "/tmp/obx_table_test.csv";
+  Table t({"x"});
+  t.add_row({"1"});
+  t.save_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1");
+  std::filesystem::remove(path);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,62 @@
+// The command-line argument parser behind obx_cli.
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+
+namespace {
+
+using obx::cli::Args;
+
+Args parse(std::initializer_list<const char*> argv,
+           const std::set<std::string>& flags = {},
+           const std::set<std::string>& known = {}) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return Args::parse(static_cast<int>(v.size()), v.data(), flags, known);
+}
+
+TEST(Cli, PositionalAndOptions) {
+  const Args args = parse({"run", "fft", "--n", "64", "--p=128"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "run");
+  EXPECT_EQ(args.positional()[1], "fft");
+  EXPECT_EQ(args.get_int("n", 0), 64);
+  EXPECT_EQ(args.get_int("p", 0), 128);
+}
+
+TEST(Cli, Defaults) {
+  const Args args = parse({"run"});
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(args.get_bool("missing"));
+}
+
+TEST(Cli, BooleanFlags) {
+  const Args args = parse({"--overlap", "--n", "4"}, {"overlap"});
+  EXPECT_TRUE(args.get_bool("overlap"));
+  EXPECT_EQ(args.get_int("n", 0), 4);
+  EXPECT_THROW(parse({"--overlap=yes"}, {"overlap"}), std::logic_error);
+}
+
+TEST(Cli, EqualsSyntax) {
+  const Args args = parse({"--model=dmm", "--ratio=2.5"});
+  EXPECT_EQ(args.get("model", ""), "dmm");
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0), 2.5);
+}
+
+TEST(Cli, Validation) {
+  EXPECT_THROW(parse({"--n"}), std::logic_error);                       // missing value
+  EXPECT_THROW(parse({"--n", "abc"}).get_int("n", 0), std::logic_error);
+  EXPECT_THROW(parse({"--x", "1y"}).get_double("x", 0), std::logic_error);
+  EXPECT_THROW(parse({"--bogus", "1"}, {}, {"n"}), std::logic_error);   // unknown
+  EXPECT_NO_THROW(parse({"--n", "1"}, {}, {"n"}));
+}
+
+TEST(Cli, NegativeNumbers) {
+  const Args args = parse({"--n", "-5", "--x", "-2.5"});
+  EXPECT_EQ(args.get_int("n", 0), -5);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0), -2.5);
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// common/: coroutine generator, RNG, formatting, checks.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/format.hpp"
+#include "common/generator.hpp"
+#include "common/rng.hpp"
+#include "trace/value.hpp"
+
+namespace {
+
+using namespace obx;
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+Generator<int> count_to(int n) {
+  for (int i = 0; i < n; ++i) co_yield i;
+}
+
+Generator<int> throwing_gen() {
+  co_yield 1;
+  throw std::runtime_error("boom");
+}
+
+TEST(Generator, YieldsInOrder) {
+  auto gen = count_to(5);
+  std::vector<int> got;
+  int v;
+  while (gen.next(v)) got.push_back(v);
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_FALSE(gen.next(v));  // exhausted stays exhausted
+}
+
+TEST(Generator, RangeForInterface) {
+  auto gen = count_to(4);
+  int sum = 0;
+  for (int v : gen) sum += v;
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(Generator, EmptyStream) {
+  auto gen = count_to(0);
+  int v;
+  EXPECT_FALSE(gen.next(v));
+}
+
+TEST(Generator, PropagatesExceptions) {
+  auto gen = throwing_gen();
+  int v;
+  EXPECT_TRUE(gen.next(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_THROW(gen.next(v), std::runtime_error);
+}
+
+TEST(Generator, MoveTransfersOwnership) {
+  auto gen = count_to(3);
+  int v;
+  ASSERT_TRUE(gen.next(v));
+  Generator<int> other = std::move(gen);
+  ASSERT_TRUE(other.next(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_FALSE(gen.valid());
+}
+
+TEST(Generator, DefaultConstructedIsEmpty) {
+  Generator<int> gen;
+  int v;
+  EXPECT_FALSE(gen.next(v));
+  EXPECT_FALSE(gen.valid());
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+  EXPECT_THROW(rng.next_below(0), std::logic_error);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(2);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 1000; ++i) ++seen[rng.next_below(5)];
+  for (int count : seen) EXPECT_GT(count, 100);  // roughly uniform
+}
+
+TEST(Rng, DoublesInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, WordVectors) {
+  Rng rng(4);
+  const auto f = rng.words_f64(100, 0.0, 1.0);
+  ASSERT_EQ(f.size(), 100u);
+  for (Word w : f) {
+    const double v = trace::as_f64(w);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  const auto u = rng.words_u64(100, 10);
+  for (Word w : u) EXPECT_LT(w, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Formatting
+// ---------------------------------------------------------------------------
+
+TEST(Format, Counts) {
+  EXPECT_EQ(format_count(64), "64");
+  EXPECT_EQ(format_count(1024), "1K");
+  EXPECT_EQ(format_count(32768), "32K");
+  EXPECT_EQ(format_count(4194304), "4M");
+  EXPECT_EQ(format_count(1073741824), "1G");
+  EXPECT_EQ(format_count(1000), "1000");  // not a binary multiple
+  EXPECT_EQ(format_count(1536), "1536");  // 1.5K stays exact
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(format_seconds(2.5), "2.500 s");
+  EXPECT_EQ(format_seconds(0.0679), "67.900 ms");
+  EXPECT_EQ(format_seconds(37e-6), "37.000 us");
+  EXPECT_EQ(format_seconds(8.09e-9), "8.090 ns");
+}
+
+TEST(Format, Units) {
+  EXPECT_EQ(format_units(12.0), "12 cycles");
+  EXPECT_EQ(format_units(12345.0), "12.345 Kcycles");
+  EXPECT_EQ(format_units(3.5e6), "3.500 Mcycles");
+  EXPECT_EQ(format_units(2e9), "2.000 Gcycles");
+}
+
+// ---------------------------------------------------------------------------
+// Checks
+// ---------------------------------------------------------------------------
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    OBX_CHECK(false, "the message");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("common_test"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) { OBX_CHECK(true, "never seen"); }
+
+}  // namespace

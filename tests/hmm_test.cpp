@@ -1,0 +1,104 @@
+// The HMM staged schedule: admissibility, phase accounting, and the
+// data-reuse crossover against the paper's global-only execution.
+#include <gtest/gtest.h>
+
+#include "algos/opt_triangulation.hpp"
+#include "algos/prefix_sums.hpp"
+#include "hmm/hmm_estimator.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace obx::hmm;
+
+HmmConfig small_hmm() {
+  HmmConfig cfg;
+  cfg.num_sms = 4;
+  cfg.shared = umm::MachineConfig{.width = 8, .latency = 2};
+  cfg.global = umm::MachineConfig{.width = 8, .latency = 100};
+  cfg.shared_capacity_words = 1024;
+  return cfg;
+}
+
+TEST(Hmm, ConfigValidation) {
+  HmmConfig cfg = small_hmm();
+  cfg.num_sms = 0;
+  EXPECT_THROW(HmmEstimator{cfg}, std::logic_error);
+  cfg = small_hmm();
+  cfg.shared_capacity_words = 0;
+  EXPECT_THROW(HmmEstimator{cfg}, std::logic_error);
+  EXPECT_NO_THROW(HmmEstimator{small_hmm()});
+}
+
+TEST(Hmm, AdmissibilityFollowsCapacity) {
+  const HmmEstimator est(small_hmm());
+  EXPECT_TRUE(est.admissible(algos::prefix_sums_program(512)));
+  EXPECT_FALSE(est.admissible(algos::prefix_sums_program(2048)));
+  EXPECT_THROW(est.run(algos::prefix_sums_program(2048), 64), std::logic_error);
+}
+
+TEST(Hmm, PhaseAccountingExact) {
+  // prefix-sums n=16, p=64 over 4 SMs (16 lanes each), w=8, L=100, l_s=2.
+  const HmmEstimator est(small_hmm());
+  const trace::Program program = algos::prefix_sums_program(16);
+  const HmmTiming t = est.run(program, 64);
+  EXPECT_EQ(t.lanes_per_sm, 16u);
+  // copy-in: ceil(64/8)*16 + 100 - 1 = 128 + 99 = 227; same out.
+  EXPECT_EQ(t.copy_in, 227u);
+  EXPECT_EQ(t.copy_out, 227u);
+  // compute: 32 steps * (16/8 + 2 - 1) = 32 * 3 = 96.
+  EXPECT_EQ(t.compute, 96u);
+  EXPECT_EQ(t.total(), 227u + 227u + 96u);
+}
+
+TEST(Hmm, PrefixSumsGainsLittle) {
+  // t = 2n with n words of I/O: staging roughly doubles the global traffic,
+  // so the staged schedule must NOT win big (and may lose).
+  const HmmEstimator est(small_hmm());
+  const trace::Program program = algos::prefix_sums_program(256);
+  const std::size_t p = 1024;
+  const TimeUnits staged = est.run(program, p).total();
+  const TimeUnits global = est.global_only(program, p);
+  EXPECT_GT(static_cast<double>(staged) / static_cast<double>(global), 0.5);
+}
+
+TEST(Hmm, OptGainsHugely) {
+  // OPT: t = Θ(n³) over Θ(n²) words — staging pays the copy once and runs
+  // the heavy DP at shared latency.
+  const HmmEstimator est(small_hmm());
+  const trace::Program program = algos::opt_program(16);  // 512 words, fits
+  const std::size_t p = 1024;
+  const TimeUnits staged = est.run(program, p).total();
+  const TimeUnits global = est.global_only(program, p);
+  EXPECT_LT(staged * 2, global) << "staged=" << staged << " global=" << global;
+}
+
+TEST(Hmm, MoreSmsShrinkComputePhase) {
+  HmmConfig cfg = small_hmm();
+  const trace::Program program = algos::opt_program(12);
+  cfg.num_sms = 1;
+  const HmmTiming one = HmmEstimator(cfg).run(program, 256);
+  cfg.num_sms = 8;
+  const HmmTiming eight = HmmEstimator(cfg).run(program, 256);
+  EXPECT_LT(eight.compute, one.compute);
+  EXPECT_EQ(eight.copy_in, one.copy_in);  // global traffic is unchanged
+  EXPECT_EQ(one.lanes_per_sm, 256u);
+  EXPECT_EQ(eight.lanes_per_sm, 32u);
+}
+
+TEST(Hmm, TitanPresetIsConsistent) {
+  const HmmConfig cfg = gtx_titan_hmm();
+  EXPECT_EQ(cfg.num_sms, 14u);
+  EXPECT_EQ(cfg.global.width, 32u);
+  EXPECT_GT(cfg.global.latency, cfg.shared.latency);
+  EXPECT_NO_THROW(HmmEstimator{cfg});
+}
+
+TEST(Hmm, LanesRoundUpToBusiestSm) {
+  const HmmEstimator est(small_hmm());
+  const trace::Program program = algos::prefix_sums_program(8);
+  EXPECT_EQ(est.run(program, 5).lanes_per_sm, 2u);   // 5 lanes on 4 SMs
+  EXPECT_EQ(est.run(program, 4).lanes_per_sm, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Scalar interpreter: the sequential RAM semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/interpreter.hpp"
+#include "trace/program.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace obx::trace;
+
+Program tiny_program(std::vector<Step> steps, std::size_t memory_words,
+                     std::size_t input_words) {
+  return make_replay_program("tiny", memory_words, input_words, 0, memory_words, 16,
+                             std::move(steps));
+}
+
+TEST(Interpreter, LoadAluStore) {
+  // mem[1] = mem[0] + 1.0
+  const Program p = tiny_program(
+      {
+          Step::load(0, 0),
+          Step::imm_f64(1, 1.0),
+          Step::alu(Op::kAddF, 2, 0, 1),
+          Step::store(1, 2),
+      },
+      2, 1);
+  const std::vector<Word> input{from_f64(41.0)};
+  const InterpreterResult r = interpret(p, input);
+  EXPECT_EQ(as_f64(r.memory[1]), 42.0);
+  EXPECT_EQ(r.counts.loads, 1u);
+  EXPECT_EQ(r.counts.stores, 1u);
+  EXPECT_EQ(r.counts.alu, 1u);
+  EXPECT_EQ(r.counts.imm, 1u);
+  EXPECT_EQ(r.ram_time(), 2u);
+}
+
+TEST(Interpreter, UninitialisedMemoryIsZero) {
+  const Program p = tiny_program({Step::load(0, 3), Step::store(0, 0)}, 4, 1);
+  const std::vector<Word> input{from_f64(5.0)};
+  const InterpreterResult r = interpret(p, input);
+  EXPECT_EQ(r.memory[0], 0u);  // overwritten by the zero at mem[3]
+}
+
+TEST(Interpreter, OutputSpanReflectsDeclaredRegion) {
+  Program p = tiny_program({Step::imm_f64(0, 9.0), Step::store(2, 0)}, 4, 0);
+  p.output_offset = 2;
+  p.output_words = 1;
+  const InterpreterResult r = interpret(p, {});
+  const auto out = r.output(p);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(as_f64(out[0]), 9.0);
+}
+
+TEST(Interpreter, RejectsWrongInputSize) {
+  const Program p = tiny_program({Step::load(0, 0)}, 2, 1);
+  const std::vector<Word> wrong{1, 2};
+  EXPECT_THROW(interpret(p, wrong), std::logic_error);
+}
+
+TEST(Interpreter, RejectsOutOfBoundsAccess) {
+  const Program bad_load = tiny_program({Step::load(0, 10)}, 2, 0);
+  EXPECT_THROW(interpret(bad_load, {}), std::logic_error);
+  const Program bad_store = tiny_program({Step::store(10, 0)}, 2, 0);
+  EXPECT_THROW(interpret(bad_store, {}), std::logic_error);
+}
+
+TEST(Interpreter, RejectsRegisterOutOfRange) {
+  Program p = tiny_program({Step::load(20, 0)}, 2, 0);
+  p.register_count = 4;
+  EXPECT_THROW(interpret(p, {}), std::logic_error);
+}
+
+TEST(Interpreter, CmovKeepsOldDestination) {
+  // dst starts 0; cmov with a >= b must leave it.
+  const Program p = tiny_program(
+      {
+          Step::imm_f64(0, 2.0),
+          Step::imm_f64(1, 1.0),
+          Step::imm_f64(2, 99.0),
+          Step::imm_f64(3, 7.0),
+          Step::alu(Op::kCmovLtF, 3, 0, 1, 2),  // 2.0 < 1.0 ? no → keep 7.0
+          Step::store(0, 3),
+      },
+      1, 0);
+  const InterpreterResult r = interpret(p, {});
+  EXPECT_EQ(as_f64(r.memory[0]), 7.0);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Data arrangements: the address maps of the paper's Figures 5 and 10.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "bulk/layout.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace obx::bulk;
+
+TEST(Layout, PaperFigure5RowWise) {
+  // p = 4 arrays of n = 6 words: b_j[i] at j*6 + i.
+  const Layout layout = Layout::row_wise(4, 6);
+  EXPECT_EQ(layout.global(0, 0), 0u);
+  EXPECT_EQ(layout.global(5, 0), 5u);
+  EXPECT_EQ(layout.global(0, 1), 6u);
+  EXPECT_EQ(layout.global(3, 2), 15u);
+  EXPECT_EQ(layout.global(5, 3), 23u);
+  EXPECT_EQ(layout.total_words(), 24u);
+}
+
+TEST(Layout, PaperFigure5ColumnWise) {
+  // b_j[i] at i*4 + j.
+  const Layout layout = Layout::column_wise(4, 6);
+  EXPECT_EQ(layout.global(0, 0), 0u);
+  EXPECT_EQ(layout.global(0, 3), 3u);
+  EXPECT_EQ(layout.global(1, 0), 4u);
+  EXPECT_EQ(layout.global(5, 3), 23u);
+}
+
+TEST(Layout, GlobalIsABijection) {
+  for (const Layout& layout :
+       {Layout::row_wise(8, 5), Layout::column_wise(8, 5), Layout::blocked(8, 5, 4)}) {
+    std::set<Addr> seen;
+    for (Lane j = 0; j < 8; ++j) {
+      for (Addr a = 0; a < 5; ++a) {
+        const Addr g = layout.global(a, j);
+        EXPECT_LT(g, layout.total_words()) << layout.name();
+        EXPECT_TRUE(seen.insert(g).second)
+            << layout.name() << " duplicates address " << g;
+      }
+    }
+    EXPECT_EQ(seen.size(), layout.total_words());
+  }
+}
+
+TEST(Layout, BlockedDegeneratesToNeighbours) {
+  // block = 1: every lane is its own contiguous block ≡ row-wise;
+  // block = p: one block interleaving all lanes ≡ column-wise.
+  const Layout row = Layout::row_wise(8, 5);
+  const Layout blocked1 = Layout::blocked(8, 5, 1);
+  const Layout col = Layout::column_wise(8, 5);
+  const Layout blockedp = Layout::blocked(8, 5, 8);
+  for (Lane j = 0; j < 8; ++j) {
+    for (Addr a = 0; a < 5; ++a) {
+      EXPECT_EQ(blocked1.global(a, j), row.global(a, j));
+      EXPECT_EQ(blockedp.global(a, j), col.global(a, j));
+    }
+  }
+}
+
+TEST(Layout, StrideProperties) {
+  EXPECT_EQ(Layout::row_wise(8, 5).lane_stride(), 5u);
+  EXPECT_EQ(Layout::column_wise(8, 5).lane_stride(), 1u);
+  EXPECT_EQ(Layout::blocked(8, 5, 4).lane_stride(), 1u);
+
+  EXPECT_EQ(Layout::row_wise(8, 5).stride_base(3), 3u);
+  EXPECT_EQ(Layout::column_wise(8, 5).stride_base(3), 24u);
+  EXPECT_EQ(Layout::blocked(8, 5, 4).stride_base(3), 12u);
+}
+
+TEST(Layout, UniformResidue) {
+  EXPECT_TRUE(Layout::row_wise(64, 5).uniform_residue(32));
+  EXPECT_TRUE(Layout::column_wise(64, 5).uniform_residue(32));
+  EXPECT_TRUE(Layout::blocked(64, 5, 32).uniform_residue(32));
+  EXPECT_FALSE(Layout::blocked(64, 5, 16).uniform_residue(32));
+}
+
+TEST(Layout, ScatterGatherRoundTrip) {
+  for (const Layout& layout :
+       {Layout::row_wise(4, 6), Layout::column_wise(4, 6), Layout::blocked(4, 6, 2)}) {
+    std::vector<Word> memory(layout.total_words(), 0);
+    for (Lane j = 0; j < 4; ++j) {
+      std::vector<Word> input(6);
+      for (std::size_t i = 0; i < 6; ++i) input[i] = 100 * j + i;
+      layout.scatter(input, j, memory);
+    }
+    for (Lane j = 0; j < 4; ++j) {
+      std::vector<Word> out(6);
+      layout.gather(memory, j, 0, out);
+      for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(out[i], 100 * j + i);
+    }
+  }
+}
+
+TEST(Layout, GatherSubRange) {
+  const Layout layout = Layout::column_wise(2, 8);
+  std::vector<Word> memory(layout.total_words(), 0);
+  std::vector<Word> input{0, 1, 2, 3, 4, 5, 6, 7};
+  layout.scatter(input, 1, memory);
+  std::vector<Word> out(3);
+  layout.gather(memory, 1, 4, out);
+  EXPECT_EQ(out, (std::vector<Word>{4, 5, 6}));
+}
+
+TEST(Layout, Validation) {
+  EXPECT_THROW(Layout::row_wise(0, 5), std::logic_error);
+  EXPECT_THROW(Layout::column_wise(4, 0), std::logic_error);
+  EXPECT_THROW(Layout::blocked(8, 5, 3), std::logic_error);  // 3 does not divide 8
+  EXPECT_THROW(Layout::blocked(8, 5, 0), std::logic_error);
+}
+
+TEST(Layout, Names) {
+  EXPECT_EQ(Layout::row_wise(4, 4).name(), "row-wise");
+  EXPECT_EQ(Layout::column_wise(4, 4).name(), "column-wise");
+  EXPECT_EQ(Layout::blocked(4, 4, 2).name(), "blocked(2)");
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// The composed machine: functional memory + time-unit accounting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "umm/machine.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace obx::umm;
+
+MachineConfig small_config() { return MachineConfig{.width = 4, .latency = 5}; }
+
+TEST(Machine, ReadBackWrites) {
+  Machine m(Model::kUmm, small_config(), 64);
+  const std::vector<Addr> addrs{0, 1, 2, 3};
+  const std::vector<Word> values{10, 20, 30, 40};
+  m.step_write(addrs, values);
+  std::vector<Word> out(4, 0);
+  m.step_read(addrs, out);
+  EXPECT_EQ(out, values);
+}
+
+TEST(Machine, CoalescedWarpTiming) {
+  // One warp of 4 lanes into one aligned address group: l time units.
+  Machine m(Model::kUmm, small_config(), 64);
+  const std::vector<Addr> addrs{8, 9, 10, 11};
+  const std::vector<Word> values{1, 2, 3, 4};
+  EXPECT_EQ(m.step_write(addrs, values), 5u);
+  EXPECT_EQ(m.time_units(), 5u);
+}
+
+TEST(Machine, PaperFigure4TwoWarps) {
+  // 8 lanes = 2 warps at w = 4.  First warp spans 3 groups, second spans 1:
+  // the step completes in 3 + 1 + 5 - 1 = 8 time units.
+  Machine m(Model::kUmm, small_config(), 64);
+  const std::vector<Addr> addrs{0, 5, 6, 10, 16, 17, 18, 19};
+  std::vector<Word> out(8, 0);
+  EXPECT_EQ(m.step_read(addrs, out), 8u);
+  EXPECT_EQ(m.stats().warps_dispatched, 2u);
+  EXPECT_EQ(m.stats().stages_total, 4u);
+}
+
+TEST(Machine, InactiveLanesUntouched) {
+  Machine m(Model::kUmm, small_config(), 16);
+  const std::vector<Addr> w_addrs{0, 1, 2, 3};
+  const std::vector<Word> w_vals{7, 7, 7, 7};
+  m.step_write(w_addrs, w_vals);
+
+  std::vector<Addr> addrs{0, kInvalidAddr, 2, kInvalidAddr};
+  std::vector<Word> out{99, 99, 99, 99};
+  m.step_read(addrs, out);
+  EXPECT_EQ(out[0], 7u);
+  EXPECT_EQ(out[1], 99u);  // untouched
+  EXPECT_EQ(out[2], 7u);
+  EXPECT_EQ(out[3], 99u);
+}
+
+TEST(Machine, FullyInactiveStepIsFree) {
+  Machine m(Model::kUmm, small_config(), 16);
+  std::vector<Addr> addrs(4, kInvalidAddr);
+  std::vector<Word> out(4, 0);
+  EXPECT_EQ(m.step_read(addrs, out), 0u);
+  EXPECT_EQ(m.time_units(), 0u);
+  EXPECT_EQ(m.stats().access_steps, 0u);
+}
+
+TEST(Machine, ComputeStepsFreeByDefault) {
+  Machine m(Model::kUmm, small_config(), 16);
+  EXPECT_EQ(m.step_compute(), 0u);
+  EXPECT_EQ(m.time_units(), 0u);
+  EXPECT_EQ(m.stats().compute_steps, 1u);
+}
+
+TEST(Machine, ComputeStepsChargedWhenEnabled) {
+  MachineConfig cfg = small_config();
+  cfg.count_compute = true;
+  Machine m(Model::kUmm, cfg, 16);
+  EXPECT_EQ(m.step_compute(), 1u);
+  EXPECT_EQ(m.time_units(), 1u);
+}
+
+TEST(Machine, DmmBankConflictTiming) {
+  // w = 4 lanes hitting addresses 0,4,8,12: all bank 0 → 4 stages on the
+  // DMM (4 + 5 - 1 = 8 units), but 4 groups on the UMM too (same here).
+  const std::vector<Addr> conflict{0, 4, 8, 12};
+  std::vector<Word> out(4, 0);
+  Machine dmm(Model::kDmm, small_config(), 64);
+  EXPECT_EQ(dmm.step_read(conflict, out), 8u);
+
+  // Broadcast: 1 group on the UMM (5 units) vs 4-way conflict on the DMM (8).
+  const std::vector<Addr> broadcast{3, 3, 3, 3};
+  Machine umm2(Model::kUmm, small_config(), 64);
+  Machine dmm2(Model::kDmm, small_config(), 64);
+  EXPECT_EQ(umm2.step_read(broadcast, out), 5u);
+  EXPECT_EQ(dmm2.step_read(broadcast, out), 8u);
+}
+
+TEST(Machine, MismatchedSpansRejected) {
+  Machine m(Model::kUmm, small_config(), 16);
+  const std::vector<Addr> addrs{0, 1};
+  std::vector<Word> out(3, 0);
+  EXPECT_THROW(m.step_read(addrs, out), std::logic_error);
+}
+
+TEST(Machine, SerializedStepsSumLatency) {
+  // t dependent steps, each one coalesced warp: total = t * l.
+  Machine m(Model::kUmm, small_config(), 64);
+  const std::vector<Addr> addrs{0, 1, 2, 3};
+  std::vector<Word> out(4, 0);
+  for (int i = 0; i < 10; ++i) m.step_read(addrs, out);
+  EXPECT_EQ(m.time_units(), 50u);
+  EXPECT_EQ(m.stats().access_steps, 10u);
+}
+
+}  // namespace

@@ -1,0 +1,51 @@
+// Flat functional memory.
+#include <gtest/gtest.h>
+
+#include "umm/memory_image.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace obx::umm;
+
+TEST(MemoryImage, ZeroInitialised) {
+  MemoryImage mem(8);
+  EXPECT_EQ(mem.size(), 8u);
+  for (Addr a = 0; a < 8; ++a) EXPECT_EQ(mem.load(a), 0u);
+}
+
+TEST(MemoryImage, StoreLoadRoundTrip) {
+  MemoryImage mem(4);
+  mem.store(2, 42);
+  EXPECT_EQ(mem.load(2), 42u);
+  EXPECT_EQ(mem.load(1), 0u);
+}
+
+TEST(MemoryImage, FillAndExtract) {
+  MemoryImage mem(10);
+  const std::vector<Word> data{1, 2, 3};
+  mem.fill(4, data);
+  std::vector<Word> out(3);
+  mem.extract(4, out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(mem.load(3), 0u);
+  EXPECT_EQ(mem.load(7), 0u);
+}
+
+TEST(MemoryImage, BoundsCheckedTransfers) {
+  MemoryImage mem(4);
+  const std::vector<Word> data{1, 2, 3};
+  EXPECT_THROW(mem.fill(2, data), std::logic_error);
+  std::vector<Word> out(3);
+  EXPECT_THROW(mem.extract(2, out), std::logic_error);
+}
+
+TEST(MemoryImage, SpanExposesStorage) {
+  MemoryImage mem(4);
+  mem.span()[1] = 9;
+  EXPECT_EQ(mem.load(1), 9u);
+  const MemoryImage& cref = mem;
+  EXPECT_EQ(cref.span()[1], 9u);
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+// Mechanical obliviousness checking (the paper's Section III definition).
+#include <gtest/gtest.h>
+
+#include "algos/prefix_sums.hpp"
+#include "trace/oblivious_checker.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace obx::trace;
+
+TEST(Checker, PrefixSumsProgramIsOblivious) {
+  const auto report = check_program(algos::prefix_sums_program(32), 3);
+  EXPECT_TRUE(report.oblivious);
+  // Access function of the paper: a(2i) = a(2i+1) = i.
+  ASSERT_EQ(report.access_function.size(), 64u);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(report.access_function[2 * i], i);
+    EXPECT_EQ(report.access_function[2 * i + 1], i);
+  }
+}
+
+TEST(Checker, ObliviousCallbackAccepted) {
+  // Oblivious max-scan: reads every element, writes a running max — the
+  // *values* depend on data, the addresses do not.
+  auto algorithm = [](TraceMemory& mem) {
+    double best = -1e300;
+    for (Addr i = 0; i < mem.size(); ++i) {
+      const double v = mem.load_f64(i);
+      if (v > best) best = v;  // data-dependent values are fine
+      mem.store_f64(i, best);
+    }
+  };
+  const auto report = check_callback(algorithm, 16, 5);
+  EXPECT_TRUE(report.oblivious) << report.detail;
+  EXPECT_EQ(report.access_function.size(), 32u);
+}
+
+TEST(Checker, DataDependentAddressRejected) {
+  // A binary-search-like probe: the address touched depends on the data.
+  auto algorithm = [](TraceMemory& mem) {
+    const double v = mem.load_f64(0);
+    const Addr next = v < 0 ? 1 : 2;
+    (void)mem.load_f64(next);
+  };
+  const auto report = check_callback(algorithm, 8, 8);
+  EXPECT_FALSE(report.oblivious);
+  EXPECT_NE(report.detail.find("depends on input data"), std::string::npos);
+}
+
+TEST(Checker, DataDependentTraceLengthRejected) {
+  // Early exit on sign: trace length varies with the input.
+  auto algorithm = [](TraceMemory& mem) {
+    for (Addr i = 0; i < mem.size(); ++i) {
+      if (mem.load_f64(i) < 0) return;
+    }
+  };
+  const auto report = check_callback(algorithm, 8, 8);
+  EXPECT_FALSE(report.oblivious);
+}
+
+TEST(Checker, CallbackNeedsTwoTrials) {
+  auto algorithm = [](TraceMemory&) {};
+  EXPECT_THROW(check_callback(algorithm, 4, 1), std::logic_error);
+}
+
+TEST(Checker, TraceMemoryBoundsChecked) {
+  TraceMemory mem(std::vector<Word>(4, 0));
+  EXPECT_THROW(mem.load(10), std::logic_error);
+  EXPECT_THROW(mem.store(10, 1), std::logic_error);
+}
+
+TEST(Checker, TraceMemoryRecordsOrder) {
+  TraceMemory mem(std::vector<Word>(4, 0));
+  mem.store(2, 1);
+  (void)mem.load(0);
+  mem.store(3, 1);
+  const std::vector<Addr> expected{2, 0, 3};
+  EXPECT_EQ(mem.trace(), expected);
+}
+
+}  // namespace

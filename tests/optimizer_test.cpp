@@ -1,0 +1,227 @@
+// The peephole optimiser: pass-level unit tests plus differential
+// verification over the whole algorithm library and fuzzed programs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algos/algorithm.hpp"
+#include "common/rng.hpp"
+#include "opt/optimizer.hpp"
+#include "opt/passes.hpp"
+#include "trace/interpreter.hpp"
+#include "trace/oblivious_checker.hpp"
+#include "trace/recorder.hpp"
+#include "trace/value.hpp"
+
+namespace {
+
+using namespace obx;
+using trace::Op;
+using trace::Step;
+
+// ---------------------------------------------------------------------------
+// Pass units
+// ---------------------------------------------------------------------------
+
+TEST(ForwardLoads, StoreToLoadBecomesMov) {
+  std::vector<Step> steps{
+      Step::imm_f64(0, 1.0),
+      Step::store(5, 0),
+      Step::load(1, 5),  // forwardable
+  };
+  const auto out = opt::forward_loads(steps, 4);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2].kind, trace::StepKind::kAlu);
+  EXPECT_EQ(out[2].op, Op::kMov);
+  EXPECT_EQ(out[2].dst, 1);
+  EXPECT_EQ(out[2].src0, 0);
+}
+
+TEST(ForwardLoads, RedundantLoadDropped) {
+  std::vector<Step> steps{
+      Step::load(0, 3),
+      Step::load(0, 3),  // same reg, same addr, nothing between
+  };
+  EXPECT_EQ(opt::forward_loads(steps, 4).size(), 1u);
+}
+
+TEST(ForwardLoads, ClobberBlocksForwarding) {
+  std::vector<Step> steps{
+      Step::load(0, 3),
+      Step::alu(Op::kAddF, 0, 0, 0),  // clobbers r0
+      Step::load(0, 3),               // must stay
+  };
+  EXPECT_EQ(opt::forward_loads(steps, 4).size(), 3u);
+}
+
+TEST(ForwardLoads, StoreInvalidatesOtherHolders) {
+  std::vector<Step> steps{
+      Step::load(0, 3),   // r0 := mem[3]
+      Step::store(3, 1),  // mem[3] := r1 (r0 now stale)
+      Step::load(2, 3),   // must forward from r1, not r0
+  };
+  const auto out = opt::forward_loads(steps, 4);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2].op, Op::kMov);
+  EXPECT_EQ(out[2].src0, 1);
+}
+
+TEST(DeadStores, ScratchStoreRemoved) {
+  // Output region = [0, 1); the store at 5 is never read: dead.
+  std::vector<Step> steps{
+      Step::imm_f64(0, 1.0),
+      Step::store(5, 0),
+      Step::store(0, 0),
+  };
+  const auto out = opt::eliminate_dead_stores(steps, 0, 1);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].addr, 0u);
+}
+
+TEST(DeadStores, OverwrittenStoreRemoved) {
+  std::vector<Step> steps{
+      Step::imm_f64(0, 1.0),
+      Step::store(0, 0),  // overwritten below without an intervening load
+      Step::store(0, 0),
+  };
+  EXPECT_EQ(opt::eliminate_dead_stores(steps, 0, 1).size(), 2u);
+}
+
+TEST(DeadStores, LoadKeepsEarlierStoreAlive) {
+  std::vector<Step> steps{
+      Step::imm_f64(0, 1.0),
+      Step::store(5, 0),
+      Step::load(1, 5),   // reads it: live
+      Step::store(0, 1),
+  };
+  EXPECT_EQ(opt::eliminate_dead_stores(steps, 0, 1).size(), 4u);
+}
+
+TEST(DedupImmediates, RepeatedConstantDropped) {
+  std::vector<Step> steps{
+      Step::imm_f64(0, 1.0),
+      Step::store(0, 0),
+      Step::imm_f64(0, 1.0),  // same constant, register untouched
+      Step::store(1, 0),
+      Step::imm_f64(0, 2.0),  // different constant: kept
+  };
+  EXPECT_EQ(opt::dedup_immediates(steps, 4).size(), 4u);
+}
+
+TEST(DedupImmediates, LoadInvalidatesConstant) {
+  std::vector<Step> steps{
+      Step::imm_f64(0, 1.0),
+      Step::load(0, 0),
+      Step::imm_f64(0, 1.0),  // must be kept
+  };
+  EXPECT_EQ(opt::dedup_immediates(steps, 4).size(), 3u);
+}
+
+TEST(RemoveNops, DropsNopAndSelfMove) {
+  std::vector<Step> steps{
+      Step::alu(Op::kNop, 0, 0, 0),
+      Step::alu(Op::kMov, 1, 1),
+      Step::alu(Op::kMov, 1, 2),  // real move: kept
+  };
+  EXPECT_EQ(opt::remove_nops(steps).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end optimiser
+// ---------------------------------------------------------------------------
+
+/// Naive recording of a 3-tap moving sum: reloads the neighbours that a
+/// hand-tuned version would keep in registers.
+trace::Program naive_moving_sum(std::size_t n) {
+  trace::Recorder rec(2 * n);
+  for (Addr i = 0; i + 2 < n; ++i) {
+    auto s = rec.fload(i) + rec.fload(i + 1) + rec.fload(i + 2);
+    rec.fstore(n + i, s);
+  }
+  return std::move(rec).finish("naive-moving-sum", n, n, n);
+}
+
+TEST(Optimizer, ShrinksNaiveRecordedCode) {
+  const trace::Program naive = naive_moving_sum(64);
+  const opt::OptimizeResult r = opt::optimize(naive);
+  EXPECT_LT(r.after.memory(), r.before.memory());
+  // Each window shares two loads with its predecessor: ~2/3 of loads die.
+  EXPECT_GT(r.memory_step_reduction(), 0.3);
+
+  // Semantics preserved on random inputs.
+  Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto input = rng.words_f64(64, -10, 10);
+    const auto a = trace::interpret(naive, input);
+    const auto b = trace::interpret(r.program, input);
+    const auto ea = a.output(naive);
+    const auto eb = b.output(r.program);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) EXPECT_EQ(ea[i], eb[i]);
+  }
+}
+
+TEST(Optimizer, OptimisedProgramStaysOblivious) {
+  const opt::OptimizeResult r = opt::optimize(naive_moving_sum(32));
+  EXPECT_TRUE(trace::check_program(r.program, 3).oblivious);
+}
+
+class OptimizerDifferential
+    : public ::testing::TestWithParam<std::tuple<std::string, std::size_t>> {};
+
+TEST_P(OptimizerDifferential, PreservesOutputsAndNeverGrows) {
+  const auto& [name, n] = GetParam();
+  const algos::Algorithm& algo = algos::find(name);
+  const trace::Program original = algo.make_program(n);
+  const opt::OptimizeResult r = opt::optimize(original);
+  EXPECT_LE(r.after.total(), r.before.total());
+  EXPECT_LE(r.after.memory(), r.before.memory());
+
+  Rng rng(n * 17 + 5);
+  for (int trial = 0; trial < 2; ++trial) {
+    const auto input = algo.make_input(n, rng);
+    const auto a = trace::interpret(original, input);
+    const auto b = trace::interpret(r.program, input);
+    const auto ea = a.output(original);
+    const auto eb = b.output(r.program);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      ASSERT_EQ(ea[i], eb[i]) << name << " n=" << n << " word " << i;
+    }
+  }
+}
+
+std::vector<std::tuple<std::string, std::size_t>> differential_cases() {
+  std::vector<std::tuple<std::string, std::size_t>> cases;
+  for (const auto& algo : algos::registry()) {
+    const std::size_t n = algo.test_sizes[algo.test_sizes.size() / 2];
+    cases.emplace_back(algo.name, n);
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, OptimizerDifferential,
+                         ::testing::ValuesIn(differential_cases()),
+                         [](const auto& param_info) {
+                           std::string name = std::get<0>(param_info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Optimizer, ReportsPasses) {
+  const opt::OptimizeResult r = opt::optimize(naive_moving_sum(32));
+  EXPECT_FALSE(r.reports.empty());
+  std::size_t total_removed = 0;
+  for (const auto& rep : r.reports) total_removed += rep.removed;
+  EXPECT_EQ(total_removed, r.before.total() - r.after.total());
+}
+
+TEST(Optimizer, RespectsStepLimit) {
+  opt::OptimizeOptions options;
+  options.max_steps = 4;
+  EXPECT_THROW(opt::optimize(naive_moving_sum(32), options), std::logic_error);
+}
+
+}  // namespace

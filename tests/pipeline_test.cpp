@@ -1,0 +1,87 @@
+// The l-stage access pipeline, including the paper's Fig. 4 worked example.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "umm/machine_config.hpp"
+#include "umm/pipeline.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace obx::umm;
+
+TEST(Pipeline, PaperFigure4Example) {
+  // W(0) occupies 3 stages (3 address groups), W(1) occupies 1; with l = 5
+  // the batch completes at 3 + 1 + 5 - 1 = 8 time units.
+  const std::vector<std::uint64_t> stages{3, 1};
+  EXPECT_EQ(batch_completion_time(stages, 5), 8u);
+}
+
+TEST(Pipeline, EmptyBatchIsFree) {
+  EXPECT_EQ(batch_completion_time({}, 5), 0u);
+  const std::vector<std::uint64_t> zeros{0, 0, 0};
+  EXPECT_EQ(batch_completion_time(zeros, 5), 0u);  // undispatched warps are free
+}
+
+TEST(Pipeline, SingleCoalescedWarpCostsLatency) {
+  // One warp, one address group: completes in exactly l time units.
+  const std::vector<std::uint64_t> stages{1};
+  EXPECT_EQ(batch_completion_time(stages, 5), 5u);
+  EXPECT_EQ(batch_completion_time(stages, 1), 1u);
+}
+
+TEST(Pipeline, LatencyMustBePositive) {
+  const std::vector<std::uint64_t> stages{1};
+  EXPECT_THROW(batch_completion_time(stages, 0), std::logic_error);
+}
+
+TEST(Pipeline, StatefulClockAccumulates) {
+  AccessPipeline pipe(MachineConfig{.width = 4, .latency = 5});
+  EXPECT_EQ(pipe.now(), 0u);
+  const std::vector<std::uint64_t> batch1{3, 1};
+  EXPECT_EQ(pipe.submit_batch(batch1), 8u);
+  EXPECT_EQ(pipe.now(), 8u);
+  const std::vector<std::uint64_t> batch2{1};
+  EXPECT_EQ(pipe.submit_batch(batch2), 5u);
+  EXPECT_EQ(pipe.now(), 13u);
+  EXPECT_EQ(pipe.batches_submitted(), 2u);
+  EXPECT_EQ(pipe.stages_total(), 5u);
+}
+
+TEST(Pipeline, EmptyBatchDoesNotAdvanceClock) {
+  AccessPipeline pipe(MachineConfig{.width = 4, .latency = 5});
+  EXPECT_EQ(pipe.submit_batch({}), 0u);
+  EXPECT_EQ(pipe.now(), 0u);
+  EXPECT_EQ(pipe.batches_submitted(), 0u);
+}
+
+TEST(Pipeline, ComputeAdvance) {
+  AccessPipeline pipe(MachineConfig{.width = 4, .latency = 5});
+  pipe.advance(7);
+  EXPECT_EQ(pipe.now(), 7u);
+}
+
+class PipelineAdditivity : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PipelineAdditivity, BatchTimeIsStagesPlusLatencyMinusOne) {
+  const std::uint32_t l = GetParam();
+  for (std::uint64_t total = 1; total <= 40; ++total) {
+    const std::vector<std::uint64_t> one{total};
+    EXPECT_EQ(batch_completion_time(one, l), total + l - 1);
+    // Splitting the stages across warps must not change the batch time.
+    std::vector<std::uint64_t> split;
+    std::uint64_t rest = total;
+    while (rest > 2) {
+      split.push_back(2);
+      rest -= 2;
+    }
+    split.push_back(rest);
+    EXPECT_EQ(batch_completion_time(split, l), total + l - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Latencies, PipelineAdditivity,
+                         ::testing::Values(1u, 2u, 5u, 100u, 400u));
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Program containers: profiling, capture, replay determinism.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "algos/prefix_sums.hpp"
+#include "trace/interpreter.hpp"
+#include "trace/program.hpp"
+#include "trace/step.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace obx::trace;
+
+TEST(Program, ProfileCountsKinds) {
+  const Program p = algos::prefix_sums_program(10);
+  const StepCounts c = p.profile();
+  EXPECT_EQ(c.loads, 10u);
+  EXPECT_EQ(c.stores, 10u);
+  EXPECT_EQ(c.alu, 10u);
+  EXPECT_EQ(c.imm, 1u);
+  EXPECT_EQ(c.memory(), 20u);
+  EXPECT_EQ(c.total(), 31u);
+  EXPECT_EQ(p.memory_steps(), algos::prefix_sums_memory_steps(10));
+}
+
+TEST(Program, StreamIsReplayable) {
+  const Program p = algos::prefix_sums_program(5);
+  auto collect = [&] {
+    std::vector<Step> steps;
+    auto gen = p.stream();
+    for (const Step& s : gen) steps.push_back(s);
+    return steps;
+  };
+  const auto first = collect();
+  const auto second = collect();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) EXPECT_EQ(first[i], second[i]);
+}
+
+TEST(TracedProgram, CaptureMatchesSource) {
+  const Program source = algos::prefix_sums_program(8);
+  const TracedProgram traced = TracedProgram::capture(source);
+  EXPECT_EQ(traced.steps().size(), source.profile().total());
+  EXPECT_EQ(traced.program().memory_words, source.memory_words);
+
+  // The captured program's stream replays the identical sequence.
+  auto gen = traced.program().stream();
+  std::size_t idx = 0;
+  for (const Step& s : gen) {
+    ASSERT_LT(idx, traced.steps().size());
+    EXPECT_EQ(s, traced.steps()[idx]);
+    ++idx;
+  }
+  EXPECT_EQ(idx, traced.steps().size());
+}
+
+TEST(TracedProgram, CaptureRespectsLimit) {
+  const Program source = algos::prefix_sums_program(100);
+  EXPECT_THROW(TracedProgram::capture(source, 10), std::logic_error);
+}
+
+TEST(Program, ReplayProgramRoundTrip) {
+  std::vector<Step> steps{Step::load(0, 0), Step::store(1, 0)};
+  const Program p = make_replay_program("copy", 2, 1, 1, 1, 2, steps);
+  EXPECT_EQ(p.name, "copy");
+  EXPECT_EQ(p.memory_steps(), 2u);
+  auto gen = p.stream();
+  Step s;
+  ASSERT_TRUE(gen.next(s));
+  EXPECT_EQ(s, steps[0]);
+  ASSERT_TRUE(gen.next(s));
+  EXPECT_EQ(s, steps[1]);
+  EXPECT_FALSE(gen.next(s));
+}
+
+TEST(Program, ProfileRequiresStream) {
+  Program p;
+  EXPECT_THROW(p.profile(), std::logic_error);
+}
+
+TEST(Program, ConcatRunsBothInOrder) {
+  // prefix-sums applied twice = second-order prefix sums.
+  const Program once = algos::prefix_sums_program(4);
+  const Program twice = concat_programs(once, once);
+  EXPECT_EQ(twice.memory_steps(), 2 * once.memory_steps());
+  EXPECT_EQ(twice.name, once.name + " ; " + once.name);
+
+  std::vector<Word> input(4);
+  for (int i = 0; i < 4; ++i) input[static_cast<std::size_t>(i)] = Step::imm_f64(0, 1.0).imm;
+  // input = [1,1,1,1] -> prefix [1,2,3,4] -> prefix [1,3,6,10].
+  const auto run = obx::trace::interpret(twice, input);
+  const double expected[] = {1, 3, 6, 10};
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(std::bit_cast<double>(run.memory[i]), expected[i]);
+  }
+}
+
+TEST(Program, ConcatRejectsMismatchedMemory) {
+  EXPECT_THROW(concat_programs(algos::prefix_sums_program(4),
+                               algos::prefix_sums_program(8)),
+               std::logic_error);
+}
+
+}  // namespace

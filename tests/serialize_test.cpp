@@ -1,0 +1,119 @@
+// .obx program serialisation round-trips.
+#include <gtest/gtest.h>
+
+#include "algos/algorithm.hpp"
+#include "common/rng.hpp"
+#include "trace/interpreter.hpp"
+#include "trace/serialize.hpp"
+#include "trace/value.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace obx::trace;
+
+TEST(Serialize, HeaderAndBodyFormat) {
+  const Program p = algos::find("prefix-sums").make_program(2);
+  const std::string text = serialize_program(p);
+  EXPECT_NE(text.find("obx 1 memory=2 input=2 output=0+2 regs=2"), std::string::npos);
+  EXPECT_NE(text.find("name=\"prefix-sums(n=2)\""), std::string::npos);
+  EXPECT_NE(text.find("imm r0, 0x0"), std::string::npos);
+  EXPECT_NE(text.find("load r1, [0]"), std::string::npos);
+  EXPECT_NE(text.find("addf r0, r0, r1, r0"), std::string::npos);
+  EXPECT_NE(text.find("store [0], r0"), std::string::npos);
+}
+
+class SerializeRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SerializeRoundTrip, ParseOfDumpIsIdentical) {
+  const algos::Algorithm& algo = algos::find(GetParam());
+  const std::size_t n = algo.test_sizes[algo.test_sizes.size() / 2];
+  const Program original = algo.make_program(n);
+  const Program parsed = parse_program(serialize_program(original));
+
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.memory_words, original.memory_words);
+  EXPECT_EQ(parsed.input_words, original.input_words);
+  EXPECT_EQ(parsed.output_offset, original.output_offset);
+  EXPECT_EQ(parsed.output_words, original.output_words);
+  EXPECT_EQ(parsed.register_count, original.register_count);
+
+  // Step-for-step identity.
+  auto g1 = original.stream();
+  auto g2 = parsed.stream();
+  Step s1, s2;
+  std::size_t idx = 0;
+  while (g1.next(s1)) {
+    ASSERT_TRUE(g2.next(s2)) << "parsed program shorter at step " << idx;
+    ASSERT_EQ(s1, s2) << "step " << idx;
+    ++idx;
+  }
+  EXPECT_FALSE(g2.next(s2));
+
+  // Semantic identity on a random input.
+  Rng rng(99);
+  const auto input = algo.make_input(n, rng);
+  const auto a = interpret(original, input);
+  const auto b = interpret(parsed, input);
+  EXPECT_EQ(a.memory, b.memory);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, SerializeRoundTrip,
+                         ::testing::Values("prefix-sums", "opt-triangulation", "fft",
+                                           "tea", "edit-distance", "horner"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const Program p = parse_program(
+      "obx 1 memory=4 input=2 output=2+1 regs=3 name=\"hand written\"\n"
+      "# a comment\n"
+      "\n"
+      "load r0, [0]\n"
+      "load r1, [1]\n"
+      "mulf r2, r0, r1, r0\n"
+      "store [2], r2\n");
+  EXPECT_EQ(p.name, "hand written");
+  EXPECT_EQ(p.memory_steps(), 3u);
+  const std::vector<Word> input{from_f64(3.0), from_f64(4.0)};
+  EXPECT_EQ(as_f64(interpret(p, input).memory[2]), 12.0);
+}
+
+TEST(Serialize, ImmediatePreservesBitPattern) {
+  const double v = -1234.5678e-9;
+  Program p = make_replay_program("imm", 1, 0, 0, 1, 1,
+                                  {Step::imm_f64(0, v), Step::store(0, 0)});
+  const Program parsed = parse_program(serialize_program(p));
+  EXPECT_EQ(as_f64(interpret(parsed, {}).memory[0]), v);
+}
+
+TEST(Serialize, ParseErrorsCarryLineNumbers) {
+  auto expect_error = [](const std::string& text, const std::string& needle) {
+    try {
+      parse_program(text);
+      FAIL() << "expected parse failure";
+    } catch (const std::logic_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  expect_error("bogus header\n", "line 1");
+  expect_error("obx 1 memory=4\nfrobnicate r0\n", "line 2");
+  expect_error("obx 1 memory=4\nload r0\n", "load needs");
+  expect_error("obx 1 memory=4\nload rX, [0]\n", "bad number");
+  expect_error("obx 1 memory=4\nload x0, [0]\n", "bad register");
+  expect_error("obx 2 memory=4\n", "bad header");
+  expect_error("obx 1 input=4\n", "missing memory");
+}
+
+TEST(Serialize, NameWithSpacesRoundTrips) {
+  Program p = make_replay_program("a name with spaces", 2, 0, 0, 1, 1,
+                                  {Step::load(0, 0)});
+  EXPECT_EQ(parse_program(serialize_program(p)).name, "a name with spaces");
+}
+
+}  // namespace

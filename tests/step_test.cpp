@@ -1,0 +1,149 @@
+// The instruction set: scalar ALU semantics and the bulk lane loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace obx::trace;
+
+Word f(double v) { return from_f64(v); }
+Word i(std::int64_t v) { return from_i64(v); }
+
+TEST(Alu, FloatArithmetic) {
+  EXPECT_EQ(as_f64(apply_alu(Op::kAddF, f(1.5), f(2.25), 0, 0)), 3.75);
+  EXPECT_EQ(as_f64(apply_alu(Op::kSubF, f(1.5), f(2.25), 0, 0)), -0.75);
+  EXPECT_EQ(as_f64(apply_alu(Op::kMulF, f(3.0), f(-2.0), 0, 0)), -6.0);
+  EXPECT_EQ(as_f64(apply_alu(Op::kDivF, f(7.0), f(2.0), 0, 0)), 3.5);
+  EXPECT_EQ(as_f64(apply_alu(Op::kMinF, f(3.0), f(-2.0), 0, 0)), -2.0);
+  EXPECT_EQ(as_f64(apply_alu(Op::kMaxF, f(3.0), f(-2.0), 0, 0)), 3.0);
+  EXPECT_EQ(as_f64(apply_alu(Op::kNegF, f(3.0), 0, 0, 0)), -3.0);
+}
+
+TEST(Alu, FloatSpecialValues) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(as_f64(apply_alu(Op::kAddF, f(inf), f(1.0), 0, 0)), inf);
+  EXPECT_EQ(as_f64(apply_alu(Op::kMinF, f(inf), f(5.0), 0, 0)), 5.0);
+  EXPECT_TRUE(std::isnan(as_f64(apply_alu(Op::kSubF, f(inf), f(inf), 0, 0))));
+}
+
+TEST(Alu, IntegerArithmetic) {
+  EXPECT_EQ(as_i64(apply_alu(Op::kAddI, i(-3), i(5), 0, 0)), 2);
+  EXPECT_EQ(as_i64(apply_alu(Op::kSubI, i(-3), i(5), 0, 0)), -8);
+  EXPECT_EQ(as_i64(apply_alu(Op::kMulI, i(-3), i(5), 0, 0)), -15);
+  EXPECT_EQ(as_i64(apply_alu(Op::kMinI, i(-3), i(5), 0, 0)), -3);
+  EXPECT_EQ(as_i64(apply_alu(Op::kMaxI, i(-3), i(5), 0, 0)), 5);
+}
+
+TEST(Alu, IntegerWrapsTwosComplement) {
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(as_i64(apply_alu(Op::kAddI, i(max), i(1), 0, 0)),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Alu, Bitwise) {
+  EXPECT_EQ(apply_alu(Op::kAnd, 0b1100, 0b1010, 0, 0), 0b1000u);
+  EXPECT_EQ(apply_alu(Op::kOr, 0b1100, 0b1010, 0, 0), 0b1110u);
+  EXPECT_EQ(apply_alu(Op::kXor, 0b1100, 0b1010, 0, 0), 0b0110u);
+  EXPECT_EQ(apply_alu(Op::kShl, 1, 8, 0, 0), 256u);
+  EXPECT_EQ(apply_alu(Op::kShr, 256, 4, 0, 0), 16u);
+  EXPECT_EQ(apply_alu(Op::kShl, 1, 64, 0, 0), 1u);  // shift count masked to 6 bits
+  EXPECT_EQ(apply_alu(Op::kNotU, 0, 0, 0, 0), ~Word{0});
+}
+
+TEST(Alu, Comparisons) {
+  EXPECT_EQ(apply_alu(Op::kLtF, f(1.0), f(2.0), 0, 0), 1u);
+  EXPECT_EQ(apply_alu(Op::kLtF, f(2.0), f(1.0), 0, 0), 0u);
+  EXPECT_EQ(apply_alu(Op::kLeF, f(2.0), f(2.0), 0, 0), 1u);
+  EXPECT_EQ(apply_alu(Op::kEqF, f(2.0), f(2.0), 0, 0), 1u);
+  EXPECT_EQ(apply_alu(Op::kLtI, i(-5), i(-4), 0, 0), 1u);
+  EXPECT_EQ(apply_alu(Op::kLeI, i(-4), i(-4), 0, 0), 1u);
+  EXPECT_EQ(apply_alu(Op::kEqI, 7, 7, 0, 0), 1u);
+  EXPECT_EQ(apply_alu(Op::kNeI, 7, 8, 0, 0), 1u);
+  EXPECT_EQ(apply_alu(Op::kLtU, Word(-1), 0, 0, 0), 0u);  // unsigned compare
+  EXPECT_EQ(apply_alu(Op::kLtI, Word(-1), 0, 0, 0), 1u);  // signed compare
+}
+
+TEST(Alu, ConditionalMoves) {
+  // kSelect: cond ? b : c.
+  EXPECT_EQ(apply_alu(Op::kSelect, 1, 42, 99, 7), 42u);
+  EXPECT_EQ(apply_alu(Op::kSelect, 0, 42, 99, 7), 99u);
+  // kCmovLtF: (a < b) ? c : old_dst — the paper's oblivious if.
+  EXPECT_EQ(apply_alu(Op::kCmovLtF, f(1.0), f(2.0), 42, 7), 42u);
+  EXPECT_EQ(apply_alu(Op::kCmovLtF, f(2.0), f(1.0), 42, 7), 7u);
+  EXPECT_EQ(apply_alu(Op::kCmovLtI, i(-2), i(-1), 42, 7), 42u);
+  EXPECT_EQ(apply_alu(Op::kCmovLtI, i(-1), i(-2), 42, 7), 7u);
+}
+
+TEST(Alu, NopAndMov) {
+  EXPECT_EQ(apply_alu(Op::kNop, 1, 2, 3, 99), 99u);
+  EXPECT_EQ(apply_alu(Op::kMov, 1, 2, 3, 99), 1u);
+}
+
+class BulkAluProperty : public ::testing::TestWithParam<Op> {};
+
+TEST_P(BulkAluProperty, LaneLoopMatchesScalarSemantics) {
+  const Op op = GetParam();
+  Rng rng(static_cast<std::uint64_t>(op) + 1);
+  const std::size_t lanes = 67;  // odd count: exercises vector tails
+  std::vector<Word> a(lanes), b(lanes), c(lanes), dst(lanes), expected(lanes);
+  for (std::size_t j = 0; j < lanes; ++j) {
+    // Mix float and integer bit patterns.
+    a[j] = (j % 2 == 0) ? from_f64(rng.next_double(-10, 10)) : rng.next_u64();
+    b[j] = (j % 3 == 0) ? from_f64(rng.next_double(-10, 10)) : rng.next_below(100);
+    c[j] = rng.next_u64();
+    dst[j] = rng.next_u64();
+    expected[j] = apply_alu(op, a[j], b[j], c[j], dst[j]);
+  }
+  bulk_alu(op, dst.data(), a.data(), b.data(), c.data(), lanes);
+  for (std::size_t j = 0; j < lanes; ++j) {
+    EXPECT_EQ(dst[j], expected[j]) << "lane " << j << " op " << to_string(op);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, BulkAluProperty,
+    ::testing::Values(Op::kNop, Op::kAddF, Op::kSubF, Op::kMulF, Op::kDivF, Op::kMinF,
+                      Op::kMaxF, Op::kNegF, Op::kAddI, Op::kSubI, Op::kMulI, Op::kMinI,
+                      Op::kMaxI, Op::kAnd, Op::kOr, Op::kXor, Op::kShl, Op::kShr,
+                      Op::kNotU, Op::kLtF, Op::kLeF, Op::kEqF, Op::kLtI, Op::kLeI,
+                      Op::kEqI, Op::kNeI, Op::kLtU, Op::kSelect, Op::kCmovLtF,
+                      Op::kCmovLtI, Op::kMov));
+
+TEST(Step, Factories) {
+  const Step l = Step::load(3, 100);
+  EXPECT_EQ(l.kind, StepKind::kLoad);
+  EXPECT_EQ(l.dst, 3);
+  EXPECT_EQ(l.addr, 100u);
+  EXPECT_TRUE(l.is_memory());
+
+  const Step s = Step::store(200, 4);
+  EXPECT_EQ(s.kind, StepKind::kStore);
+  EXPECT_EQ(s.src0, 4);
+  EXPECT_TRUE(s.is_memory());
+
+  const Step a = Step::alu(Op::kAddF, 1, 2, 3);
+  EXPECT_EQ(a.kind, StepKind::kAlu);
+  EXPECT_FALSE(a.is_memory());
+
+  const Step m = Step::immediate(5, 77);
+  EXPECT_EQ(m.kind, StepKind::kImm);
+  EXPECT_EQ(m.imm, 77u);
+  EXPECT_EQ(Step::imm_f64(5, 1.0).imm, from_f64(1.0));
+}
+
+TEST(Step, ToStringCoversKinds) {
+  EXPECT_EQ(to_string(Step::load(3, 100)), "load r3, [100]");
+  EXPECT_EQ(to_string(Step::store(200, 4)), "store [200], r4");
+  EXPECT_NE(to_string(Step::alu(Op::kAddF, 1, 2, 3)).find("addf"), std::string::npos);
+  EXPECT_NE(to_string(Step::immediate(5, 255)).find("imm r5"), std::string::npos);
+}
+
+}  // namespace

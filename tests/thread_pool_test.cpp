@@ -1,0 +1,82 @@
+// Fork-join lane chunking.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "bulk/thread_pool.hpp"
+
+namespace {
+
+using namespace obx::bulk;
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  for (unsigned workers : {1u, 2u, 3u, 8u}) {
+    std::vector<std::atomic<int>> hits(100);
+    parallel_for_chunks(100, workers, 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, RespectsAlignment) {
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for_chunks(64, 3, 16, [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  std::size_t covered = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ(b % 16, 0u);
+    EXPECT_EQ(e % 16, 0u);
+    covered += e - b;
+  }
+  EXPECT_EQ(covered, 64u);
+}
+
+TEST(ThreadPool, MoreWorkersThanBlocksIsFine) {
+  std::atomic<int> total{0};
+  parallel_for_chunks(4, 16, 1, [&](std::size_t b, std::size_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 4);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for_chunks(0, 4, 1, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  parallel_for_chunks(10, 1, 1, [&](std::size_t, std::size_t) {
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, PropagatesWorkerExceptions) {
+  EXPECT_THROW(
+      parallel_for_chunks(32, 4, 1,
+                          [&](std::size_t b, std::size_t) {
+                            if (b == 0) throw std::runtime_error("worker failure");
+                          }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, RejectsMisalignedCount) {
+  EXPECT_THROW(parallel_for_chunks(10, 2, 3, [](std::size_t, std::size_t) {}),
+               std::logic_error);
+}
+
+TEST(ThreadPool, DefaultWorkerCountPositive) { EXPECT_GE(default_worker_count(), 1u); }
+
+}  // namespace

@@ -1,0 +1,69 @@
+// AccessTimer: step charging and statistics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "umm/timers.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace obx::umm;
+
+MachineConfig cfg4() { return MachineConfig{.width = 4, .latency = 5}; }
+
+TEST(Timer, ChargesWarpBatches) {
+  AccessTimer timer(Model::kUmm, cfg4());
+  // Two warps: {0,1,2,3} one group, {8,100,200,300} four groups → 5 stages.
+  const std::vector<Addr> addrs{0, 1, 2, 3, 8, 100, 200, 300};
+  EXPECT_EQ(timer.charge_step(addrs), 5u + 5 - 1);
+  EXPECT_EQ(timer.stats().access_steps, 1u);
+  EXPECT_EQ(timer.stats().warps_dispatched, 2u);
+  EXPECT_EQ(timer.stats().stages_total, 5u);
+}
+
+TEST(Timer, SkipsInactiveWarps) {
+  AccessTimer timer(Model::kUmm, cfg4());
+  std::vector<Addr> addrs(8, kInvalidAddr);
+  addrs[5] = 42;  // only the second warp is active
+  EXPECT_EQ(timer.charge_step(addrs), 1u + 5 - 1);
+  EXPECT_EQ(timer.stats().warps_dispatched, 1u);
+}
+
+TEST(Timer, PrecomputedPathMatchesDirect) {
+  AccessTimer direct(Model::kUmm, cfg4());
+  AccessTimer pre(Model::kUmm, cfg4());
+  const std::vector<Addr> addrs{0, 1, 2, 3};
+  const TimeUnits t1 = direct.charge_step(addrs);
+  const TimeUnits t2 = pre.charge_precomputed(1, 1);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(direct.time_units(), pre.time_units());
+}
+
+TEST(Timer, ComputeStepsRespectConfig) {
+  AccessTimer off(Model::kUmm, cfg4());
+  EXPECT_EQ(off.charge_compute(), 0u);
+  EXPECT_EQ(off.stats().compute_steps, 1u);
+
+  MachineConfig cfg = cfg4();
+  cfg.count_compute = true;
+  AccessTimer on(Model::kUmm, cfg);
+  EXPECT_EQ(on.charge_compute(), 1u);
+  EXPECT_EQ(on.time_units(), 1u);
+}
+
+TEST(Timer, PartialTailWarp) {
+  AccessTimer timer(Model::kUmm, cfg4());
+  // 6 lanes at w=4: one full warp + 2-lane tail.
+  const std::vector<Addr> addrs{0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(timer.charge_step(addrs), (1 + 1) + 5 - 1);
+  EXPECT_EQ(timer.stats().warps_dispatched, 2u);
+}
+
+TEST(Timer, DmmModelUsesBankConflicts) {
+  AccessTimer timer(Model::kDmm, cfg4());
+  const std::vector<Addr> addrs{0, 4, 8, 12};  // all bank 0: 4 stages
+  EXPECT_EQ(timer.charge_step(addrs), 4u + 5 - 1);
+}
+
+}  // namespace

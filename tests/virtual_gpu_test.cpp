@@ -1,0 +1,64 @@
+// The GTX-Titan-like virtual device.
+#include <gtest/gtest.h>
+
+#include "algos/prefix_sums.hpp"
+#include "gpusim/virtual_gpu.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace obx::gpusim;
+
+TEST(VirtualGpu, TitanSpec) {
+  const GpuSpec spec = gtx_titan();
+  EXPECT_EQ(spec.multiprocessors, 14u);     // paper: 14 SMs
+  EXPECT_EQ(spec.threads_per_block, 64u);   // paper's launch config
+  EXPECT_EQ(spec.memory.width, 32u);        // CUDA warp
+  EXPECT_GT(spec.memory.latency, 1u);       // DRAM latency
+  EXPECT_GT(spec.clock_hz, 1e8);
+}
+
+TEST(VirtualGpu, SecondsConversion) {
+  GpuSpec spec = gtx_titan();
+  spec.clock_hz = 1e9;
+  const VirtualGpu gpu(spec);
+  EXPECT_DOUBLE_EQ(gpu.seconds_from_units(1000), 1e-6);
+}
+
+TEST(VirtualGpu, BlocksForLaunch) {
+  const VirtualGpu gpu(gtx_titan());
+  EXPECT_EQ(gpu.blocks_for(64), 1u);
+  EXPECT_EQ(gpu.blocks_for(65), 2u);
+  EXPECT_EQ(gpu.blocks_for(1 << 20), (1u << 20) / 64);
+}
+
+TEST(VirtualGpu, ColumnWiseNeverSlowerThanRowWise) {
+  const VirtualGpu gpu(gtx_titan());
+  const trace::Program program = algos::prefix_sums_program(32);
+  for (std::size_t p : {64u, 1024u, 65536u}) {
+    const TimeUnits row = gpu.estimate_units(program, p, bulk::Arrangement::kRowWise);
+    const TimeUnits col = gpu.estimate_units(program, p, bulk::Arrangement::kColumnWise);
+    EXPECT_LE(col, row) << "p=" << p;
+    EXPECT_DOUBLE_EQ(gpu.estimate_seconds(program, p, bulk::Arrangement::kRowWise),
+                     gpu.seconds_from_units(row));
+  }
+}
+
+TEST(VirtualGpu, LatencyFloorDominatesSmallP) {
+  // For p <= w the two arrangements cost the same (one warp, latency-bound):
+  // the flat region at the left of the paper's Figure 11.
+  const VirtualGpu gpu(gtx_titan());
+  const trace::Program program = algos::prefix_sums_program(32);
+  const TimeUnits at32 = gpu.estimate_units(program, 32, bulk::Arrangement::kColumnWise);
+  const TimeUnits at64 = gpu.estimate_units(program, 64, bulk::Arrangement::kColumnWise);
+  // Doubling p in the latency-bound regime barely moves the time.
+  EXPECT_LT(static_cast<double>(at64) / static_cast<double>(at32), 1.05);
+}
+
+TEST(VirtualGpu, RejectsBadSpec) {
+  GpuSpec spec = gtx_titan();
+  spec.clock_hz = 0;
+  EXPECT_THROW(VirtualGpu{spec}, std::logic_error);
+}
+
+}  // namespace

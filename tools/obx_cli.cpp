@@ -1,0 +1,255 @@
+// obx_cli — run, time, inspect and optimise the oblivious algorithm library
+// from the command line.
+//
+//   obx_cli list
+//   obx_cli run      <algorithm> --n 64 --p 256 [--arrangement row|col]
+//                    [--workers K] [--seed S]
+//   obx_cli time     <algorithm> --n 64 --p 4096 [--width 32] [--latency 200]
+//                    [--group G] [--overlap] [--model umm|dmm]
+//   obx_cli check    <algorithm> --n 64
+//   obx_cli optimize <algorithm> --n 64
+//   obx_cli hmm      <algorithm> --n 64 --p 4096 [--sms 14]
+//   obx_cli dump     <algorithm> --n 8 [--optimize]   (.obx text to stdout)
+//   obx_cli analyze  <algorithm> --n 64 --p 65536     (workload advice)
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "advisor/characterize.hpp"
+#include "algos/algorithm.hpp"
+#include "analysis/table.hpp"
+#include "bulk/bulk.hpp"
+#include "bulk/timing_estimator.hpp"
+#include "common/cli.hpp"
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "gpusim/virtual_gpu.hpp"
+#include "hmm/hmm_estimator.hpp"
+#include "opt/optimizer.hpp"
+#include "trace/interpreter.hpp"
+#include "trace/oblivious_checker.hpp"
+#include "trace/serialize.hpp"
+
+namespace {
+
+using namespace obx;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: obx_cli <list|run|time|check|optimize|hmm> [<algorithm>] "
+               "[--n N] [--p P] [options]\n"
+               "run 'obx_cli list' to see the algorithm library.\n");
+  return 2;
+}
+
+const algos::Algorithm& algo_from(const cli::Args& args) {
+  OBX_CHECK(args.positional().size() >= 2, "missing <algorithm>; try 'obx_cli list'");
+  return algos::find(args.positional()[1]);
+}
+
+bulk::Arrangement arrangement_from(const cli::Args& args) {
+  const std::string a = args.get("arrangement", "col");
+  if (a == "row" || a == "row-wise") return bulk::Arrangement::kRowWise;
+  OBX_CHECK(a == "col" || a == "column" || a == "column-wise",
+            "unknown arrangement: " + a);
+  return bulk::Arrangement::kColumnWise;
+}
+
+int cmd_list() {
+  analysis::Table table({"algorithm", "description", "t(n) example"});
+  for (const auto& algo : algos::registry()) {
+    const std::size_t n = algo.test_sizes.back();
+    table.add_row({algo.name, algo.description,
+                   "t(" + std::to_string(n) + ") = " +
+                       std::to_string(algo.memory_steps(n))});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_run(const cli::Args& args) {
+  const algos::Algorithm& algo = algo_from(args);
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 64));
+  const std::size_t p = static_cast<std::size_t>(args.get_int("p", 64));
+  const unsigned workers = static_cast<unsigned>(args.get_int("workers", 1));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+
+  const trace::Program program = algo.make_program(n);
+  std::vector<Word> inputs;
+  inputs.reserve(p * program.input_words);
+  for (std::size_t j = 0; j < p; ++j) {
+    const auto one = algo.make_input(n, rng);
+    inputs.insert(inputs.end(), one.begin(), one.end());
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const bulk::BulkOutputs out =
+      bulk::run_bulk(program, inputs, p, arrangement_from(args), workers);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Verify every lane against the native reference.
+  std::size_t failures = 0;
+  for (std::size_t j = 0; j < p; ++j) {
+    const auto expected = algo.reference(
+        n, std::span<const Word>(inputs).subspan(j * program.input_words,
+                                                 program.input_words));
+    const auto got = out.output(j);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      if (got[i] != expected[i]) {
+        ++failures;
+        break;
+      }
+    }
+  }
+  std::printf("%s: p=%zu lanes, %zu output words each, host time %s\n",
+              program.name.c_str(), p, out.words_per_output,
+              format_seconds(std::chrono::duration<double>(t1 - t0).count()).c_str());
+  std::printf("verification vs native reference: %zu/%zu lanes exact\n", p - failures, p);
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_time(const cli::Args& args) {
+  const algos::Algorithm& algo = algo_from(args);
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 64));
+  const std::size_t p = static_cast<std::size_t>(args.get_int("p", 4096));
+  umm::MachineConfig cfg;
+  cfg.width = static_cast<std::uint32_t>(args.get_int("width", 32));
+  cfg.latency = static_cast<std::uint32_t>(args.get_int("latency", 200));
+  cfg.group_words = static_cast<std::uint32_t>(args.get_int("group", 0));
+  cfg.overlap_latency = args.get_bool("overlap");
+  cfg.count_compute = args.get_bool("count-compute");
+  const std::string model_name = args.get("model", "umm");
+  const umm::Model model = model_name == "dmm" ? umm::Model::kDmm : umm::Model::kUmm;
+
+  const trace::Program program = algo.make_program(n);
+  const gpusim::VirtualGpu gpu(gpusim::gtx_titan());
+  analysis::Table table({"arrangement", "time units", "seconds @837MHz"});
+  for (const auto arr : {bulk::Arrangement::kRowWise, bulk::Arrangement::kColumnWise}) {
+    const auto r = bulk::TimingEstimator(model, cfg, bulk::make_layout(program, p, arr))
+                       .run(program);
+    table.add_row({to_string(arr), std::to_string(r.time_units),
+                   format_seconds(gpu.seconds_from_units(r.time_units))});
+  }
+  std::printf("%s on the %s, p=%zu, w=%u, l=%u%s%s:\n", program.name.c_str(),
+              model == umm::Model::kUmm ? "UMM" : "DMM", p, cfg.width, cfg.latency,
+              cfg.group_words != 0
+                  ? (", g=" + std::to_string(cfg.group_words)).c_str()
+                  : "",
+              cfg.overlap_latency ? ", overlapped" : "");
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_check(const cli::Args& args) {
+  const algos::Algorithm& algo = algo_from(args);
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 64));
+  const trace::Program program = algo.make_program(n);
+  const trace::StepCounts counts = program.profile();
+  std::printf("%s: %llu loads, %llu stores, %llu alu, %llu imm (t = %llu)\n",
+              program.name.c_str(), static_cast<unsigned long long>(counts.loads),
+              static_cast<unsigned long long>(counts.stores),
+              static_cast<unsigned long long>(counts.alu),
+              static_cast<unsigned long long>(counts.imm),
+              static_cast<unsigned long long>(counts.memory()));
+  const auto report = trace::check_program(program, 3);
+  std::printf("declared t(n) formula: %llu  (%s)\n",
+              static_cast<unsigned long long>(algo.memory_steps(n)),
+              algo.memory_steps(n) == counts.memory() ? "matches" : "MISMATCH");
+  std::printf("oblivious: %s%s\n", report.oblivious ? "yes" : "NO",
+              report.oblivious ? "" : (" — " + report.detail).c_str());
+  return report.oblivious ? 0 : 1;
+}
+
+int cmd_optimize(const cli::Args& args) {
+  const algos::Algorithm& algo = algo_from(args);
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 64));
+  const opt::OptimizeResult r = opt::optimize(algo.make_program(n));
+  std::printf("%s: %llu -> %llu total steps, t %llu -> %llu (%.1f%% fewer memory "
+              "steps)\n",
+              r.program.name.c_str(),
+              static_cast<unsigned long long>(r.before.total()),
+              static_cast<unsigned long long>(r.after.total()),
+              static_cast<unsigned long long>(r.before.memory()),
+              static_cast<unsigned long long>(r.after.memory()),
+              100.0 * r.memory_step_reduction());
+  for (const auto& rep : r.reports) {
+    std::printf("  %-22s -%zu steps\n", rep.pass.c_str(), rep.removed);
+  }
+  return 0;
+}
+
+int cmd_hmm(const cli::Args& args) {
+  const algos::Algorithm& algo = algo_from(args);
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 64));
+  const std::size_t p = static_cast<std::size_t>(args.get_int("p", 4096));
+  hmm::HmmConfig cfg = hmm::gtx_titan_hmm();
+  cfg.num_sms = static_cast<std::uint32_t>(args.get_int("sms", cfg.num_sms));
+  const hmm::HmmEstimator est(cfg);
+  const trace::Program program = algo.make_program(n);
+  if (!est.admissible(program)) {
+    std::printf("%s does not fit in shared memory (%zu words > %zu)\n",
+                program.name.c_str(), program.memory_words, cfg.shared_capacity_words);
+    return 1;
+  }
+  const hmm::HmmTiming t = est.run(program, p);
+  const TimeUnits global = est.global_only(program, p);
+  std::printf("%s, p=%zu, %u SMs:\n", program.name.c_str(), p, cfg.num_sms);
+  std::printf("  global-only : %llu units\n", static_cast<unsigned long long>(global));
+  std::printf("  staged      : %llu units (copy %llu + compute %llu + copy %llu)\n",
+              static_cast<unsigned long long>(t.total()),
+              static_cast<unsigned long long>(t.copy_in),
+              static_cast<unsigned long long>(t.compute),
+              static_cast<unsigned long long>(t.copy_out));
+  std::printf("  staged win  : %.2fx\n",
+              static_cast<double>(global) / static_cast<double>(t.total()));
+  return 0;
+}
+
+int cmd_analyze(const cli::Args& args) {
+  const algos::Algorithm& algo = algo_from(args);
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 64));
+  const std::size_t p = static_cast<std::size_t>(args.get_int("p", 65536));
+  umm::MachineConfig cfg = gpusim::gtx_titan().memory;
+  cfg.width = static_cast<std::uint32_t>(args.get_int("width", cfg.width));
+  cfg.latency = static_cast<std::uint32_t>(args.get_int("latency", cfg.latency));
+  const hmm::HmmConfig hier = hmm::gtx_titan_hmm();
+  const trace::Program program = algo.make_program(n);
+  const advisor::Characterization c = advisor::characterize(program, p, cfg, &hier);
+  std::printf("%s on w=%u l=%u:\n%s", program.name.c_str(), cfg.width, cfg.latency,
+              c.summary().c_str());
+  return 0;
+}
+
+int cmd_dump(const cli::Args& args) {
+  const algos::Algorithm& algo = algo_from(args);
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 8));
+  trace::Program program = algo.make_program(n);
+  if (args.get_bool("optimize")) program = opt::optimize(program).program;
+  trace::serialize_program(program, std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const cli::Args args = cli::Args::parse(
+        argc, argv, {"overlap", "count-compute", "optimize"},
+        {"n", "p", "width", "latency", "group", "model", "arrangement", "workers",
+         "seed", "sms"});
+    if (args.positional().empty()) return usage();
+    const std::string& cmd = args.positional()[0];
+    if (cmd == "list") return cmd_list();
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "time") return cmd_time(args);
+    if (cmd == "check") return cmd_check(args);
+    if (cmd == "optimize") return cmd_optimize(args);
+    if (cmd == "hmm") return cmd_hmm(args);
+    if (cmd == "dump") return cmd_dump(args);
+    if (cmd == "analyze") return cmd_analyze(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
