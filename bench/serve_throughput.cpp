@@ -1,0 +1,70 @@
+// Serve-layer ablation: arrival rate × max_batch_delay.
+//
+// Sweeps the batching service's central knob against offered load and prints
+// sustained jobs/sec, mean batch occupancy, and latency quantiles.  The
+// expected shape is the service-level image of Theorem 2's cost split: one
+// bulk run of B lanes costs roughly F + c·B host-side (F = per-batch fixed
+// work — the l·t analog — and c = per-lane marginal work), so sustained
+// throughput is B/(F + c·B): it saturates at 1/c as occupancy grows, and at
+// delay 0 (occupancy 1) it is stuck at 1/(F + c).  Above the unbatched
+// capacity, raising max_batch_delay converts queueing delay into occupancy
+// and multiplies throughput; below it, batching only adds bounded latency.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "algos/algorithm.hpp"
+#include "analysis/table.hpp"
+#include "common/format.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/service.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace obx;
+  const std::size_t n = 1024;
+  const std::size_t jobs_per_cell = 12000;
+  const algos::Algorithm& algo = algos::find("prefix-sums");
+
+  std::printf("serve throughput sweep: prefix-sums n=%zu, %zu jobs/cell, "
+              "8 producers, 1 executor, batch-lanes 512, policy block\n\n",
+              n, jobs_per_cell);
+
+  analysis::Table table({"rate/s", "delay_us", "jobs/s", "occ mean", "batches",
+                         "p50 us", "p95 us", "sim units/batch"});
+  for (const double rate : {10000.0, 20000.0, 40000.0}) {
+    for (const long long delay_us : {0LL, 500LL, 2000LL, 8000LL}) {
+      serve::ServiceOptions options;
+      options.queue_capacity = 2048;
+      options.policy = serve::OverflowPolicy::kBlock;
+      options.batcher.max_batch_lanes = 512;
+      options.batcher.max_batch_delay = std::chrono::microseconds(delay_us);
+      options.executors = 1;
+
+      serve::BulkService service(options);
+      service.register_program(algo.name, algo.make_program(n));
+      const std::vector<serve::WorkloadItem> workload{serve::WorkloadItem{
+          .program_id = algo.name,
+          .make_input = [&](Rng& rng) { return algo.make_input(n, rng); }}};
+
+      serve::LoadGenOptions load;
+      load.jobs = jobs_per_cell;
+      load.producers = 8;
+      load.arrival_rate_hz = rate;
+      const serve::LoadGenReport report = serve::run_load(service, workload, load);
+      service.stop();
+      const serve::MetricsSnapshot snap = service.snapshot();
+
+      table.add_row({format_fixed(rate, 0), std::to_string(delay_us),
+                     format_fixed(report.jobs_per_sec, 0),
+                     format_fixed(snap.mean_batch_occupancy, 1),
+                     std::to_string(snap.batches),
+                     format_fixed(report.p50_latency_us, 0),
+                     format_fixed(report.p95_latency_us, 0),
+                     format_fixed(snap.mean_batch_sim_units, 0)});
+    }
+  }
+  table.print(std::cout);
+  bench::save_table(table, "serve_throughput");
+  return 0;
+}

@@ -62,8 +62,10 @@ int main() {
       [&](Lane tile, std::span<const Word> out) {
         integrals[tile].assign(out.begin(), out.end());
       });
-  std::printf("streamed %zu tiles in %zu batches (%zu resident), %.1f ms\n",
-              stats.lanes, stats.batches, kResident, stats.seconds * 1e3);
+  std::printf("streamed %zu tiles in %zu batches (%zu resident), %.1f ms "
+              "(%.1f ms execute + %.1f ms callbacks)\n",
+              stats.lanes, stats.batches, kResident, stats.seconds() * 1e3,
+              stats.execute_seconds * 1e3, stats.callback_seconds * 1e3);
 
   // Verify random box queries against direct summation, and find the bright
   // square of a few tiles with an 8x8 sliding box.

@@ -85,7 +85,9 @@ SessionReport Session::run(
   });
   const auto stats = exec.run(to_run, p, fill_input, consume_output);
   report.batches = stats.batches;
-  report.host_seconds = stats.seconds;
+  report.host_seconds = stats.seconds();
+  report.host_execute_seconds = stats.execute_seconds;
+  report.host_callback_seconds = stats.callback_seconds;
   return report;
 }
 

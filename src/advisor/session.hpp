@@ -19,6 +19,7 @@
 
 #include "common/types.hpp"
 #include "bulk/layout.hpp"
+#include "bulk/thread_pool.hpp"
 #include "trace/program.hpp"
 #include "umm/machine_config.hpp"
 
@@ -33,7 +34,10 @@ struct SessionOptions {
   /// of one batch).  Batches are sized to stay under this.
   std::size_t memory_budget_words = 1u << 24;
 
-  unsigned workers = 1;
+  /// Host threads per batch.  Defaults to the machine's core count so
+  /// callers (and service batches) use the host out of the box; set to 1 for
+  /// deterministic single-threaded timing runs.
+  unsigned workers = bulk::default_worker_count();
 
   /// Run the peephole optimiser on the program first (skipped automatically
   /// for programs longer than optimise_step_limit).
@@ -54,7 +58,9 @@ struct SessionReport {
   std::size_t batch_lanes = 0;         ///< resident lanes per batch
   std::size_t batches = 0;
   TimeUnits simulated_units = 0;       ///< full-p estimate on options.machine
-  double host_seconds = 0.0;
+  double host_seconds = 0.0;           ///< execute + callback wall-clock
+  double host_execute_seconds = 0.0;   ///< engine time inside the bulk executor
+  double host_callback_seconds = 0.0;  ///< time inside the caller's callbacks
 
   std::string summary() const;
 };

@@ -22,32 +22,39 @@ StreamingExecutor::Stats StreamingExecutor::run(
 
   Stats stats;
   stats.lanes = p;
-  const auto t0 = std::chrono::steady_clock::now();
+  using Clock = std::chrono::steady_clock;
+  const auto elapsed = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
 
   std::vector<Word> inputs;
   for (Lane base = 0; base < p; base += options_.max_resident_lanes) {
     const std::size_t batch = std::min<std::size_t>(options_.max_resident_lanes, p - base);
     inputs.assign(batch * program.input_words, Word{0});
+    const auto fill_start = Clock::now();
     for (std::size_t j = 0; j < batch; ++j) {
       fill_input(base + j,
                  std::span<Word>(inputs.data() + j * program.input_words,
                                  program.input_words));
     }
 
+    const auto exec_start = Clock::now();
     const HostBulkExecutor exec(make_layout(program, batch, options_.arrangement),
                                 HostBulkExecutor::Options{.workers = options_.workers});
     const HostRunResult run = exec.run(program, inputs);
     const std::vector<Word> outputs = exec.gather_outputs(program, run.memory);
+    const auto consume_start = Clock::now();
     for (std::size_t j = 0; j < batch; ++j) {
       consume_output(base + j,
                      std::span<const Word>(outputs.data() + j * program.output_words,
                                            program.output_words));
     }
+    const auto batch_end = Clock::now();
+    stats.callback_seconds +=
+        elapsed(fill_start, exec_start) + elapsed(consume_start, batch_end);
+    stats.execute_seconds += elapsed(exec_start, consume_start);
     ++stats.batches;
   }
-
-  const auto t1 = std::chrono::steady_clock::now();
-  stats.seconds = std::chrono::duration<double>(t1 - t0).count();
   return stats;
 }
 

@@ -29,7 +29,9 @@ class StreamingExecutor {
   struct Stats {
     std::size_t batches = 0;
     std::size_t lanes = 0;
-    double seconds = 0.0;  ///< wall-clock including callbacks
+    double execute_seconds = 0.0;   ///< engine time: layout, lockstep run, gather
+    double callback_seconds = 0.0;  ///< time spent inside fill_input/consume_output
+    double seconds() const { return execute_seconds + callback_seconds; }
   };
 
   StreamingExecutor() : StreamingExecutor(Options()) {}

@@ -1,0 +1,97 @@
+#include "serve/admission_queue.hpp"
+
+#include "common/check.hpp"
+
+namespace obx::serve {
+
+const char* to_string(OverflowPolicy policy) {
+  switch (policy) {
+    case OverflowPolicy::kBlock: return "block";
+    case OverflowPolicy::kReject: return "reject";
+    case OverflowPolicy::kShedOldest: return "shed";
+  }
+  return "?";
+}
+
+OverflowPolicy overflow_policy_from(const std::string& name) {
+  if (name == "block") return OverflowPolicy::kBlock;
+  if (name == "reject") return OverflowPolicy::kReject;
+  OBX_CHECK(name == "shed" || name == "shed-oldest",
+            "unknown backpressure policy: " + name);
+  return OverflowPolicy::kShedOldest;
+}
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity, OverflowPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  OBX_CHECK(capacity_ > 0, "admission queue needs capacity >= 1");
+}
+
+AdmissionQueue::PushResult AdmissionQueue::push(Job&& job, std::optional<Job>* shed) {
+  std::unique_lock lock(mutex_);
+  if (closed_) return PushResult::kRejected;
+  if (jobs_.size() >= capacity_) {
+    switch (policy_) {
+      case OverflowPolicy::kBlock:
+        not_full_.wait(lock, [&] { return jobs_.size() < capacity_ || closed_; });
+        if (closed_) return PushResult::kRejected;
+        break;
+      case OverflowPolicy::kReject:
+        return PushResult::kRejected;
+      case OverflowPolicy::kShedOldest:
+        if (shed != nullptr) *shed = std::move(jobs_.front());
+        jobs_.pop_front();
+        break;
+    }
+  }
+  jobs_.push_back(std::move(job));
+  lock.unlock();
+  not_empty_.notify_one();
+  return PushResult::kAccepted;
+}
+
+AdmissionQueue::PopResult AdmissionQueue::take_locked(std::unique_lock<std::mutex>&,
+                                                      Job& out) {
+  out = std::move(jobs_.front());
+  jobs_.pop_front();
+  not_full_.notify_one();
+  return PopResult::kJob;
+}
+
+AdmissionQueue::PopResult AdmissionQueue::pop(Job& out) {
+  std::unique_lock lock(mutex_);
+  not_empty_.wait(lock, [&] { return !jobs_.empty() || closed_; });
+  if (!jobs_.empty()) return take_locked(lock, out);
+  return PopResult::kClosed;
+}
+
+AdmissionQueue::PopResult AdmissionQueue::pop_until(Job& out,
+                                                    Clock::time_point deadline) {
+  std::unique_lock lock(mutex_);
+  if (!not_empty_.wait_until(lock, deadline,
+                             [&] { return !jobs_.empty() || closed_; })) {
+    return PopResult::kTimeout;
+  }
+  if (!jobs_.empty()) return take_locked(lock, out);
+  return PopResult::kClosed;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  return jobs_.size();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+}  // namespace obx::serve

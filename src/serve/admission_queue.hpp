@@ -1,0 +1,72 @@
+// Bounded MPMC admission queue with explicit backpressure policies.
+//
+// The queue is the only place the service pushes back on producers; once a
+// job is accepted it will reach a terminal state (the batcher and executor
+// pool never drop work).  Overflow behaviour is a policy choice:
+//
+//   kBlock     — producers wait for room (closed-loop backpressure; nothing
+//                is lost, producer latency absorbs the overload)
+//   kReject    — admission fails fast (load-shedding at the front door;
+//                the caller gets JobStatus::kRejected immediately)
+//   kShedOldest— the oldest queued job is evicted to admit the newcomer
+//                (freshness-first: under overload, old requests are the
+//                least likely to still matter)
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "serve/job.hpp"
+
+namespace obx::serve {
+
+enum class OverflowPolicy { kBlock, kReject, kShedOldest };
+
+const char* to_string(OverflowPolicy policy);
+OverflowPolicy overflow_policy_from(const std::string& name);  ///< "block"/"reject"/"shed"
+
+class AdmissionQueue {
+ public:
+  enum class PushResult { kAccepted, kRejected };
+  enum class PopResult { kJob, kTimeout, kClosed };
+
+  AdmissionQueue(std::size_t capacity, OverflowPolicy policy);
+
+  /// Admits `job` under the configured policy.  With kShedOldest, a full
+  /// queue evicts its oldest entry into *shed (the caller owns resolving its
+  /// promise).  Returns kRejected only under kReject on a full queue, or for
+  /// any push after close(); on rejection `job` is left untouched, so the
+  /// caller still owns it and must resolve its promise.
+  PushResult push(Job&& job, std::optional<Job>* shed = nullptr);
+
+  /// Blocks until a job is available or the queue is closed and empty.
+  PopResult pop(Job& out);
+
+  /// Like pop(), but gives up at `deadline` (returns kTimeout).
+  PopResult pop_until(Job& out, Clock::time_point deadline);
+
+  /// Marks the queue closed: subsequent pushes are rejected, pops drain the
+  /// remaining jobs then report kClosed.
+  void close();
+
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+  OverflowPolicy policy() const { return policy_; }
+  bool closed() const;
+
+ private:
+  PopResult take_locked(std::unique_lock<std::mutex>& lock, Job& out);
+
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Job> jobs_;
+  bool closed_ = false;
+};
+
+}  // namespace obx::serve

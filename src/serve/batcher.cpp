@@ -1,0 +1,118 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace obx::serve {
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kCompleted: return "completed";
+    case JobStatus::kRejected: return "rejected";
+    case JobStatus::kShed: return "shed";
+  }
+  return "?";
+}
+
+const char* to_string(FlushReason reason) {
+  switch (reason) {
+    case FlushReason::kSize: return "size";
+    case FlushReason::kDelay: return "delay";
+    case FlushReason::kDeadline: return "deadline";
+    case FlushReason::kDrain: return "drain";
+  }
+  return "?";
+}
+
+Batcher::Batcher(BatcherOptions options) : options_(options) {
+  OBX_CHECK(options_.max_batch_lanes > 0, "batches need at least one lane");
+  OBX_CHECK(options_.max_batch_delay >= Clock::duration::zero(),
+            "max_batch_delay cannot be negative");
+}
+
+void Batcher::add(Job&& job, Clock::time_point now) {
+  Group& group = pending_[job.program_id];
+  if (group.jobs.empty()) {
+    group.opened_at = now;
+    group.tightest_deadline.reset();
+  }
+  if (job.deadline.has_value()) {
+    group.tightest_deadline = group.tightest_deadline.has_value()
+                                  ? std::min(*group.tightest_deadline, *job.deadline)
+                                  : *job.deadline;
+  }
+  const std::string program_id = job.program_id;
+  group.jobs.push_back(std::move(job));
+  if (group.jobs.size() >= options_.max_batch_lanes) {
+    Group full = std::move(group);
+    pending_.erase(program_id);
+    flush(program_id, std::move(full), now, FlushReason::kSize);
+  }
+}
+
+std::pair<Clock::time_point, FlushReason> Batcher::due(const Group& group) const {
+  Clock::time_point when = group.opened_at + options_.max_batch_delay;
+  FlushReason reason = FlushReason::kDelay;
+  if (group.tightest_deadline.has_value()) {
+    const Clock::time_point dl = *group.tightest_deadline - options_.deadline_slack;
+    if (dl < when) {
+      when = dl;
+      reason = FlushReason::kDeadline;
+    }
+  }
+  return {when, reason};
+}
+
+std::vector<Batch> Batcher::take_ready(Clock::time_point now) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    const auto [when, reason] = due(it->second);
+    if (when <= now) {
+      Group group = std::move(it->second);
+      const std::string program_id = it->first;
+      it = pending_.erase(it);
+      flush(program_id, std::move(group), now, reason);
+    } else {
+      ++it;
+    }
+  }
+  return std::exchange(ready_, {});
+}
+
+std::optional<Clock::time_point> Batcher::next_due() const {
+  if (!ready_.empty()) return Clock::time_point::min();  // already ready
+  std::optional<Clock::time_point> earliest;
+  for (const auto& [id, group] : pending_) {
+    const auto [when, reason] = due(group);
+    if (!earliest.has_value() || when < *earliest) earliest = when;
+  }
+  return earliest;
+}
+
+std::vector<Batch> Batcher::drain() {
+  const Clock::time_point now = Clock::now();
+  for (auto& [id, group] : pending_) {
+    flush(id, std::move(group), now, FlushReason::kDrain);
+  }
+  pending_.clear();
+  return std::exchange(ready_, {});
+}
+
+std::size_t Batcher::pending_jobs() const {
+  std::size_t n = 0;
+  for (const auto& [id, group] : pending_) n += group.jobs.size();
+  return n;
+}
+
+void Batcher::flush(const std::string& program_id, Group&& group,
+                    Clock::time_point now, FlushReason reason) {
+  Batch batch;
+  batch.program_id = program_id;
+  batch.jobs = std::move(group.jobs);
+  batch.formed_at = now;
+  batch.reason = reason;
+  ready_.push_back(std::move(batch));
+}
+
+}  // namespace obx::serve

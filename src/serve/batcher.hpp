@@ -1,0 +1,79 @@
+// Dynamic batcher: coalesces same-program jobs into bulk-execution batches.
+//
+// Pure state machine — every method takes the current time as a parameter,
+// so flush behaviour is deterministic and unit-testable without threads or
+// sleeps.  The service's batcher thread drives it with the real clock.
+//
+// A pending group (one per program id) flushes when ANY of:
+//   size:     it reaches max_batch_lanes (checked on add),
+//   delay:    max_batch_delay has elapsed since the group OPENED (first job
+//             added to the batcher — not since submit: under a backlog the
+//             admission-queue wait would otherwise eat the whole window and
+//             degrade every batch to one lane, exactly when coalescing
+//             matters most; with an empty queue the two clocks coincide),
+//   deadline: waiting longer would miss some job's deadline, i.e. now has
+//             reached (deadline - deadline_slack) for the tightest job.
+//
+// max_batch_delay is the central knob: 0 degenerates to one-job batches
+// (lowest queueing delay, no amortisation); larger values trade bounded
+// extra latency for fuller batches, and fuller batches amortise the fixed
+// per-batch cost — the service-level image of the l·t term in Theorem 2.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace obx::serve {
+
+struct BatcherOptions {
+  std::size_t max_batch_lanes = 256;
+  Clock::duration max_batch_delay = std::chrono::microseconds(500);
+  /// Headroom reserved for execution when honouring deadlines: a group
+  /// flushes once now >= deadline - deadline_slack.
+  Clock::duration deadline_slack = Clock::duration::zero();
+};
+
+class Batcher {
+ public:
+  explicit Batcher(BatcherOptions options);
+
+  /// Adds a job to its program's pending group; moves the group to the ready
+  /// list immediately if it reaches max_batch_lanes.
+  void add(Job&& job, Clock::time_point now);
+
+  /// Flushes every group whose delay or deadline trigger has fired by `now`,
+  /// and returns all ready batches (including size-triggered ones from add).
+  std::vector<Batch> take_ready(Clock::time_point now);
+
+  /// Earliest instant at which some pending group becomes due, or nullopt
+  /// when nothing is pending (the service thread sleeps until this).
+  std::optional<Clock::time_point> next_due() const;
+
+  /// Flushes everything unconditionally (service drain/shutdown).
+  std::vector<Batch> drain();
+
+  std::size_t pending_jobs() const;
+  const BatcherOptions& options() const { return options_; }
+
+ private:
+  struct Group {
+    std::vector<Job> jobs;
+    Clock::time_point opened_at{};  ///< when the first job joined this group
+    std::optional<Clock::time_point> tightest_deadline;
+  };
+
+  /// Time at which `group` must flush, and which trigger that would be.
+  std::pair<Clock::time_point, FlushReason> due(const Group& group) const;
+  void flush(const std::string& program_id, Group&& group, Clock::time_point now,
+             FlushReason reason);
+
+  BatcherOptions options_;
+  std::map<std::string, Group> pending_;
+  std::vector<Batch> ready_;
+};
+
+}  // namespace obx::serve

@@ -1,0 +1,72 @@
+// Job types for the batching bulk-execution service.
+//
+// A job is one *lane* of work: a single input for a registered oblivious
+// program, submitted by some producer thread.  The service coalesces many
+// jobs for the same program into one bulk execution, which is where the
+// paper's economics pay off: Theorem 2 prices a bulk run at O(pt/w + lt),
+// so the fixed l·t floor (and, on the host, the per-step decode cost) is
+// amortised across every lane in the batch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace obx::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// Terminal state of a submitted job.  Every future resolves exactly once
+/// with one of these.
+enum class JobStatus {
+  kCompleted,  ///< executed; `output` holds the program's output region
+  kRejected,   ///< refused at admission (queue full, policy = kReject)
+  kShed,       ///< dropped from the queue to admit newer work (kShedOldest)
+};
+
+const char* to_string(JobStatus status);
+
+struct JobResult {
+  JobStatus status = JobStatus::kCompleted;
+  std::vector<Word> output;       ///< program.output_words words when completed
+  bool deadline_missed = false;   ///< completed, but after the job's deadline
+  Clock::duration queue_delay{};  ///< submit → batch dispatch
+  Clock::duration latency{};      ///< submit → completion
+  std::size_t batch_lanes = 0;    ///< occupancy of the batch that ran this job
+};
+
+/// One queued lane.  Owned by exactly one component at a time (queue →
+/// batcher → executor), so moving it around is race-free by construction.
+struct Job {
+  std::uint64_t id = 0;
+  std::string program_id;
+  std::vector<Word> input;
+  Clock::time_point enqueue_time{};
+  std::optional<Clock::time_point> deadline;
+  std::promise<JobResult> promise;
+};
+
+/// Why a batch left the batcher (recorded in service metrics).
+enum class FlushReason {
+  kSize,      ///< reached max_batch_lanes
+  kDelay,     ///< oldest job waited max_batch_delay
+  kDeadline,  ///< waiting longer would miss a job's deadline
+  kDrain,     ///< service shutting down / explicit drain
+};
+
+const char* to_string(FlushReason reason);
+
+/// A flushed group of same-program jobs, ready for one bulk execution.
+struct Batch {
+  std::string program_id;
+  std::vector<Job> jobs;
+  Clock::time_point formed_at{};
+  FlushReason reason = FlushReason::kSize;
+};
+
+}  // namespace obx::serve

@@ -1,0 +1,57 @@
+// Load generator for the serve benchmarks: multi-producer open-loop
+// (Poisson arrivals) or closed-loop traffic against a BulkService.
+//
+// Open-loop models "heavy traffic": inter-arrival gaps are exponential with
+// the requested aggregate rate, independent of service latency, so overload
+// exercises the backpressure policy.  Closed-loop (rate = 0) models one
+// outstanding request per producer — each submits, waits, repeats — and
+// measures the service's sustainable round-trip throughput.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serve/service.hpp"
+
+namespace obx::serve {
+
+struct WorkloadItem {
+  std::string program_id;
+  /// One fresh random input of the program's input_words.
+  std::function<std::vector<Word>(Rng&)> make_input;
+};
+
+struct LoadGenOptions {
+  std::size_t jobs = 10000;    ///< total across all producers
+  unsigned producers = 4;
+  double arrival_rate_hz = 0;  ///< aggregate Poisson rate; 0 = closed-loop
+  std::optional<Clock::duration> deadline;  ///< per-job relative deadline
+  std::uint64_t seed = 1;
+};
+
+struct LoadGenReport {
+  double wall_seconds = 0;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t shed = 0;
+  std::size_t deadline_missed = 0;
+  double jobs_per_sec = 0;  ///< completed / wall_seconds
+  // Latency of completed jobs (submit → completion), microseconds.
+  double mean_latency_us = 0;
+  double p50_latency_us = 0;
+  double p95_latency_us = 0;
+  double max_latency_us = 0;
+};
+
+/// Drives `service` with `options.jobs` jobs spread over the workload items
+/// (round-robin per producer, randomized inputs) and blocks until every
+/// submitted job reached a terminal state.
+LoadGenReport run_load(BulkService& service, const std::vector<WorkloadItem>& workload,
+                       const LoadGenOptions& options);
+
+}  // namespace obx::serve

@@ -1,0 +1,104 @@
+#include "serve/metrics.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace obx::serve {
+
+void Histogram::record(std::uint64_t value) {
+  const std::size_t bucket = static_cast<std::size_t>(std::bit_width(value));
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::max() const {
+  return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    seen += buckets_[k].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Upper bound of bucket k, clamped to the true max.
+      const std::uint64_t bound = k == 0 ? 0 : (k >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << k) - 1);
+      return std::min(bound, max());
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  MetricsSnapshot s;
+  s.submitted = submitted.load(std::memory_order_relaxed);
+  s.completed = completed.load(std::memory_order_relaxed);
+  s.rejected = rejected.load(std::memory_order_relaxed);
+  s.shed = shed.load(std::memory_order_relaxed);
+  s.deadline_missed = deadline_missed.load(std::memory_order_relaxed);
+  s.batches = batches.load(std::memory_order_relaxed);
+  s.queue_depth = queue_depth.load(std::memory_order_relaxed);
+  s.flush_size = flush_size.load(std::memory_order_relaxed);
+  s.flush_delay = flush_delay.load(std::memory_order_relaxed);
+  s.flush_deadline = flush_deadline.load(std::memory_order_relaxed);
+  s.flush_drain = flush_drain.load(std::memory_order_relaxed);
+  s.mean_queue_delay_us = queue_delay_us.mean();
+  s.p50_queue_delay_us = static_cast<double>(queue_delay_us.quantile(0.50));
+  s.p95_queue_delay_us = static_cast<double>(queue_delay_us.quantile(0.95));
+  s.mean_batch_latency_us = batch_latency_us.mean();
+  s.p95_batch_latency_us = static_cast<double>(batch_latency_us.quantile(0.95));
+  s.mean_batch_occupancy = batch_occupancy.mean();
+  s.max_batch_occupancy = static_cast<double>(batch_occupancy.max());
+  s.mean_batch_sim_units = batch_sim_units.mean();
+  return s;
+}
+
+std::string MetricsSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "serve.metrics:\n"
+     << "  jobs        submitted=" << submitted << " completed=" << completed
+     << " rejected=" << rejected << " shed=" << shed
+     << " deadline_missed=" << deadline_missed << "\n"
+     << "  queue       depth=" << queue_depth
+     << " delay_us mean=" << mean_queue_delay_us << " p50=" << p50_queue_delay_us
+     << " p95=" << p95_queue_delay_us << "\n"
+     << "  batches     count=" << batches << " occupancy mean=" << mean_batch_occupancy
+     << " max=" << max_batch_occupancy << " latency_us mean=" << mean_batch_latency_us
+     << " p95=" << p95_batch_latency_us << "\n"
+     << "  flushes     size=" << flush_size << " delay=" << flush_delay
+     << " deadline=" << flush_deadline << " drain=" << flush_drain << "\n"
+     << "  simulated   units/batch mean=" << mean_batch_sim_units << "\n";
+  return os.str();
+}
+
+}  // namespace obx::serve

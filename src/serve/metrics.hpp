@@ -1,0 +1,87 @@
+// Service metrics: lock-free counters and log2-bucketed histograms.
+//
+// The hot paths (submit, dispatch, batch completion) only touch atomics;
+// snapshot() reads them without stopping the world, so numbers from a live
+// service are approximate in the usual monitoring sense (each individual
+// counter is exact, cross-counter consistency is not guaranteed).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace obx::serve {
+
+/// Histogram over non-negative integer samples with power-of-two buckets:
+/// bucket k holds samples whose bit width is k (i.e. value in [2^(k-1), 2^k)),
+/// bucket 0 holds zeros.  Quantiles are resolved to a bucket upper bound, so
+/// they are exact to within a factor of 2 — plenty for latency monitoring.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // bit_width of uint64 is 0..64
+
+  void record(std::uint64_t value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  std::uint64_t min() const;  ///< 0 when empty
+  std::uint64_t max() const;  ///< 0 when empty
+  /// Upper bound of the bucket containing the q-quantile (q in [0, 1]).
+  std::uint64_t quantile(double q) const;
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Point-in-time copy of every counter, for reporting.
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_missed = 0;
+  std::uint64_t batches = 0;
+  std::int64_t queue_depth = 0;
+
+  // Histogram summaries (value domains noted per field).
+  double mean_queue_delay_us = 0, p50_queue_delay_us = 0, p95_queue_delay_us = 0;
+  double mean_batch_latency_us = 0, p95_batch_latency_us = 0;
+  double mean_batch_occupancy = 0, max_batch_occupancy = 0;
+  double mean_batch_sim_units = 0;
+  std::uint64_t flush_size = 0, flush_delay = 0, flush_deadline = 0, flush_drain = 0;
+
+  /// Multi-line human-readable dump (the "text snapshot" of the service).
+  std::string to_string() const;
+};
+
+class Metrics {
+ public:
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> deadline_missed{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::int64_t> queue_depth{0};
+  std::atomic<std::uint64_t> flush_size{0};
+  std::atomic<std::uint64_t> flush_delay{0};
+  std::atomic<std::uint64_t> flush_deadline{0};
+  std::atomic<std::uint64_t> flush_drain{0};
+
+  Histogram queue_delay_us;     ///< submit → dispatch, microseconds
+  Histogram batch_latency_us;   ///< dispatch → completion, microseconds
+  Histogram batch_occupancy;    ///< lanes per executed batch
+  Histogram batch_sim_units;    ///< simulated UMM time units per batch
+
+  MetricsSnapshot snapshot() const;
+};
+
+}  // namespace obx::serve

@@ -1,0 +1,79 @@
+// Per-program preparation cache: the advisor runs once per program id,
+// not once per batch.
+//
+// Registering a program does the expensive, input-independent work up front
+// (peephole optimisation, row-vs-column arrangement choice on the configured
+// machine); every batch for that id then reuses the cached decision.  The
+// cache also memoises the simulated-UMM-units estimate per batch size, so
+// the metrics can report simulated units per batch without re-running the
+// timing estimator on the hot path more than once per distinct occupancy.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "bulk/layout.hpp"
+#include "trace/program.hpp"
+#include "umm/machine_config.hpp"
+
+namespace obx::serve {
+
+struct PrepareOptions {
+  /// Machine the arrangement choice and simulated-units estimates target.
+  umm::MachineConfig machine{.width = 32, .latency = 200};
+  /// Reference lane count for the arrangement decision (use the service's
+  /// max_batch_lanes: that is the occupancy the service is tuned for).
+  std::size_t reference_lanes = 256;
+  bool optimize = true;
+  std::size_t optimise_step_limit = 1u << 22;
+};
+
+class PreparedProgram {
+ public:
+  PreparedProgram(trace::Program program, const PrepareOptions& options);
+
+  const trace::Program& program() const { return program_; }
+  bulk::Arrangement arrangement() const { return arrangement_; }
+  bool optimised() const { return optimised_; }
+  std::size_t input_words() const { return program_.input_words; }
+  std::size_t output_words() const { return program_.output_words; }
+
+  /// Simulated UMM time units of one bulk run at the given occupancy
+  /// (memoised per distinct lane count; thread-safe).
+  TimeUnits units_for_lanes(std::size_t lanes) const;
+
+ private:
+  trace::Program program_;
+  umm::MachineConfig machine_;
+  bulk::Arrangement arrangement_ = bulk::Arrangement::kColumnWise;
+  bool optimised_ = false;
+  mutable std::mutex units_mutex_;
+  mutable std::map<std::size_t, TimeUnits> units_by_lanes_;
+};
+
+/// Thread-safe id → PreparedProgram registry.  Entries are immutable once
+/// added, so get() hands out stable references.
+class ProgramCache {
+ public:
+  explicit ProgramCache(PrepareOptions options) : options_(options) {}
+
+  /// Prepares and stores `program` under `id`; throws if the id is taken.
+  void add(const std::string& id, trace::Program program);
+
+  const PreparedProgram& get(const std::string& id) const;  ///< throws if absent
+  bool contains(const std::string& id) const;
+  std::vector<std::string> ids() const;
+
+ private:
+  PrepareOptions options_;
+  mutable std::mutex mutex_;
+  // unique_ptr so references stay valid across rehash/insert.
+  std::map<std::string, std::unique_ptr<PreparedProgram>> programs_;
+};
+
+}  // namespace obx::serve

@@ -1,0 +1,246 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/check.hpp"
+#include "bulk/streaming_executor.hpp"
+
+namespace obx::serve {
+
+namespace {
+
+std::uint64_t to_us(Clock::duration d) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  return us < 0 ? 0 : static_cast<std::uint64_t>(us);
+}
+
+}  // namespace
+
+// Bounded handoff between the batcher thread and the executor pool.  Always
+// blocking on push: once a batch exists, its jobs are committed to execution,
+// so the only correct overflow behaviour is to slow the batcher down (which
+// in turn fills the admission queue, where the configured policy applies).
+class BulkService::BatchQueue {
+ public:
+  explicit BatchQueue(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+  void push(Batch&& batch) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return batches_.size() < capacity_ || closed_; });
+    // After close the executors still drain; never drop a formed batch.
+    batches_.push_back(std::move(batch));
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  bool pop(Batch& out) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return !batches_.empty() || closed_; });
+    if (batches_.empty()) return false;
+    out = std::move(batches_.front());
+    batches_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Batch> batches_;
+  bool closed_ = false;
+};
+
+BulkService::BulkService(ServiceOptions options)
+    : options_(options), batcher_(options.batcher) {
+  OBX_CHECK(options_.executors > 0, "executor pool needs at least one worker");
+  options_.prepare.reference_lanes = options_.batcher.max_batch_lanes;
+  programs_ = std::make_unique<ProgramCache>(options_.prepare);
+  queue_ = std::make_unique<AdmissionQueue>(options_.queue_capacity, options_.policy);
+  batches_ = std::make_unique<BatchQueue>(options_.executors * 2);
+  batcher_thread_ = std::thread([this] { batcher_loop(); });
+  executor_threads_.reserve(options_.executors);
+  for (unsigned i = 0; i < options_.executors; ++i) {
+    executor_threads_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+BulkService::~BulkService() { stop(); }
+
+void BulkService::register_program(const std::string& id, trace::Program program) {
+  programs_->add(id, std::move(program));
+}
+
+std::future<JobResult> BulkService::submit(const std::string& id,
+                                           std::vector<Word> input,
+                                           std::optional<Clock::duration> deadline) {
+  const PreparedProgram& prepared = programs_->get(id);
+  OBX_CHECK(input.size() == prepared.input_words(),
+            "input has " + std::to_string(input.size()) + " words, program '" + id +
+                "' expects " + std::to_string(prepared.input_words()));
+
+  Job job;
+  job.id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  job.program_id = id;
+  job.input = std::move(input);
+  job.enqueue_time = Clock::now();
+  if (deadline.has_value()) job.deadline = job.enqueue_time + *deadline;
+  std::future<JobResult> future = job.promise.get_future();
+
+  metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+  std::optional<Job> shed;
+  const auto result = queue_->push(std::move(job), &shed);
+  if (shed.has_value()) resolve_dropped(std::move(*shed), JobStatus::kShed);
+  if (result == AdmissionQueue::PushResult::kRejected) {
+    // push() leaves the job untouched on rejection, so the promise is still
+    // ours to resolve.
+    metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+    JobResult r;
+    r.status = JobStatus::kRejected;
+    job.promise.set_value(std::move(r));
+    return future;
+  }
+  metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+void BulkService::resolve_dropped(Job&& job, JobStatus status) {
+  if (status == JobStatus::kShed) {
+    metrics_.shed.fetch_add(1, std::memory_order_relaxed);
+    metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+  }
+  JobResult r;
+  r.status = status;
+  r.latency = Clock::now() - job.enqueue_time;
+  job.promise.set_value(std::move(r));
+}
+
+void BulkService::batcher_loop() {
+  for (;;) {
+    const std::optional<Clock::time_point> due = batcher_.next_due();
+    Job job;
+    AdmissionQueue::PopResult r;
+    if (due.has_value()) {
+      r = queue_->pop_until(job, *due);
+    } else {
+      r = queue_->pop(job);
+    }
+    if (r == AdmissionQueue::PopResult::kJob) {
+      metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+      batcher_.add(std::move(job), Clock::now());
+    }
+    for (Batch& batch : batcher_.take_ready(Clock::now())) {
+      dispatch(std::move(batch));
+    }
+    if (r == AdmissionQueue::PopResult::kClosed) {
+      for (Batch& batch : batcher_.drain()) dispatch(std::move(batch));
+      break;
+    }
+  }
+  batches_->close();
+}
+
+void BulkService::dispatch(Batch&& batch) {
+  switch (batch.reason) {
+    case FlushReason::kSize:
+      metrics_.flush_size.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FlushReason::kDelay:
+      metrics_.flush_delay.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FlushReason::kDeadline:
+      metrics_.flush_deadline.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FlushReason::kDrain:
+      metrics_.flush_drain.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  batches_->push(std::move(batch));
+}
+
+void BulkService::executor_loop() {
+  Batch batch;
+  while (batches_->pop(batch)) {
+    execute(std::move(batch));
+  }
+}
+
+void BulkService::execute(Batch&& batch) {
+  const PreparedProgram& prepared = programs_->get(batch.program_id);
+  const std::size_t lanes = batch.jobs.size();
+  const Clock::time_point dispatched = Clock::now();
+
+  std::vector<std::vector<Word>> outputs(lanes);
+  try {
+    const bulk::StreamingExecutor exec(bulk::StreamingExecutor::Options{
+        .max_resident_lanes = lanes,
+        .workers = options_.workers_per_batch,
+        .arrangement = prepared.arrangement(),
+    });
+    exec.run(
+        prepared.program(), lanes,
+        [&](Lane j, std::span<Word> dst) {
+          const std::vector<Word>& in = batch.jobs[j].input;
+          std::copy(in.begin(), in.end(), dst.begin());
+        },
+        [&](Lane j, std::span<const Word> out) {
+          outputs[j].assign(out.begin(), out.end());
+        });
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (Job& job : batch.jobs) job.promise.set_exception(error);
+    return;
+  }
+
+  const Clock::time_point completed = Clock::now();
+  metrics_.batches.fetch_add(1, std::memory_order_relaxed);
+  metrics_.batch_occupancy.record(lanes);
+  metrics_.batch_latency_us.record(to_us(completed - dispatched));
+  if (options_.record_simulated_units) {
+    metrics_.batch_sim_units.record(prepared.units_for_lanes(lanes));
+  }
+
+  for (std::size_t j = 0; j < lanes; ++j) {
+    Job& job = batch.jobs[j];
+    JobResult r;
+    r.status = JobStatus::kCompleted;
+    r.output = std::move(outputs[j]);
+    r.queue_delay = dispatched - job.enqueue_time;
+    r.latency = completed - job.enqueue_time;
+    r.batch_lanes = lanes;
+    r.deadline_missed = job.deadline.has_value() && completed > *job.deadline;
+    metrics_.queue_delay_us.record(to_us(r.queue_delay));
+    metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+    if (r.deadline_missed) {
+      metrics_.deadline_missed.fetch_add(1, std::memory_order_relaxed);
+    }
+    job.promise.set_value(std::move(r));
+  }
+}
+
+void BulkService::stop() {
+  if (stopped_.exchange(true)) {
+    return;
+  }
+  queue_->close();
+  if (batcher_thread_.joinable()) batcher_thread_.join();
+  for (auto& t : executor_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace obx::serve

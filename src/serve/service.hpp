@@ -1,0 +1,104 @@
+// BulkService: the batching bulk-execution service.
+//
+//   producers ──▶ AdmissionQueue ──▶ Batcher ──▶ ExecutorPool ──▶ futures
+//                 (bounded MPMC,      (group by    (N workers ×
+//                  backpressure)       program,     StreamingExecutor)
+//                                      flush on
+//                                      size/delay/deadline)
+//
+// Many producer threads submit independent single-lane jobs; the service
+// coalesces them into large-occupancy bulk executions through the existing
+// engine.  Program characterisation (optimise + arrangement choice) is
+// cached per program id, so the advisor runs once, not per batch.
+//
+// Lifecycle guarantee: every accepted job's future resolves exactly once —
+// kCompleted after execution, kShed if evicted under the shed-oldest policy,
+// kRejected if refused at admission.  stop() (and the destructor) drains all
+// accepted work before joining the threads; nothing is abandoned.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/admission_queue.hpp"
+#include "serve/batcher.hpp"
+#include "serve/job.hpp"
+#include "serve/metrics.hpp"
+#include "serve/program_cache.hpp"
+
+namespace obx::serve {
+
+struct ServiceOptions {
+  std::size_t queue_capacity = 4096;
+  OverflowPolicy policy = OverflowPolicy::kBlock;
+  BatcherOptions batcher;
+  /// Executor pool size: batches in flight concurrently.
+  unsigned executors = 2;
+  /// Host threads inside one batch's StreamingExecutor.  Defaults to 1:
+  /// the pool already supplies cross-batch parallelism, and executors ×
+  /// workers_per_batch should not oversubscribe the host.
+  unsigned workers_per_batch = 1;
+  /// Machine model + optimisation policy for per-program characterisation
+  /// (reference_lanes is overridden with batcher.max_batch_lanes).
+  PrepareOptions prepare;
+  /// Estimate simulated UMM units per executed batch (memoised per program
+  /// and occupancy; adds one timing-estimator pass per distinct occupancy).
+  bool record_simulated_units = true;
+};
+
+class BulkService {
+ public:
+  explicit BulkService(ServiceOptions options);
+  ~BulkService();
+
+  BulkService(const BulkService&) = delete;
+  BulkService& operator=(const BulkService&) = delete;
+
+  /// Prepares (optimises + characterises) and registers a program.  Must
+  /// happen before any submit() for that id.
+  void register_program(const std::string& id, trace::Program program);
+
+  /// Submits one lane of work.  `input` must hold exactly the program's
+  /// input_words.  `deadline` is relative to now; a completed-late job is
+  /// still delivered, flagged deadline_missed.  Never blocks except under
+  /// OverflowPolicy::kBlock on a full queue.
+  std::future<JobResult> submit(const std::string& id, std::vector<Word> input,
+                                std::optional<Clock::duration> deadline = std::nullopt);
+
+  /// Stops admission, drains every accepted job through execution, joins all
+  /// threads.  Idempotent; called by the destructor.
+  void stop();
+
+  const Metrics& metrics() const { return metrics_; }
+  MetricsSnapshot snapshot() const { return metrics_.snapshot(); }
+  const ServiceOptions& options() const { return options_; }
+  const ProgramCache& programs() const { return *programs_; }
+
+ private:
+  class BatchQueue;
+
+  void batcher_loop();
+  void executor_loop();
+  void dispatch(Batch&& batch);
+  void execute(Batch&& batch);
+  void resolve_dropped(Job&& job, JobStatus status);
+
+  ServiceOptions options_;
+  std::unique_ptr<ProgramCache> programs_;
+  std::unique_ptr<AdmissionQueue> queue_;
+  std::unique_ptr<BatchQueue> batches_;
+  Batcher batcher_;
+  Metrics metrics_;
+  std::atomic<std::uint64_t> next_job_id_{0};
+  std::atomic<bool> stopped_{false};
+  std::thread batcher_thread_;
+  std::vector<std::thread> executor_threads_;
+};
+
+}  // namespace obx::serve

@@ -56,6 +56,13 @@ TEST(Session, ProducesCorrectOutputsWithDefaults) {
   EXPECT_EQ(report.lanes, 50u);
   EXPECT_EQ(report.arrangement, bulk::Arrangement::kColumnWise);
   EXPECT_GT(report.simulated_units, 0u);
+  EXPECT_DOUBLE_EQ(report.host_seconds,
+                   report.host_execute_seconds + report.host_callback_seconds);
+}
+
+TEST(Session, DefaultWorkersUseTheHostCores) {
+  EXPECT_EQ(SessionOptions{}.workers, bulk::default_worker_count());
+  EXPECT_GE(SessionOptions{}.workers, 1u);
 }
 
 TEST(Session, MemoryBudgetControlsBatching) {

@@ -1,6 +1,8 @@
 // Memory-bounded streaming bulk execution.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "algos/algorithm.hpp"
@@ -83,6 +85,24 @@ TEST(Streaming, LanesVisitedInOrder) {
       [&](Lane j, std::span<const Word>) { EXPECT_EQ(j, next_consume++); });
   EXPECT_EQ(next_fill, fx.p);
   EXPECT_EQ(next_consume, fx.p);
+}
+
+TEST(Streaming, AttributesCallbackTimeSeparatelyFromExecution) {
+  const Fixture fx("prefix-sums", 16, 8);
+  StreamingExecutor exec(StreamingExecutor::Options{.max_resident_lanes = 4});
+  const auto stats = exec.run(
+      fx.program, fx.p,
+      [&](Lane j, std::span<Word> dst) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        fx.fill(j, dst);
+      },
+      [&](Lane, std::span<const Word>) {});
+  // 8 fill callbacks sleeping 1ms each: the slack must be attributed to
+  // callback_seconds, not folded into the engine's execute_seconds.
+  EXPECT_GE(stats.callback_seconds, 0.008);
+  EXPECT_GE(stats.execute_seconds, 0.0);
+  EXPECT_LT(stats.execute_seconds, stats.callback_seconds);
+  EXPECT_DOUBLE_EQ(stats.seconds(), stats.execute_seconds + stats.callback_seconds);
 }
 
 TEST(Streaming, Validation) {

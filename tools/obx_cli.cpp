@@ -11,10 +11,17 @@
 //   obx_cli hmm      <algorithm> --n 64 --p 4096 [--sms 14]
 //   obx_cli dump     <algorithm> --n 8 [--optimize]   (.obx text to stdout)
 //   obx_cli analyze  <algorithm> --n 64 --p 65536     (workload advice)
+//   obx_cli serve-bench [--algos a,b] [--n 1024] [--jobs 30000] [--rate 40000]
+//                    [--producers 8] [--batch-lanes 512] [--batch-delays-us 0,1000,5000]
+//                    [--executors 1] [--policy block|reject|shed] [--queue-cap 2048]
+//                    [--deadline-us D] [--snapshot]   (batching service load test;
+//                    rate 0 = closed-loop)
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "advisor/characterize.hpp"
 #include "algos/algorithm.hpp"
@@ -27,6 +34,8 @@
 #include "gpusim/virtual_gpu.hpp"
 #include "hmm/hmm_estimator.hpp"
 #include "opt/optimizer.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/service.hpp"
 #include "trace/interpreter.hpp"
 #include "trace/oblivious_checker.hpp"
 #include "trace/serialize.hpp"
@@ -37,8 +46,8 @@ using namespace obx;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: obx_cli <list|run|time|check|optimize|hmm> [<algorithm>] "
-               "[--n N] [--p P] [options]\n"
+               "usage: obx_cli <list|run|time|check|optimize|hmm|analyze|dump|"
+               "serve-bench> [<algorithm>] [--n N] [--p P] [options]\n"
                "run 'obx_cli list' to see the algorithm library.\n");
   return 2;
 }
@@ -220,6 +229,92 @@ int cmd_analyze(const cli::Args& args) {
   return 0;
 }
 
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+// Load-tests the batching bulk-execution service: fixed arrival pattern,
+// sweep of max_batch_delay values.  The table shows the batching win — at a
+// fixed rate, a larger delay produces fuller batches (occupancy column) and
+// higher sustained jobs/sec, the service-level image of amortising the l·t
+// latency floor of Theorem 2 across the lanes of one bulk run.
+int cmd_serve_bench(const cli::Args& args) {
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 1024));
+  const std::vector<std::string> algo_names =
+      split_csv(args.get("algos", "prefix-sums"));
+  std::vector<std::string> delay_strings =
+      split_csv(args.get("batch-delays-us", "0,1000,5000"));
+
+  serve::LoadGenOptions load;
+  load.jobs = static_cast<std::size_t>(args.get_int("jobs", 30000));
+  load.producers = static_cast<unsigned>(args.get_int("producers", 8));
+  load.arrival_rate_hz = args.get_double("rate", 40000);
+  load.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (args.has("deadline-us")) {
+    load.deadline = std::chrono::microseconds(args.get_int("deadline-us", 0));
+  }
+
+  std::printf("serve-bench: %zu jobs, %u producers, %s arrivals, policy=%s, "
+              "batch-lanes=%lld, executors=%lld\n",
+              load.jobs, load.producers,
+              load.arrival_rate_hz > 0
+                  ? (format_fixed(load.arrival_rate_hz, 0) + "/s Poisson").c_str()
+                  : "closed-loop",
+              args.get("policy", "block").c_str(),
+              static_cast<long long>(args.get_int("batch-lanes", 512)),
+              static_cast<long long>(args.get_int("executors", 1)));
+
+  analysis::Table table({"delay_us", "jobs/s", "occ mean", "occ max", "p50 us",
+                         "p95 us", "batches", "shed", "rejected", "ddl miss",
+                         "sim units/batch"});
+  for (const std::string& delay_str : delay_strings) {
+    serve::ServiceOptions options;
+    options.queue_capacity = static_cast<std::size_t>(args.get_int("queue-cap", 2048));
+    options.policy = serve::overflow_policy_from(args.get("policy", "block"));
+    options.batcher.max_batch_lanes =
+        static_cast<std::size_t>(args.get_int("batch-lanes", 512));
+    OBX_CHECK(!delay_str.empty() &&
+                  delay_str.find_first_not_of("0123456789") == std::string::npos,
+              "--batch-delays-us entries must be non-negative integers, got: " + delay_str);
+    options.batcher.max_batch_delay = std::chrono::microseconds(std::stoll(delay_str));
+    options.executors = static_cast<unsigned>(args.get_int("executors", 1));
+
+    serve::BulkService service(options);
+    std::vector<serve::WorkloadItem> workload;
+    for (const std::string& name : algo_names) {
+      const algos::Algorithm& algo = algos::find(name);
+      service.register_program(name, algo.make_program(n));
+      workload.push_back(serve::WorkloadItem{
+          .program_id = name,
+          .make_input = [&algo, n](Rng& rng) { return algo.make_input(n, rng); }});
+    }
+
+    const serve::LoadGenReport report = serve::run_load(service, workload, load);
+    service.stop();
+    const serve::MetricsSnapshot snap = service.snapshot();
+    table.add_row({delay_str, format_fixed(report.jobs_per_sec, 0),
+                   format_fixed(snap.mean_batch_occupancy, 1),
+                   format_fixed(snap.max_batch_occupancy, 0),
+                   format_fixed(report.p50_latency_us, 0),
+                   format_fixed(report.p95_latency_us, 0),
+                   std::to_string(snap.batches), std::to_string(snap.shed),
+                   std::to_string(snap.rejected), std::to_string(snap.deadline_missed),
+                   format_fixed(snap.mean_batch_sim_units, 0)});
+    if (args.get_bool("snapshot")) {
+      std::printf("--- delay %s us ---\n%s", delay_str.c_str(),
+                  snap.to_string().c_str());
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}
+
 int cmd_dump(const cli::Args& args) {
   const algos::Algorithm& algo = algo_from(args);
   const std::size_t n = static_cast<std::size_t>(args.get_int("n", 8));
@@ -234,9 +329,10 @@ int cmd_dump(const cli::Args& args) {
 int main(int argc, char** argv) {
   try {
     const cli::Args args = cli::Args::parse(
-        argc, argv, {"overlap", "count-compute", "optimize"},
+        argc, argv, {"overlap", "count-compute", "optimize", "snapshot"},
         {"n", "p", "width", "latency", "group", "model", "arrangement", "workers",
-         "seed", "sms"});
+         "seed", "sms", "algos", "jobs", "rate", "producers", "batch-lanes",
+         "batch-delays-us", "executors", "policy", "queue-cap", "deadline-us"});
     if (args.positional().empty()) return usage();
     const std::string& cmd = args.positional()[0];
     if (cmd == "list") return cmd_list();
@@ -247,6 +343,7 @@ int main(int argc, char** argv) {
     if (cmd == "hmm") return cmd_hmm(args);
     if (cmd == "dump") return cmd_dump(args);
     if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "serve-bench") return cmd_serve_bench(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
