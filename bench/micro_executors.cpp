@@ -1,7 +1,17 @@
 // google-benchmark microbenches: raw throughput of the execution engines.
+//
+// Results are also written as JSON to bench_results/micro_executors.json
+// (override with --benchmark_out=...) so CI can track the perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <filesystem>
+#include <string>
 #include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 #include "algos/prefix_sums.hpp"
 #include "bulk/bulk.hpp"
@@ -10,6 +20,7 @@
 #include "bulk/timing_estimator.hpp"
 #include "bulk/umm_executor.hpp"
 #include "common/rng.hpp"
+#include "exec/backend.hpp"
 #include "trace/step.hpp"
 #include "trace/value.hpp"
 #include "umm/cost_model.hpp"
@@ -65,6 +76,28 @@ BENCHMARK(BM_HostExecutor)
     ->Args({1 << 10, 1})
     ->Args({1 << 14, 0})
     ->Args({1 << 14, 1});
+
+void BM_Fig11Backend(benchmark::State& state) {
+  // The acceptance workload: Fig. 11 prefix sums at n = 1024, p = 4096 on a
+  // single worker, full run() (scatter + lockstep), interpreted vs compiled.
+  const std::size_t n = 1024;
+  const std::size_t p = 4096;
+  const exec::Backend backend =
+      state.range(0) != 0 ? exec::Backend::kCompiled : exec::Backend::kInterpreted;
+  const trace::Program program = algos::prefix_sums_program(n);
+  const std::vector<Word> inputs = make_inputs(n, p);
+  const bulk::HostBulkExecutor executor(
+      bulk::Layout::column_wise(p, n),
+      bulk::HostBulkExecutor::Options{.workers = 1, .backend = backend});
+  for (auto _ : state) {
+    auto run = executor.run(program, inputs);
+    benchmark::DoNotOptimize(run.memory.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p * program.profile().total()));
+  state.SetLabel(to_string(backend));
+}
+BENCHMARK(BM_Fig11Backend)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_UmmSimulator(benchmark::State& state) {
   const std::size_t n = 64;
@@ -153,3 +186,38 @@ void BM_StepGenerator(benchmark::State& state) {
 BENCHMARK(BM_StepGenerator);
 
 }  // namespace
+
+// Custom main: default to machine-readable JSON output so every run leaves a
+// trackable artifact, while still honouring an explicit --benchmark_out.
+int main(int argc, char** argv) {
+#if defined(__GLIBC__)
+  // The larger workloads allocate a fresh multi-megabyte memory image per
+  // run() call.  glibc serves allocations this size straight from mmap (and
+  // trims them back on free), so every iteration would re-fault the whole
+  // image and the benches would mostly measure kernel page-fault throughput —
+  // identically on every engine.  Keep big blocks on the heap so iterations
+  // measure executor cost instead.
+  mallopt(M_MMAP_THRESHOLD, 256 * 1024 * 1024);
+  mallopt(M_TRIM_THRESHOLD, 256 * 1024 * 1024);
+#endif
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag;
+  std::string format_flag;
+  if (!has_out) {
+    std::filesystem::create_directories("bench_results");
+    out_flag = "--benchmark_out=bench_results/micro_executors.json";
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,9 +1,11 @@
 #include "bulk/host_executor.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/check.hpp"
 #include "bulk/thread_pool.hpp"
+#include "exec/compiled_program.hpp"
 #include "trace/step.hpp"
 
 namespace obx::bulk {
@@ -112,15 +114,42 @@ HostRunResult HostBulkExecutor::run(const trace::Program& program,
   HostRunResult result;
   result.memory.assign(layout_.total_words(), Word{0});
   const std::size_t p = layout_.lanes();
-  for (Lane j = 0; j < p; ++j) {
-    layout_.scatter(inputs.subspan(j * program.input_words, program.input_words), j,
-                    result.memory);
-  }
 
   // Chunks must not split a blocked layout's block (alignment below); the
   // first chunk also reports the per-input step counts.
   const std::size_t align =
       layout_.arrangement() == Arrangement::kBlocked ? layout_.block() : 1;
+
+  std::shared_ptr<const exec::CompiledProgram> compiled;
+  if (options_.backend != exec::Backend::kInterpreted) {
+    compiled = exec::CompiledProgram::get_or_compile(
+        program, {.max_steps = options_.compile_budget_steps});
+  }
+
+  if (compiled != nullptr) {
+    result.backend = exec::Backend::kCompiled;
+    result.counts = compiled->counts();
+    const std::size_t tile = exec::resolve_tile_lanes(
+        options_.tile_lanes, compiled->register_count(), layout_);
+    const auto t0 = std::chrono::steady_clock::now();
+    parallel_for_chunks(p, options_.workers, align,
+                        [&](std::size_t begin, std::size_t end) {
+                          exec::run_compiled_chunk(*compiled, layout_, inputs,
+                                                   program.input_words, result.memory,
+                                                   begin, end, tile);
+                        });
+    const auto t1 = std::chrono::steady_clock::now();
+    result.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return result;
+  }
+
+  parallel_for_chunks(p, options_.workers, 1, [&](std::size_t begin, std::size_t end) {
+    for (Lane j = begin; j < end; ++j) {
+      layout_.scatter(inputs.subspan(j * program.input_words, program.input_words), j,
+                      result.memory);
+    }
+  });
+
   const auto t0 = std::chrono::steady_clock::now();
   parallel_for_chunks(p, options_.workers, align,
                       [&](std::size_t begin, std::size_t end) {
@@ -134,14 +163,51 @@ HostRunResult HostBulkExecutor::run(const trace::Program& program,
 
 std::vector<Word> HostBulkExecutor::gather_outputs(const trace::Program& program,
                                                    std::span<const Word> memory) const {
-  const std::size_t p = layout_.lanes();
-  std::vector<Word> out(p * program.output_words);
-  for (Lane j = 0; j < p; ++j) {
-    layout_.gather(memory, j, program.output_offset,
-                   std::span<Word>(out).subspan(j * program.output_words,
-                                                program.output_words));
-  }
+  std::vector<Word> out;
+  gather_outputs(program, memory, out);
   return out;
+}
+
+void HostBulkExecutor::gather_outputs(const trace::Program& program,
+                                      std::span<const Word> memory,
+                                      std::vector<Word>& out) const {
+  const std::size_t p = layout_.lanes();
+  const std::size_t ow = program.output_words;
+  out.resize(p * ow);
+  if (ow == 0) return;
+  parallel_for_chunks(p, options_.workers, 1, [&](std::size_t begin, std::size_t end) {
+    if (layout_.arrangement() == Arrangement::kColumnWise) {
+      // Two-level tiled transpose (mirror of the compiled backend's tile
+      // scatter): lane sub-blocks keep the destination pages TLB-resident,
+      // 8-word address tiles make each lane's write one full cacheline fed
+      // from 8 contiguous read streams.
+      constexpr std::size_t kSub = 256;
+      constexpr std::size_t kLine = 8;
+      for (std::size_t jb = begin; jb < end; jb += kSub) {
+        const std::size_t je = std::min(jb + kSub, end);
+        std::size_t i0 = 0;
+        for (; i0 + kLine <= ow; i0 += kLine) {
+          const Word* src[kLine];
+          for (std::size_t k = 0; k < kLine; ++k) {
+            src[k] = memory.data() + (program.output_offset + i0 + k) * p;
+          }
+          for (std::size_t j = jb; j < je; ++j) {
+            Word* dst = out.data() + j * ow + i0;
+            for (std::size_t k = 0; k < kLine; ++k) dst[k] = src[k][j];
+          }
+        }
+        for (; i0 < ow; ++i0) {
+          const Word* src = memory.data() + (program.output_offset + i0) * p;
+          for (std::size_t j = jb; j < je; ++j) out[j * ow + i0] = src[j];
+        }
+      }
+    } else {
+      for (Lane j = begin; j < end; ++j) {
+        layout_.gather(memory, j, program.output_offset,
+                       std::span<Word>(out).subspan(j * ow, ow));
+      }
+    }
+  });
 }
 
 }  // namespace obx::bulk

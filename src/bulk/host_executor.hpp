@@ -13,6 +13,7 @@
 
 #include "common/types.hpp"
 #include "bulk/layout.hpp"
+#include "exec/backend.hpp"
 #include "trace/program.hpp"
 
 namespace obx::bulk {
@@ -20,13 +21,25 @@ namespace obx::bulk {
 struct HostRunResult {
   std::vector<Word> memory;   ///< final arranged global memory (p·n words)
   trace::StepCounts counts;   ///< steps in one program stream (per input)
-  double seconds = 0.0;       ///< wall-clock of the lockstep loop (excludes scatter)
+  /// Wall-clock of the lockstep loop.  The interpreted backend scatters
+  /// before the clock starts; the compiled backend scatters tile-by-tile
+  /// inside it, so its seconds include scatter.
+  double seconds = 0.0;
+  /// Engine that actually ran (kCompiled may fall back to kInterpreted when
+  /// the program exceeds the compile budget).
+  exec::Backend backend = exec::Backend::kInterpreted;
 };
 
 class HostBulkExecutor {
  public:
   struct Options {
     unsigned workers = 1;  ///< host threads; lanes are chunked across them
+    /// Lockstep engine.  kAuto / kCompiled compile the step stream once per
+    /// (program, process) and run fused lane-tiled kernels, falling back to
+    /// the interpreter when the stream exceeds compile_budget_steps.
+    exec::Backend backend = exec::Backend::kAuto;
+    std::size_t tile_lanes = 0;  ///< compiled lane-tile size; 0 = auto (fit L1)
+    std::size_t compile_budget_steps = exec::kDefaultCompileBudget;
   };
 
   explicit HostBulkExecutor(Layout layout);
@@ -42,6 +55,11 @@ class HostBulkExecutor {
   /// returned lane-major flat (p * output_words).
   std::vector<Word> gather_outputs(const trace::Program& program,
                                    std::span<const Word> memory) const;
+
+  /// As above, writing into `out` (resized to p * output_words) so repeated
+  /// runs — e.g. StreamingExecutor batches — reuse one allocation.
+  void gather_outputs(const trace::Program& program, std::span<const Word> memory,
+                      std::vector<Word>& out) const;
 
   const Layout& layout() const { return layout_; }
 

@@ -1,6 +1,7 @@
 #include "bulk/streaming_executor.hpp"
 
 #include <chrono>
+#include <optional>
 #include <vector>
 
 #include "common/check.hpp"
@@ -27,7 +28,17 @@ StreamingExecutor::Stats StreamingExecutor::run(
     return std::chrono::duration<double>(b - a).count();
   };
 
+  const HostBulkExecutor::Options exec_options{
+      .workers = options_.workers,
+      .backend = options_.backend,
+      .tile_lanes = options_.tile_lanes,
+      .compile_budget_steps = options_.compile_budget_steps};
+  // All full batches share one layout/executor; only a trailing partial
+  // batch (batch size changes at most once) forces a rebuild.
+  std::optional<HostBulkExecutor> exec;
+  std::size_t exec_batch = 0;
   std::vector<Word> inputs;
+  std::vector<Word> outputs;
   for (Lane base = 0; base < p; base += options_.max_resident_lanes) {
     const std::size_t batch = std::min<std::size_t>(options_.max_resident_lanes, p - base);
     inputs.assign(batch * program.input_words, Word{0});
@@ -39,10 +50,12 @@ StreamingExecutor::Stats StreamingExecutor::run(
     }
 
     const auto exec_start = Clock::now();
-    const HostBulkExecutor exec(make_layout(program, batch, options_.arrangement),
-                                HostBulkExecutor::Options{.workers = options_.workers});
-    const HostRunResult run = exec.run(program, inputs);
-    const std::vector<Word> outputs = exec.gather_outputs(program, run.memory);
+    if (!exec.has_value() || exec_batch != batch) {
+      exec.emplace(make_layout(program, batch, options_.arrangement), exec_options);
+      exec_batch = batch;
+    }
+    const HostRunResult run = exec->run(program, inputs);
+    exec->gather_outputs(program, run.memory, outputs);
     const auto consume_start = Clock::now();
     for (std::size_t j = 0; j < batch; ++j) {
       consume_output(base + j,

@@ -14,6 +14,7 @@
 
 #include "common/types.hpp"
 #include "bulk/layout.hpp"
+#include "exec/backend.hpp"
 #include "trace/program.hpp"
 
 namespace obx::bulk {
@@ -24,6 +25,10 @@ class StreamingExecutor {
     std::size_t max_resident_lanes = 4096;  ///< peak memory = this · n words
     unsigned workers = 1;                   ///< host threads per batch
     Arrangement arrangement = Arrangement::kColumnWise;
+    /// Lockstep engine for each batch (see HostBulkExecutor::Options).
+    exec::Backend backend = exec::Backend::kAuto;
+    std::size_t tile_lanes = 0;
+    std::size_t compile_budget_steps = exec::kDefaultCompileBudget;
   };
 
   struct Stats {

@@ -1,0 +1,50 @@
+// Lane-tiled execution of a CompiledProgram over arranged global memory.
+//
+// Where the interpreted executor sweeps the whole worker chunk once per step
+// (streaming the full register file through cache every time), the compiled
+// backend walks lane tiles: for each tile of ~T lanes it scatters the tile's
+// inputs (a cache-blocked transpose instead of the per-lane strided writes of
+// Layout::scatter), zeroes a register tile small enough to stay L1-resident
+// (reg_count × T words), and then runs *every* fused op of every segment over
+// that tile before moving on.  Dispatch cost is amortised by superinstruction
+// fusion; memory traffic per tile touches each arranged word once per
+// load/store that names it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+#include "bulk/layout.hpp"
+#include "exec/compiled_program.hpp"
+
+namespace obx::exec {
+
+/// Which lockstep engine HostBulkExecutor uses.  kAuto compiles when the
+/// program fits the compile budget and falls back to the interpreter
+/// otherwise; kCompiled also falls back (with the fallback recorded in the
+/// run result) rather than failing.
+enum class Backend : std::uint8_t { kAuto, kInterpreted, kCompiled };
+
+std::string to_string(Backend backend);
+
+/// Picks a lane-tile size: `requested` if nonzero, else the largest power of
+/// two in [32, 1024] keeping the register tile within ~16 KB (a third of a
+/// typical 48 KB L1d, leaving room for the memory streams).  For blocked
+/// layouts the tile is shrunk to a divisor of the block so a tile never
+/// crosses a block boundary (tile addressing relies on a single stride).
+std::size_t resolve_tile_lanes(std::size_t requested, std::size_t reg_count,
+                               const bulk::Layout& layout);
+
+/// Executes `compiled` over lanes [lane_begin, lane_end), tile by tile,
+/// scattering each tile's inputs in place.  `memory` must be pre-zeroed;
+/// inputs are lane-major flat (lane j at inputs[j * input_words ...]).
+/// For blocked layouts [lane_begin, lane_end) must be block-aligned and
+/// `tile_lanes` must divide the block (see resolve_tile_lanes).
+void run_compiled_chunk(const CompiledProgram& compiled, const bulk::Layout& layout,
+                        std::span<const Word> inputs, std::size_t input_words,
+                        std::span<Word> memory, Lane lane_begin, Lane lane_end,
+                        std::size_t tile_lanes);
+
+}  // namespace obx::exec

@@ -1,0 +1,86 @@
+#include "exec/compiled_program.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/check.hpp"
+
+namespace obx::exec {
+
+namespace {
+
+std::size_t max_register(const trace::Step& s) {
+  std::size_t m = s.dst;
+  if (s.kind == trace::StepKind::kAlu) {
+    m = std::max<std::size_t>(m, s.src0);
+    m = std::max<std::size_t>(m, s.src1);
+    m = std::max<std::size_t>(m, s.src2);
+  } else if (s.kind == trace::StepKind::kStore) {
+    m = s.src0;
+  }
+  return m;
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledProgram> CompiledProgram::compile(
+    const trace::Program& program, const Options& options) {
+  OBX_CHECK(program.stream != nullptr, "program has no stream factory");
+  OBX_CHECK(options.segment_steps > 0, "segment size must be positive");
+
+  auto compiled = std::shared_ptr<CompiledProgram>(new CompiledProgram());
+  compiled->memory_words_ = program.memory_words;
+  std::size_t max_reg = 0;
+
+  std::vector<trace::Step> buffer;
+  buffer.reserve(std::min(options.segment_steps, options.max_steps));
+  auto flush = [&] {
+    opt::FusionResult fused = opt::fuse(buffer);
+    compiled->counts_.loads += fused.counts.loads;
+    compiled->counts_.stores += fused.counts.stores;
+    compiled->counts_.alu += fused.counts.alu;
+    compiled->counts_.imm += fused.counts.imm;
+    compiled->fused_ops_ += fused.ops.size();
+    compiled->segments_.push_back(
+        Segment{std::move(fused.ops), std::move(fused.run_steps)});
+    buffer.clear();
+  };
+
+  std::size_t total = 0;
+  auto gen = program.stream();
+  trace::Step s;
+  while (gen.next(s)) {
+    if (++total > options.max_steps) return nullptr;  // over budget: fall back
+    if (s.is_memory()) {
+      OBX_CHECK(s.addr < program.memory_words, "step address beyond program memory");
+    }
+    max_reg = std::max(max_reg, max_register(s));
+    buffer.push_back(s);
+    if (buffer.size() >= options.segment_steps) flush();
+  }
+  if (!buffer.empty()) flush();
+
+  compiled->total_steps_ = total;
+  compiled->register_count_ = std::max(program.register_count, max_reg + 1);
+  return compiled;
+}
+
+std::shared_ptr<const CompiledProgram> CompiledProgram::get_or_compile(
+    const trace::Program& program, const Options& options) {
+  const std::shared_ptr<trace::ExecCacheSlot> slot = program.exec_cache;
+  if (slot == nullptr) return compile(program, options);  // uncached fallback
+
+  std::lock_guard<std::mutex> lock(slot->mutex);
+  if (slot->artifact != nullptr) {
+    return std::static_pointer_cast<const CompiledProgram>(slot->artifact);
+  }
+  if (slot->attempted_budget >= options.max_steps) return nullptr;
+  // Compile under the lock: concurrent callers wait instead of draining the
+  // stream a second time — that is the at-most-once guarantee.
+  auto compiled = compile(program, options);
+  slot->attempted_budget = std::max(slot->attempted_budget, options.max_steps);
+  if (compiled != nullptr) slot->artifact = compiled;
+  return compiled;
+}
+
+}  // namespace obx::exec

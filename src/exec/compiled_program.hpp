@@ -1,0 +1,88 @@
+// Compiled form of an oblivious program: the coroutine step stream drained
+// once into packed, read-only, fused-op segments shared by every chunk,
+// worker thread, and repeated run.
+//
+// Segments are bounded (kDefaultSegmentSteps input steps each) so huge
+// programs are refused by budget instead of materialised; a compile that
+// would exceed its step budget returns nullptr and callers fall back to the
+// interpreter.  get_or_compile() memoises through trace::Program::exec_cache,
+// so the stream is generated at most once per (program, process) — the
+// compile runs under the slot mutex, which is what makes that guarantee hold
+// across concurrent executors.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "opt/fusion.hpp"
+#include "trace/program.hpp"
+
+namespace obx::exec {
+
+inline constexpr std::size_t kDefaultCompileBudget = std::size_t{1} << 22;
+inline constexpr std::size_t kDefaultSegmentSteps = std::size_t{1} << 16;
+
+class CompiledProgram {
+ public:
+  struct Options {
+    /// Refuse to compile programs longer than this many steps.
+    std::size_t max_steps = kDefaultCompileBudget;
+    /// Input steps per segment (fusion never crosses a segment boundary).
+    std::size_t segment_steps = kDefaultSegmentSteps;
+  };
+
+  /// One bounded slice of the fused program.
+  struct Segment {
+    std::vector<opt::FusedOp> ops;
+    std::vector<trace::Step> run_steps;
+  };
+
+  /// Drains program.stream() and fuses it.  Returns nullptr if the stream
+  /// exceeds options.max_steps (the partial compile is discarded).
+  static std::shared_ptr<const CompiledProgram> compile(const trace::Program& program,
+                                                        const Options& options);
+  static std::shared_ptr<const CompiledProgram> compile(const trace::Program& program);
+
+  /// compile(), memoised process-wide via program.exec_cache.  Thread-safe;
+  /// concurrent callers block until the single compile finishes.  A failed
+  /// (over-budget) compile is remembered so the stream is not re-drained for
+  /// budgets <= the one that failed.
+  static std::shared_ptr<const CompiledProgram> get_or_compile(
+      const trace::Program& program, const Options& options);
+  static std::shared_ptr<const CompiledProgram> get_or_compile(
+      const trace::Program& program);
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  const trace::StepCounts& counts() const { return counts_; }
+  std::size_t total_steps() const { return total_steps_; }
+  std::size_t fused_ops() const { return fused_ops_; }
+  /// Register file size the kernels address: max(program.register_count,
+  /// 1 + highest register referenced) — defensive against under-declared
+  /// register counts, which the interpreter would silently overrun.
+  std::size_t register_count() const { return register_count_; }
+  std::size_t memory_words() const { return memory_words_; }
+
+ private:
+  CompiledProgram() = default;
+
+  std::vector<Segment> segments_;
+  trace::StepCounts counts_;
+  std::size_t total_steps_ = 0;
+  std::size_t fused_ops_ = 0;
+  std::size_t register_count_ = 0;
+  std::size_t memory_words_ = 0;
+};
+
+inline std::shared_ptr<const CompiledProgram> CompiledProgram::compile(
+    const trace::Program& program) {
+  return compile(program, Options{});
+}
+
+inline std::shared_ptr<const CompiledProgram> CompiledProgram::get_or_compile(
+    const trace::Program& program) {
+  return get_or_compile(program, Options{});
+}
+
+}  // namespace obx::exec

@@ -1,0 +1,273 @@
+#include "opt/fusion.hpp"
+
+#include <cstddef>
+
+#include "common/check.hpp"
+
+namespace obx::opt {
+
+namespace {
+
+using trace::Op;
+using trace::Step;
+using trace::StepKind;
+
+bool reg_only(const Step& s) {
+  return s.kind == StepKind::kAlu || s.kind == StepKind::kImm;
+}
+
+/// Ops whose result depends on the old destination value.
+bool reads_old_dst(Op op) {
+  return op == Op::kNop || op == Op::kCmovLtF || op == Op::kCmovLtI;
+}
+
+/// One Load->ALU->Store triple in accumulator shape: the loaded register and
+/// the ALU destination are distinct, and the ALU reads only those two.
+struct TripleShape {
+  Op op = Op::kNop;
+  std::uint8_t load_reg = 0;
+  std::uint8_t acc = 0;
+  bool s0_loaded = false;
+  bool s1_loaded = false;
+  Addr load_addr = 0;
+  Addr store_addr = 0;
+};
+
+bool match_triple(const std::vector<Step>& steps, std::size_t i, TripleShape* out) {
+  if (i + 3 > steps.size()) return false;
+  const Step& ld = steps[i];
+  const Step& al = steps[i + 1];
+  const Step& st = steps[i + 2];
+  if (ld.kind != StepKind::kLoad || al.kind != StepKind::kAlu ||
+      st.kind != StepKind::kStore) {
+    return false;
+  }
+  if (!triple_fusable_op(al.op)) return false;
+  if (al.dst == ld.dst) return false;
+  if (st.src0 != al.dst) return false;
+  const bool s0l = al.src0 == ld.dst;
+  const bool s1l = al.src1 == ld.dst;
+  if (!s0l && al.src0 != al.dst) return false;
+  if (!s1l && al.src1 != al.dst) return false;
+  out->op = al.op;
+  out->load_reg = ld.dst;
+  out->acc = al.dst;
+  out->s0_loaded = s0l;
+  out->s1_loaded = s1l;
+  out->load_addr = ld.addr;
+  out->store_addr = st.addr;
+  return true;
+}
+
+bool same_shape(const TripleShape& a, const TripleShape& b) {
+  return a.op == b.op && a.load_reg == b.load_reg && a.acc == b.acc &&
+         a.s0_loaded == b.s0_loaded && a.s1_loaded == b.s1_loaded;
+}
+
+/// A fused op plus the input-step range it covers (for the liveness pass).
+struct Group {
+  FusedOp op;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+}  // namespace
+
+bool triple_fusable_op(Op op) {
+  return op != Op::kNop && op != Op::kSelect && op != Op::kCmovLtF &&
+         op != Op::kCmovLtI;
+}
+
+FusionResult fuse(const std::vector<Step>& steps) {
+  FusionResult result;
+  result.steps_in = steps.size();
+  for (const Step& s : steps) {
+    switch (s.kind) {
+      case StepKind::kLoad: ++result.counts.loads; break;
+      case StepKind::kStore: ++result.counts.stores; break;
+      case StepKind::kAlu: ++result.counts.alu; break;
+      case StepKind::kImm: ++result.counts.imm; break;
+    }
+  }
+
+  std::vector<Group> groups;
+  std::size_t i = 0;
+  while (i < steps.size()) {
+    const Step& s = steps[i];
+    Group g;
+    g.begin = i;
+    if (s.kind == StepKind::kLoad) {
+      TripleShape shape;
+      if (match_triple(steps, i, &shape)) {
+        // Extend into a run of same-shape triples (addresses are free).
+        std::size_t count = 1;
+        TripleShape next_shape;
+        while (match_triple(steps, i + count * 3, &next_shape) &&
+               same_shape(shape, next_shape)) {
+          ++count;
+        }
+        if (count >= 2) {
+          g.op.kind = FusedKind::kTripleRun;
+          g.op.op = shape.op;
+          g.op.dst = shape.acc;
+          g.op.aux = shape.load_reg;
+          if (shape.s0_loaded) g.op.flags |= kTripleS0Loaded;
+          if (shape.s1_loaded) g.op.flags |= kTripleS1Loaded;
+          g.op.run_begin = static_cast<std::uint32_t>(result.run_steps.size());
+          g.op.run_len = static_cast<std::uint32_t>(count);
+          result.run_steps.insert(result.run_steps.end(), steps.begin() + static_cast<std::ptrdiff_t>(i),
+                                  steps.begin() + static_cast<std::ptrdiff_t>(i + count * 3));
+          i += count * 3;
+          g.end = i;
+          groups.push_back(g);
+          continue;
+        }
+      }
+      if (i + 3 <= steps.size() && steps[i + 1].kind == StepKind::kAlu &&
+          steps[i + 2].kind == StepKind::kStore) {
+        const Step& al = steps[i + 1];
+        const Step& st = steps[i + 2];
+        g.op.kind = FusedKind::kLoadAluStore;
+        g.op.op = al.op;
+        g.op.dst = al.dst;
+        g.op.src0 = al.src0;
+        g.op.src1 = al.src1;
+        g.op.src2 = al.src2;
+        g.op.aux = s.dst;
+        g.op.aux2 = st.src0;
+        g.op.addr = s.addr;
+        g.op.addr2 = st.addr;
+        i += 3;
+      } else if (i + 2 <= steps.size() && steps[i + 1].kind == StepKind::kAlu) {
+        const Step& al = steps[i + 1];
+        g.op.kind = FusedKind::kLoadAlu;
+        g.op.op = al.op;
+        g.op.dst = al.dst;
+        g.op.src0 = al.src0;
+        g.op.src1 = al.src1;
+        g.op.src2 = al.src2;
+        g.op.aux = s.dst;
+        g.op.addr = s.addr;
+        i += 2;
+      } else {
+        g.op.kind = FusedKind::kLoad;
+        g.op.aux = s.dst;
+        g.op.addr = s.addr;
+        i += 1;
+      }
+    } else if (s.kind == StepKind::kStore) {
+      g.op.kind = FusedKind::kStore;
+      g.op.aux = s.src0;
+      g.op.addr2 = s.addr;
+      i += 1;
+    } else {
+      // Register-only run [i, j).
+      std::size_t j = i;
+      while (j < steps.size() && reg_only(steps[j])) ++j;
+      const std::size_t len = j - i;
+      if (len == 1 && s.kind == StepKind::kAlu && j < steps.size() &&
+          steps[j].kind == StepKind::kStore) {
+        const Step& st = steps[j];
+        g.op.kind = FusedKind::kAluStore;
+        g.op.op = s.op;
+        g.op.dst = s.dst;
+        g.op.src0 = s.src0;
+        g.op.src1 = s.src1;
+        g.op.src2 = s.src2;
+        g.op.aux = st.src0;
+        g.op.addr2 = st.addr;
+        i += 2;
+      } else if (len == 1) {
+        if (s.kind == StepKind::kImm) {
+          g.op.kind = FusedKind::kImm;
+          g.op.aux = s.dst;
+          g.op.imm = s.imm;
+        } else {
+          g.op.kind = FusedKind::kAlu;
+          g.op.op = s.op;
+          g.op.dst = s.dst;
+          g.op.src0 = s.src0;
+          g.op.src1 = s.src1;
+          g.op.src2 = s.src2;
+        }
+        i += 1;
+      } else if (len == 2 && s.kind == StepKind::kImm &&
+                 steps[i + 1].kind == StepKind::kAlu) {
+        const Step& al = steps[i + 1];
+        g.op.kind = FusedKind::kImmAlu;
+        g.op.op = al.op;
+        g.op.dst = al.dst;
+        g.op.src0 = al.src0;
+        g.op.src1 = al.src1;
+        g.op.src2 = al.src2;
+        g.op.aux = s.dst;
+        g.op.imm = s.imm;
+        i += 2;
+      } else {
+        g.op.kind = FusedKind::kRegRun;
+        g.op.run_begin = static_cast<std::uint32_t>(result.run_steps.size());
+        g.op.run_len = static_cast<std::uint32_t>(len);
+        result.run_steps.insert(result.run_steps.end(), steps.begin() + static_cast<std::ptrdiff_t>(i),
+                                steps.begin() + static_cast<std::ptrdiff_t>(j));
+        i = j;
+      }
+    }
+    g.end = i;
+    groups.push_back(g);
+  }
+
+  // Backward liveness: elide load/imm register commits whose next access (in
+  // this sequence) is a write.  kNone (nothing follows) is treated as live.
+  enum class Next : std::uint8_t { kNone, kRead, kWrite };
+  Next next[256] = {};
+  for (std::size_t gi = groups.size(); gi-- > 0;) {
+    Group& g = groups[gi];
+    FusedOp& op = g.op;
+    const auto dead_after = [&](std::uint8_t r) { return next[r] == Next::kWrite; };
+    switch (op.kind) {
+      case FusedKind::kLoad:
+      case FusedKind::kImm:
+        if (dead_after(op.aux)) op.flags |= kElideAuxCommit;
+        break;
+      case FusedKind::kLoadAlu:
+      case FusedKind::kImmAlu:
+      case FusedKind::kLoadAluStore:
+        // In-group reads of aux are forwarded; a same-group ALU overwrite of
+        // aux makes the commit dead regardless of what follows.
+        if (op.dst == op.aux || dead_after(op.aux)) op.flags |= kElideAuxCommit;
+        break;
+      case FusedKind::kTripleRun:
+        if (dead_after(op.aux)) op.flags |= kElideAuxCommit;
+        break;
+      default:
+        break;
+    }
+    // Fold the group's own accesses into the backward state, last step first.
+    for (std::size_t k = g.end; k-- > g.begin;) {
+      const Step& s = steps[k];
+      switch (s.kind) {
+        case StepKind::kLoad:
+          next[s.dst] = Next::kWrite;
+          break;
+        case StepKind::kImm:
+          next[s.dst] = Next::kWrite;
+          break;
+        case StepKind::kStore:
+          next[s.src0] = Next::kRead;
+          break;
+        case StepKind::kAlu:
+          next[s.dst] = reads_old_dst(s.op) ? Next::kRead : Next::kWrite;
+          next[s.src0] = Next::kRead;
+          next[s.src1] = Next::kRead;
+          next[s.src2] = Next::kRead;
+          break;
+      }
+    }
+  }
+
+  result.ops.reserve(groups.size());
+  for (const Group& g : groups) result.ops.push_back(g.op);
+  return result;
+}
+
+}  // namespace obx::opt

@@ -1,0 +1,95 @@
+// Superinstruction fusion for compiled bulk execution.
+//
+// The step stream of an oblivious program is fixed, so adjacent steps can be
+// grouped ("jammed") into superinstructions once, ahead of time, and executed
+// by dedicated lane-loop kernels.  Because lanes are independent and each
+// group preserves per-lane step order, every fusion here is semantics
+// preserving by construction — the compiled backend is bit-identical to the
+// interpreter.
+//
+// Recognised shapes, in scan priority order:
+//
+//   kTripleRun       a run of >= 2 consecutive Load->ALU->Store triples with
+//                    one accumulator register carried across the run (the
+//                    prefix-sums / scan idiom of Fig. 11): the accumulator
+//                    stays in a machine register for the whole run.
+//   kLoadAluStore    one Load->ALU->Store triple.
+//   kLoadAlu         Load immediately consumed by an ALU step.
+//   kImmAlu          Imm immediately consumed by an ALU step.
+//   kRegRun          a maximal run of register-only steps (ALU/Imm) executed
+//                    back-to-back over one L1-resident lane tile.
+//   kAluStore        ALU whose destination is immediately stored.
+//   kLoad/kStore/kImm/kAlu  singletons (no fusion applied).
+//
+// A backward liveness pass marks load/imm register commits whose value is
+// overwritten before being read again; kernels may then keep the value in a
+// local and skip the register-file write (kElideAuxCommit).  Elision only
+// affects the register-file array between groups — in-group consumers are fed
+// by value forwarding — so over-committing is always safe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/program.hpp"
+#include "trace/step.hpp"
+
+namespace obx::opt {
+
+enum class FusedKind : std::uint8_t {
+  kLoad,
+  kStore,
+  kImm,
+  kAlu,
+  kImmAlu,
+  kLoadAlu,
+  kAluStore,
+  kLoadAluStore,
+  kRegRun,
+  kTripleRun,
+};
+
+/// Flag bits for FusedOp::flags.
+inline constexpr std::uint8_t kElideAuxCommit = 1u << 0;  ///< skip aux reg commit
+inline constexpr std::uint8_t kTripleS0Loaded = 1u << 1;  ///< triple ALU src0 is the loaded reg
+inline constexpr std::uint8_t kTripleS1Loaded = 1u << 2;  ///< triple ALU src1 is the loaded reg
+
+struct FusedOp {
+  FusedKind kind = FusedKind::kAlu;
+  trace::Op op = trace::Op::kNop;
+  std::uint8_t dst = 0;   ///< ALU destination (accumulator for kTripleRun)
+  std::uint8_t src0 = 0;  ///< ALU operands
+  std::uint8_t src1 = 0;
+  std::uint8_t src2 = 0;
+  std::uint8_t aux = 0;   ///< load/imm destination, or store source for kStore/kAluStore
+  std::uint8_t aux2 = 0;  ///< store source register for kLoadAluStore
+  std::uint8_t flags = 0;
+  Addr addr = 0;   ///< load address (kLoad*, first triple of kTripleRun)
+  Addr addr2 = 0;  ///< store address (kStore, kAluStore, kLoadAluStore)
+  Word imm = 0;    ///< kImm / kImmAlu immediate
+  /// kRegRun / kTripleRun: the original steps live at
+  /// FusionResult::run_steps[run_begin .. run_begin + run_len).
+  std::uint32_t run_begin = 0;
+  std::uint32_t run_len = 0;  ///< steps for kRegRun, triples for kTripleRun
+};
+
+struct FusionResult {
+  std::vector<FusedOp> ops;
+  std::vector<trace::Step> run_steps;  ///< bodies of kRegRun / kTripleRun ops
+  trace::StepCounts counts;            ///< step counts of the input sequence
+  std::size_t steps_in = 0;            ///< input steps consumed
+};
+
+/// Fuses a step sequence (typically one bounded segment of a program's
+/// stream).  Liveness is resolved within the sequence only; registers are
+/// conservatively treated as live at the end, so fusing a stream segment by
+/// segment stays correct.
+FusionResult fuse(const std::vector<trace::Step>& steps);
+
+/// True if `op` never reads src2 or the old destination value (the cmov /
+/// select family does) — a requirement for the kTripleRun kernel, which only
+/// forwards the accumulator and the loaded value.
+bool triple_fusable_op(trace::Op op);
+
+}  // namespace obx::opt

@@ -35,6 +35,11 @@ PreparedProgram::PreparedProgram(trace::Program program, const PrepareOptions& o
     }
   }
 
+  if (options.compile) {
+    compiled_ = exec::CompiledProgram::get_or_compile(
+        program_, {.max_steps = options.compile_budget_steps});
+  }
+
   const TimeUnits row = simulate(program_, options.reference_lanes,
                                  bulk::Arrangement::kRowWise, machine_);
   const TimeUnits col = simulate(program_, options.reference_lanes,

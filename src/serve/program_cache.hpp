@@ -18,6 +18,7 @@
 
 #include "common/types.hpp"
 #include "bulk/layout.hpp"
+#include "exec/compiled_program.hpp"
 #include "trace/program.hpp"
 #include "umm/machine_config.hpp"
 
@@ -31,6 +32,11 @@ struct PrepareOptions {
   std::size_t reference_lanes = 256;
   bool optimize = true;
   std::size_t optimise_step_limit = 1u << 22;
+  /// Compile the (optimised) program for the fused lane-tiled backend at
+  /// registration, so serving batches never pay the one-time stream drain and
+  /// each program id is compiled exactly once per process.
+  bool compile = true;
+  std::size_t compile_budget_steps = exec::kDefaultCompileBudget;
 };
 
 class PreparedProgram {
@@ -40,6 +46,11 @@ class PreparedProgram {
   const trace::Program& program() const { return program_; }
   bulk::Arrangement arrangement() const { return arrangement_; }
   bool optimised() const { return optimised_; }
+  /// Non-null when the program was compiled at registration (executors pick
+  /// it up for free through the program's shared exec_cache slot).
+  const std::shared_ptr<const exec::CompiledProgram>& compiled() const {
+    return compiled_;
+  }
   std::size_t input_words() const { return program_.input_words; }
   std::size_t output_words() const { return program_.output_words; }
 
@@ -52,6 +63,7 @@ class PreparedProgram {
   umm::MachineConfig machine_;
   bulk::Arrangement arrangement_ = bulk::Arrangement::kColumnWise;
   bool optimised_ = false;
+  std::shared_ptr<const exec::CompiledProgram> compiled_;
   mutable std::mutex units_mutex_;
   mutable std::map<std::size_t, TimeUnits> units_by_lanes_;
 };

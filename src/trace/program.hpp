@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,20 @@ struct StepCounts {
   std::uint64_t total() const { return loads + stores + alu + imm; }
 };
 
+/// Process-wide memo slot for compiled artifacts derived from a Program.
+/// Copies of a Program share the slot (shared_ptr), so a backend that keys
+/// its cache on the slot compiles — and drains the step stream — at most
+/// once per (program, process) no matter how many executors, chunks, or
+/// copies touch it.  The artifact is type-erased here to keep trace/ free of
+/// any dependency on the execution layer; exec/ owns the concrete type.
+struct ExecCacheSlot {
+  std::mutex mutex;
+  std::shared_ptr<const void> artifact;
+  /// Largest compile budget (in steps) a failed compile was attempted with;
+  /// lets callers skip re-draining streams known to exceed their budget.
+  std::size_t attempted_budget = 0;
+};
+
 struct Program {
   std::string name;
 
@@ -46,6 +61,11 @@ struct Program {
 
   /// Produces a fresh step stream from the beginning of the program.
   std::function<Generator<Step>()> stream;
+
+  /// Shared compile memo (see ExecCacheSlot).  Defaulted so every Program has
+  /// one; copies alias it.  Reassigning `stream` after a compile would make
+  /// the memo stale — streams are set once at construction everywhere.
+  std::shared_ptr<ExecCacheSlot> exec_cache = std::make_shared<ExecCacheSlot>();
 
   /// Runs the stream to completion counting step kinds.  O(program length).
   StepCounts profile() const;
