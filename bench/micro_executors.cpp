@@ -21,6 +21,8 @@
 #include "bulk/umm_executor.hpp"
 #include "common/rng.hpp"
 #include "exec/backend.hpp"
+#include "plan/plan_cache.hpp"
+#include "plan/planner.hpp"
 #include "trace/step.hpp"
 #include "trace/value.hpp"
 #include "umm/cost_model.hpp"
@@ -98,6 +100,40 @@ void BM_Fig11Backend(benchmark::State& state) {
   state.SetLabel(to_string(backend));
 }
 BENCHMARK(BM_Fig11Backend)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_PlanColdVsWarm(benchmark::State& state) {
+  // What the PlanCache buys: cold dispatch re-runs the whole prepare path
+  // (optimise attempt, compile drain, row/column simulation, tile resolve)
+  // on a fresh program every iteration; warm dispatch is a cache lookup plus
+  // the bulk run itself — no re-preparation of any kind.
+  const std::size_t n = 64;
+  const std::size_t p = 1 << 10;
+  const bool warm = state.range(0) != 0;
+  const std::vector<Word> inputs = make_inputs(n, p);
+  const plan::PlanOptions options;
+
+  plan::PlanCache cache(options);
+  if (warm) cache.get_or_build("prefix-sums", algos::prefix_sums_program(n));
+
+  std::vector<Word> outputs;
+  for (auto _ : state) {
+    std::shared_ptr<const plan::ExecutionPlan> plan;
+    if (warm) {
+      // The hot serving path: id-only lookup, the program never re-enters.
+      plan = cache.lookup("prefix-sums");
+    } else {
+      // Fresh program => fresh exec_cache slot: nothing is memoised.
+      plan = plan::build_plan(algos::prefix_sums_program(n), options);
+    }
+    auto run = plan::run(*plan, inputs, p, &outputs);
+    benchmark::DoNotOptimize(outputs.data());
+    benchmark::DoNotOptimize(run.memory.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p));
+  state.SetLabel(warm ? "warm-plan" : "cold-plan");
+}
+BENCHMARK(BM_PlanColdVsWarm)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 void BM_UmmSimulator(benchmark::State& state) {
   const std::size_t n = 64;

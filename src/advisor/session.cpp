@@ -1,14 +1,10 @@
 #include "advisor/session.hpp"
 
-#include <algorithm>
 #include <sstream>
 
 #include "common/check.hpp"
 #include "common/format.hpp"
-#include "bulk/bulk.hpp"
-#include "bulk/streaming_executor.hpp"
-#include "bulk/timing_estimator.hpp"
-#include "opt/optimizer.hpp"
+#include "plan/planner.hpp"
 
 namespace obx::advisor {
 
@@ -24,66 +20,30 @@ SessionReport Session::run(
   OBX_CHECK(program.stream != nullptr, "program has no stream factory");
   OBX_CHECK(p > 0, "at least one lane");
 
+  // One-off plan: optimise → compile → arrange (at the session's actual
+  // occupancy p) → tile, all decided by the single planning layer.
+  plan::PlanOptions po;
+  po.machine = options_.machine;
+  po.reference_lanes = p;
+  po.optimise = options_.optimize;
+  po.optimise_step_limit = options_.optimise_step_limit;
+  po.workers = options_.workers;
+  po.arrangement = options_.arrangement;
+  const std::shared_ptr<const plan::ExecutionPlan> plan =
+      plan::Planner(po).build(program);
+
   SessionReport report;
   report.lanes = p;
-  const trace::StepCounts counts = program.profile();
-  report.memory_steps_before = counts.memory();
+  report.program_name = plan->program().name;
+  report.memory_steps_before = plan->provenance().before.memory();
+  report.memory_steps_after = plan->provenance().after.memory();
+  report.optimised = plan->provenance().optimised;
+  report.arrangement = plan->arrangement();
+  report.simulated_units = plan->units_for_lanes(p);
+  report.batch_lanes = plan->resident_lanes_for_budget(options_.memory_budget_words, p);
 
-  // 1. Optimise (when enabled and the program is small enough to capture).
-  trace::Program to_run = program;
-  if (options_.optimize && counts.total() < options_.optimise_step_limit) {
-    opt::OptimizeOptions oo;
-    oo.max_steps = options_.optimise_step_limit;
-    const opt::OptimizeResult r = opt::optimize(program, oo);
-    if (r.after.total() < r.before.total()) {
-      to_run = r.program;
-      report.optimised = true;
-    }
-  }
-  report.program_name = to_run.name;
-  report.memory_steps_after = to_run.memory_steps();
-
-  // 2. Pick the arrangement: forced, or whichever simulates faster on the
-  //    configured machine.
-  if (options_.arrangement.has_value()) {
-    report.arrangement = *options_.arrangement;
-    report.simulated_units =
-        bulk::TimingEstimator(umm::Model::kUmm, options_.machine,
-                              bulk::make_layout(to_run, p, report.arrangement))
-            .run(to_run)
-            .time_units;
-  } else {
-    const TimeUnits row =
-        bulk::TimingEstimator(umm::Model::kUmm, options_.machine,
-                              bulk::make_layout(to_run, p, bulk::Arrangement::kRowWise))
-            .run(to_run)
-            .time_units;
-    const TimeUnits col = bulk::TimingEstimator(
-                              umm::Model::kUmm, options_.machine,
-                              bulk::make_layout(to_run, p, bulk::Arrangement::kColumnWise))
-                              .run(to_run)
-                              .time_units;
-    report.arrangement =
-        col <= row ? bulk::Arrangement::kColumnWise : bulk::Arrangement::kRowWise;
-    report.simulated_units = std::min(row, col);
-  }
-
-  // 3. Size resident batches to the memory budget.  Per resident lane the
-  //    streaming executor holds roughly input + arranged memory + registers
-  //    + output words.
-  const std::size_t per_lane = to_run.input_words + to_run.memory_words +
-                               to_run.register_count + to_run.output_words;
-  const std::size_t batch = std::clamp<std::size_t>(
-      options_.memory_budget_words / std::max<std::size_t>(per_lane, 1), 1, p);
-  report.batch_lanes = batch;
-
-  // 4. Execute.
-  bulk::StreamingExecutor exec(bulk::StreamingExecutor::Options{
-      .max_resident_lanes = batch,
-      .workers = options_.workers,
-      .arrangement = report.arrangement,
-  });
-  const auto stats = exec.run(to_run, p, fill_input, consume_output);
+  const auto stats =
+      plan::run_streaming(*plan, p, report.batch_lanes, fill_input, consume_output);
   report.batches = stats.batches;
   report.host_seconds = stats.seconds();
   report.host_execute_seconds = stats.execute_seconds;

@@ -1,11 +1,13 @@
 // Session: the batteries-included entry point.
 //
 // Wires the whole library together for a user who just has an oblivious
-// program and a pile of inputs: optionally runs the peephole optimiser,
-// characterises the workload to pick the arrangement, sizes resident
-// batches to a memory budget, executes through the streaming bulk engine,
-// and reports what it did (including the simulated machine time a UMM of
-// the configured shape would have taken).
+// program and a pile of inputs: builds a one-off plan::ExecutionPlan
+// (optimise → compile → arrange at the session's occupancy → tile), sizes
+// resident batches to a memory budget, executes through the streaming bulk
+// engine, and reports what it did (including the simulated machine time a
+// UMM of the configured shape would have taken).  All decisions come from
+// plan::Planner — the Session adds only the memory-budget batch sizing and
+// the report.
 //
 //   advisor::Session session(advisor::SessionOptions{});
 //   auto report = session.run(program, p, fill_input, consume_output);

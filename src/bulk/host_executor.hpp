@@ -16,6 +16,10 @@
 #include "exec/backend.hpp"
 #include "trace/program.hpp"
 
+namespace obx::plan {
+class ExecutionPlan;
+}
+
 namespace obx::bulk {
 
 struct HostRunResult {
@@ -32,6 +36,10 @@ struct HostRunResult {
 
 class HostBulkExecutor {
  public:
+  /// Compatibility shim over the planning layer: an Options struct carries
+  /// exactly the decisions plan::ExecutionPlan::host_options() emits for a
+  /// one-off plan.  New code should plan once (plan::Planner / PlanCache)
+  /// and use the plan-driven constructor below.
   struct Options {
     unsigned workers = 1;  ///< host threads; lanes are chunked across them
     /// Lockstep engine.  kAuto / kCompiled compile the step stream once per
@@ -44,6 +52,13 @@ class HostBulkExecutor {
 
   explicit HostBulkExecutor(Layout layout);
   HostBulkExecutor(Layout layout, Options options);
+
+  /// Plan-driven construction: arrangement, backend, tile size, compile
+  /// budget and worker count all come from the plan, sized for `lanes`
+  /// lanes.  run() must be given plan.program() (the plan's optimised
+  /// program) — or use plan::run(), which cannot get the pairing wrong.
+  /// Defined in src/plan/executor_shim.cpp: link obx_plan (or obx::obx).
+  HostBulkExecutor(const plan::ExecutionPlan& plan, std::size_t lanes);
 
   /// Runs `program` on p inputs given lane-major flat: input j occupies
   /// inputs[j*program.input_words ... ).  Requires program.memory_words ==

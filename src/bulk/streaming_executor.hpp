@@ -17,10 +17,17 @@
 #include "exec/backend.hpp"
 #include "trace/program.hpp"
 
+namespace obx::plan {
+class ExecutionPlan;
+}
+
 namespace obx::bulk {
 
 class StreamingExecutor {
  public:
+  /// Compatibility shim over the planning layer (see
+  /// HostBulkExecutor::Options); plan::ExecutionPlan::streaming_options()
+  /// emits one from a plan.
   struct Options {
     std::size_t max_resident_lanes = 4096;  ///< peak memory = this · n words
     unsigned workers = 1;                   ///< host threads per batch
@@ -41,6 +48,14 @@ class StreamingExecutor {
 
   StreamingExecutor() : StreamingExecutor(Options()) {}
   explicit StreamingExecutor(Options options);
+
+  /// Plan-driven construction: every engine decision comes from the plan;
+  /// only the resident-batch bound stays caller-chosen (it is a memory
+  /// budget, not a program property — see
+  /// plan::ExecutionPlan::resident_lanes_for_budget).  run() must be given
+  /// plan.program() — or use plan::run_streaming().  Defined in
+  /// src/plan/executor_shim.cpp: link obx_plan (or obx::obx).
+  StreamingExecutor(const plan::ExecutionPlan& plan, std::size_t max_resident_lanes);
 
   /// Runs `program` for p lanes.  fill_input(j, dst) must write lane j's
   /// input_words into dst; consume_output(j, out) receives lane j's output

@@ -75,9 +75,9 @@ inline Word apply1(Word x, Word y, Word z, Word d) {
   else if constexpr (OP == Op::kMinF) return from_f64(as_f64(x) < as_f64(y) ? as_f64(x) : as_f64(y));
   else if constexpr (OP == Op::kMaxF) return from_f64(as_f64(x) > as_f64(y) ? as_f64(x) : as_f64(y));
   else if constexpr (OP == Op::kNegF) return from_f64(-as_f64(x));
-  else if constexpr (OP == Op::kAddI) return from_i64(as_i64(x) + as_i64(y));
-  else if constexpr (OP == Op::kSubI) return from_i64(as_i64(x) - as_i64(y));
-  else if constexpr (OP == Op::kMulI) return from_i64(as_i64(x) * as_i64(y));
+  else if constexpr (OP == Op::kAddI) return x + y;  // wrap via unsigned arithmetic
+  else if constexpr (OP == Op::kSubI) return x - y;
+  else if constexpr (OP == Op::kMulI) return x * y;
   else if constexpr (OP == Op::kMinI) return from_i64(as_i64(x) < as_i64(y) ? as_i64(x) : as_i64(y));
   else if constexpr (OP == Op::kMaxI) return from_i64(as_i64(x) > as_i64(y) ? as_i64(x) : as_i64(y));
   else if constexpr (OP == Op::kAnd) return x & y;

@@ -1,0 +1,140 @@
+#include "plan/planner.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "bulk/bulk.hpp"
+#include "bulk/thread_pool.hpp"
+#include "bulk/timing_estimator.hpp"
+
+namespace obx::plan {
+
+namespace {
+
+TimeUnits simulate(const trace::Program& program, std::size_t lanes,
+                   bulk::Arrangement arrangement, const umm::MachineConfig& machine) {
+  return bulk::TimingEstimator(umm::Model::kUmm, machine,
+                               bulk::make_layout(program, lanes, arrangement))
+      .run(program)
+      .time_units;
+}
+
+/// Deterministic digest of everything a plan is: the options, the program's
+/// step profile, and every decision that fired.  Two builds from the same
+/// inputs always agree; any decision drift flips the fingerprint (which is
+/// what the golden-plan CI diff watches).
+std::uint64_t plan_fingerprint(const ExecutionPlan& plan) {
+  // Re-uses the options digest as the seed, then folds in profile and
+  // decisions via the same FNV stream (mirrored in PlanOptions::fingerprint).
+  std::uint64_t h = plan.options().fingerprint();
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  };
+  const PlanProvenance& pv = plan.provenance();
+  mix(pv.before.loads);
+  mix(pv.before.stores);
+  mix(pv.before.alu);
+  mix(pv.before.imm);
+  mix(pv.after.loads);
+  mix(pv.after.stores);
+  mix(pv.after.alu);
+  mix(pv.after.imm);
+  mix(pv.optimised ? 1 : 0);
+  mix(pv.compiled ? 1 : 0);
+  mix(pv.compiled_segments);
+  mix(pv.compiled_fused_ops);
+  mix(static_cast<std::uint64_t>(plan.arrangement()));
+  mix(static_cast<std::uint64_t>(plan.backend()));
+  mix(pv.resolved_tile_lanes);
+  mix(static_cast<std::uint64_t>(pv.row_units));
+  mix(static_cast<std::uint64_t>(pv.col_units));
+  for (const char c : plan.program().name) mix(static_cast<unsigned char>(c));
+  return h;
+}
+
+}  // namespace
+
+Planner::Planner(PlanOptions options) : options_(options) { options_.validate(); }
+
+std::shared_ptr<const ExecutionPlan> Planner::build(trace::Program program) const {
+  OBX_CHECK(program.stream != nullptr, "program has no stream factory");
+
+  auto plan = std::shared_ptr<ExecutionPlan>(new ExecutionPlan());
+  plan->options_ = options_;
+  plan->program_ = std::move(program);
+  plan->workers_ =
+      options_.workers == 0 ? bulk::default_worker_count() : options_.workers;
+
+  PlanProvenance& pv = plan->provenance_;
+  pv.reference_lanes = options_.reference_lanes;
+  pv.before = plan->program_.profile();
+  pv.after = pv.before;
+
+  // 1. Optimise — only capturable programs, adopted only on a real win.
+  if (options_.optimise && pv.before.total() < options_.optimise_step_limit) {
+    pv.optimise_attempted = true;
+    opt::OptimizeOptions oo;
+    oo.max_steps = options_.optimise_step_limit;
+    opt::OptimizeResult r = opt::optimize(plan->program_, oo);
+    if (r.after.total() < r.before.total()) {
+      plan->program_ = std::move(r.program);
+      pv.optimised = true;
+      pv.passes = std::move(r.reports);
+      pv.after = r.after;
+    }
+  }
+
+  // 2. Compile — once per (program, process) through the shared exec_cache
+  //    slot; an over-budget stream is a recorded interpreter fallback.
+  if (options_.compile && options_.backend != exec::Backend::kInterpreted) {
+    pv.compile_attempted = true;
+    plan->compiled_ = exec::CompiledProgram::get_or_compile(
+        plan->program_, {.max_steps = options_.compile_budget_steps});
+    if (plan->compiled_ != nullptr) {
+      pv.compiled = true;
+      pv.compiled_segments = plan->compiled_->segments().size();
+      pv.compiled_fused_ops = plan->compiled_->fused_ops();
+    }
+  }
+  plan->backend_ = plan->compiled_ != nullptr ? exec::Backend::kCompiled
+                                              : exec::Backend::kInterpreted;
+
+  // 3. Arrange — forced, or whichever arrangement simulates faster on the
+  //    plan's machine at the reference occupancy (ties go column-wise, the
+  //    Theorem 3 time-optimal layout).
+  TimeUnits chosen_units = 0;
+  if (options_.arrangement.has_value()) {
+    pv.arrangement_forced = true;
+    plan->arrangement_ = *options_.arrangement;
+    chosen_units = simulate(plan->program_, options_.reference_lanes,
+                            plan->arrangement_, options_.machine);
+  } else {
+    pv.row_units = simulate(plan->program_, options_.reference_lanes,
+                            bulk::Arrangement::kRowWise, options_.machine);
+    pv.col_units = simulate(plan->program_, options_.reference_lanes,
+                            bulk::Arrangement::kColumnWise, options_.machine);
+    plan->arrangement_ = pv.col_units <= pv.row_units
+                             ? bulk::Arrangement::kColumnWise
+                             : bulk::Arrangement::kRowWise;
+    chosen_units = std::min(pv.row_units, pv.col_units);
+  }
+  plan->units_by_lanes_.emplace(options_.reference_lanes, chosen_units);
+
+  // 4. Tile — record what the tile resolution picks at the reference
+  //    occupancy (each run still resolves for its own lane count).
+  const std::size_t reg_count =
+      plan->compiled_ != nullptr
+          ? plan->compiled_->register_count()
+          : std::max<std::size_t>(plan->program_.register_count, 1);
+  pv.resolved_tile_lanes = exec::resolve_tile_lanes(
+      options_.tile_lanes, reg_count, plan->layout(options_.reference_lanes));
+
+  plan->fingerprint_ = plan_fingerprint(*plan);
+  return plan;
+}
+
+}  // namespace obx::plan

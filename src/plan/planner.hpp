@@ -1,0 +1,46 @@
+// Planner: the single implementation of the optimise → compile → arrange →
+// tile decision path.
+//
+// Every prepare path in the tree routes through here — serve::ProgramCache,
+// advisor::Session, the plan-driven executor constructors, and obx_cli's
+// `plan` subcommand — so the decisions cannot drift between layers.  The
+// build is deterministic: the same (program stream, options) always produce
+// the same decisions and the same ExecutionPlan::fingerprint().
+#pragma once
+
+#include <memory>
+
+#include "plan/plan.hpp"
+
+namespace obx::plan {
+
+class Planner {
+ public:
+  Planner() : Planner(PlanOptions{}) {}
+  /// Validates `options` (throws std::logic_error when invalid).
+  explicit Planner(PlanOptions options);
+
+  /// Builds an immutable plan for `program`:
+  ///   1. optimise  — peephole passes, adopted only when steps were removed;
+  ///   2. compile   — drain + fuse once into the program's shared exec_cache
+  ///                  slot (over-budget => interpreter fallback, recorded);
+  ///   3. arrange   — simulate row vs column at reference_lanes (or honour a
+  ///                  forced arrangement);
+  ///   4. tile      — record the lane-tile resolution at reference_lanes.
+  /// The program is taken by value: the plan owns its (possibly rewritten)
+  /// copy, and the caller's exec_cache slot is shared, not duplicated.
+  std::shared_ptr<const ExecutionPlan> build(trace::Program program) const;
+
+  const PlanOptions& options() const { return options_; }
+
+ private:
+  PlanOptions options_;
+};
+
+/// One-shot convenience for callers without a Planner to reuse.
+inline std::shared_ptr<const ExecutionPlan> build_plan(trace::Program program,
+                                                       const PlanOptions& options) {
+  return Planner(options).build(std::move(program));
+}
+
+}  // namespace obx::plan

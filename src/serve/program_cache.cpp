@@ -1,67 +1,33 @@
 #include "serve/program_cache.hpp"
 
 #include "common/check.hpp"
-#include "bulk/bulk.hpp"
-#include "bulk/timing_estimator.hpp"
-#include "opt/optimizer.hpp"
 
 namespace obx::serve {
 
-namespace {
-
-TimeUnits simulate(const trace::Program& program, std::size_t lanes,
-                   bulk::Arrangement arrangement, const umm::MachineConfig& machine) {
-  return bulk::TimingEstimator(umm::Model::kUmm, machine,
-                               bulk::make_layout(program, lanes, arrangement))
-      .run(program)
-      .time_units;
+plan::PlanOptions PrepareOptions::plan_options() const {
+  plan::PlanOptions po;
+  po.machine = machine;
+  po.reference_lanes = reference_lanes;
+  po.optimise = optimize.value_or(optimise);
+  po.optimise_step_limit = optimise_step_limit;
+  po.compile = compile;
+  po.compile_budget_steps = compile_budget_steps;
+  po.workers = workers;
+  return po;
 }
 
-}  // namespace
-
-PreparedProgram::PreparedProgram(trace::Program program, const PrepareOptions& options)
-    : program_(std::move(program)), machine_(options.machine) {
-  machine_.validate();
-  OBX_CHECK(options.reference_lanes > 0, "reference lane count must be positive");
-
-  const trace::StepCounts counts = program_.profile();
-  if (options.optimize && counts.total() < options.optimise_step_limit) {
-    opt::OptimizeOptions oo;
-    oo.max_steps = options.optimise_step_limit;
-    opt::OptimizeResult r = opt::optimize(program_, oo);
-    if (r.after.total() < r.before.total()) {
-      program_ = std::move(r.program);
-      optimised_ = true;
-    }
-  }
-
-  if (options.compile) {
-    compiled_ = exec::CompiledProgram::get_or_compile(
-        program_, {.max_steps = options.compile_budget_steps});
-  }
-
-  const TimeUnits row = simulate(program_, options.reference_lanes,
-                                 bulk::Arrangement::kRowWise, machine_);
-  const TimeUnits col = simulate(program_, options.reference_lanes,
-                                 bulk::Arrangement::kColumnWise, machine_);
-  arrangement_ =
-      col <= row ? bulk::Arrangement::kColumnWise : bulk::Arrangement::kRowWise;
-}
-
-TimeUnits PreparedProgram::units_for_lanes(std::size_t lanes) const {
-  OBX_CHECK(lanes > 0, "lane count must be positive");
-  std::lock_guard lock(units_mutex_);
-  const auto it = units_by_lanes_.find(lanes);
-  if (it != units_by_lanes_.end()) return it->second;
-  const TimeUnits units = simulate(program_, lanes, arrangement_, machine_);
-  units_by_lanes_.emplace(lanes, units);
-  return units;
+PreparedProgram::PreparedProgram(std::shared_ptr<const plan::ExecutionPlan> plan)
+    : plan_(std::move(plan)) {
+  OBX_CHECK(plan_ != nullptr, "prepared program needs a plan");
 }
 
 void ProgramCache::add(const std::string& id, trace::Program program) {
   OBX_CHECK(!id.empty(), "program id cannot be empty");
   OBX_CHECK(program.stream != nullptr, "program has no stream factory");
-  auto prepared = std::make_unique<PreparedProgram>(std::move(program), options_);
+  // Plan outside the registry lock (optimise + compile + arrangement can be
+  // slow); the plan cache collapses duplicate concurrent builds itself.
+  auto prepared =
+      std::make_unique<PreparedProgram>(plans_.get_or_build(id, program));
   std::lock_guard lock(mutex_);
   const bool inserted = programs_.emplace(id, std::move(prepared)).second;
   OBX_CHECK(inserted, "program id already registered: " + id);

@@ -69,6 +69,7 @@ BulkService::BulkService(ServiceOptions options)
     : options_(options), batcher_(options.batcher) {
   OBX_CHECK(options_.executors > 0, "executor pool needs at least one worker");
   options_.prepare.reference_lanes = options_.batcher.max_batch_lanes;
+  options_.prepare.workers = options_.workers_per_batch;
   programs_ = std::make_unique<ProgramCache>(options_.prepare);
   queue_ = std::make_unique<AdmissionQueue>(options_.queue_capacity, options_.policy);
   batches_ = std::make_unique<BatchQueue>(options_.executors * 2);
@@ -186,11 +187,9 @@ void BulkService::execute(Batch&& batch) {
 
   std::vector<std::vector<Word>> outputs(lanes);
   try {
-    const bulk::StreamingExecutor exec(bulk::StreamingExecutor::Options{
-        .max_resident_lanes = lanes,
-        .workers = options_.workers_per_batch,
-        .arrangement = prepared.arrangement(),
-    });
+    // Every engine decision (arrangement, backend, tile, workers) comes from
+    // the plan built once at register_program() time.
+    const bulk::StreamingExecutor exec(prepared.plan(), lanes);
     exec.run(
         prepared.program(), lanes,
         [&](Lane j, std::span<Word> dst) {

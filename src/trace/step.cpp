@@ -30,11 +30,11 @@ Word apply_alu(Op op, Word a, Word b, Word c, Word old_dst) {
     case Op::kNegF:
       return from_f64(-as_f64(a));
     case Op::kAddI:
-      return from_i64(as_i64(a) + as_i64(b));
+      return a + b;  // two's-complement wrap via unsigned arithmetic
     case Op::kSubI:
-      return from_i64(as_i64(a) - as_i64(b));
+      return a - b;
     case Op::kMulI:
-      return from_i64(as_i64(a) * as_i64(b));
+      return a * b;
     case Op::kMinI:
       return from_i64(as_i64(a) < as_i64(b) ? as_i64(a) : as_i64(b));
     case Op::kMaxI:
@@ -110,9 +110,9 @@ void bulk_alu(Op op, Word* dst, const Word* a, const Word* b, const Word* c,
     OBX_ALU_CASE(Op::kMinF, from_f64(as_f64(x) < as_f64(y) ? as_f64(x) : as_f64(y)))
     OBX_ALU_CASE(Op::kMaxF, from_f64(as_f64(x) > as_f64(y) ? as_f64(x) : as_f64(y)))
     OBX_ALU_CASE(Op::kNegF, from_f64(-as_f64(x)))
-    OBX_ALU_CASE(Op::kAddI, from_i64(as_i64(x) + as_i64(y)))
-    OBX_ALU_CASE(Op::kSubI, from_i64(as_i64(x) - as_i64(y)))
-    OBX_ALU_CASE(Op::kMulI, from_i64(as_i64(x) * as_i64(y)))
+    OBX_ALU_CASE(Op::kAddI, x + y)  // wrap via unsigned arithmetic
+    OBX_ALU_CASE(Op::kSubI, x - y)
+    OBX_ALU_CASE(Op::kMulI, x * y)
     OBX_ALU_CASE(Op::kMinI, from_i64(as_i64(x) < as_i64(y) ? as_i64(x) : as_i64(y)))
     OBX_ALU_CASE(Op::kMaxI, from_i64(as_i64(x) > as_i64(y) ? as_i64(x) : as_i64(y)))
     OBX_ALU_CASE(Op::kAnd, x & y)

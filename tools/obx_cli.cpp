@@ -1,9 +1,13 @@
 // obx_cli — run, time, inspect and optimise the oblivious algorithm library
 // from the command line.
 //
-//   obx_cli list
+//   obx_cli list     [--names]
 //   obx_cli run      <algorithm> --n 64 --p 256 [--arrangement row|col]
 //                    [--workers K] [--seed S]
+//   obx_cli plan     <algorithm> [--n N] [--p P] [--width 32] [--latency 200]
+//                    [--group G] [--overlap] [--count-compute]
+//                    [--arrangement row|col] [--no-optimise] [--no-compile]
+//                    (print the cached ExecutionPlan: decisions + provenance)
 //   obx_cli time     <algorithm> --n 64 --p 4096 [--width 32] [--latency 200]
 //                    [--group G] [--overlap] [--model umm|dmm]
 //   obx_cli check    <algorithm> --n 64
@@ -34,6 +38,8 @@
 #include "gpusim/virtual_gpu.hpp"
 #include "hmm/hmm_estimator.hpp"
 #include "opt/optimizer.hpp"
+#include "plan/plan_cache.hpp"
+#include "plan/planner.hpp"
 #include "serve/load_gen.hpp"
 #include "serve/service.hpp"
 #include "trace/interpreter.hpp"
@@ -46,7 +52,7 @@ using namespace obx;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: obx_cli <list|run|time|check|optimize|hmm|analyze|dump|"
+               "usage: obx_cli <list|run|plan|time|check|optimize|hmm|analyze|dump|"
                "serve-bench> [<algorithm>] [--n N] [--p P] [options]\n"
                "run 'obx_cli list' to see the algorithm library.\n");
   return 2;
@@ -65,7 +71,12 @@ bulk::Arrangement arrangement_from(const cli::Args& args) {
   return bulk::Arrangement::kColumnWise;
 }
 
-int cmd_list() {
+int cmd_list(const cli::Args& args) {
+  if (args.get_bool("names")) {
+    // Plain one-per-line mode for scripting (the golden-plan CI loop).
+    for (const auto& algo : algos::registry()) std::printf("%s\n", algo.name.c_str());
+    return 0;
+  }
   analysis::Table table({"algorithm", "description", "t(n) example"});
   for (const auto& algo : algos::registry()) {
     const std::size_t n = algo.test_sizes.back();
@@ -115,6 +126,33 @@ int cmd_run(const cli::Args& args) {
               format_seconds(std::chrono::duration<double>(t1 - t0).count()).c_str());
   std::printf("verification vs native reference: %zu/%zu lanes exact\n", p - failures, p);
   return failures == 0 ? 0 : 1;
+}
+
+// Builds (or fetches from the process-wide PlanCache) the ExecutionPlan for
+// one registry program and prints its decisions, provenance and estimated
+// units.  The output is deterministic across hosts — CI diffs it against
+// tests/golden/plans/<algorithm>.txt.
+int cmd_plan(const cli::Args& args) {
+  const algos::Algorithm& algo = algo_from(args);
+  const std::size_t n = static_cast<std::size_t>(
+      args.get_int("n", static_cast<std::int64_t>(algo.test_sizes.back())));
+
+  plan::PlanOptions options;
+  options.machine.width = static_cast<std::uint32_t>(args.get_int("width", 32));
+  options.machine.latency = static_cast<std::uint32_t>(args.get_int("latency", 200));
+  options.machine.group_words = static_cast<std::uint32_t>(args.get_int("group", 0));
+  options.machine.overlap_latency = args.get_bool("overlap");
+  options.machine.count_compute = args.get_bool("count-compute");
+  options.reference_lanes = static_cast<std::size_t>(args.get_int("p", 256));
+  if (args.get_bool("no-optimise")) options.optimise = false;
+  if (args.get_bool("no-compile")) options.compile = false;
+  if (args.has("arrangement")) options.arrangement = arrangement_from(args);
+
+  const std::string id = algo.name + "/n=" + std::to_string(n);
+  const std::shared_ptr<const plan::ExecutionPlan> plan =
+      plan::PlanCache::process().get_or_build(id, algo.make_program(n), options);
+  std::printf("%s", plan->describe().c_str());
+  return 0;
 }
 
 int cmd_time(const cli::Args& args) {
@@ -329,14 +367,17 @@ int cmd_dump(const cli::Args& args) {
 int main(int argc, char** argv) {
   try {
     const cli::Args args = cli::Args::parse(
-        argc, argv, {"overlap", "count-compute", "optimize", "snapshot"},
+        argc, argv,
+        {"overlap", "count-compute", "optimize", "snapshot", "names",
+         "no-optimise", "no-compile"},
         {"n", "p", "width", "latency", "group", "model", "arrangement", "workers",
          "seed", "sms", "algos", "jobs", "rate", "producers", "batch-lanes",
          "batch-delays-us", "executors", "policy", "queue-cap", "deadline-us"});
     if (args.positional().empty()) return usage();
     const std::string& cmd = args.positional()[0];
-    if (cmd == "list") return cmd_list();
+    if (cmd == "list") return cmd_list(args);
     if (cmd == "run") return cmd_run(args);
+    if (cmd == "plan") return cmd_plan(args);
     if (cmd == "time") return cmd_time(args);
     if (cmd == "check") return cmd_check(args);
     if (cmd == "optimize") return cmd_optimize(args);
