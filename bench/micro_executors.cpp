@@ -14,12 +14,14 @@
 #endif
 
 #include "algos/prefix_sums.hpp"
+#include "algos/tea_cipher.hpp"
 #include "bulk/bulk.hpp"
 #include "bulk/host_executor.hpp"
 #include "bulk/streaming_executor.hpp"
 #include "bulk/timing_estimator.hpp"
 #include "bulk/umm_executor.hpp"
 #include "common/rng.hpp"
+#include "common/simd_isa.hpp"
 #include "exec/backend.hpp"
 #include "plan/plan_cache.hpp"
 #include "plan/planner.hpp"
@@ -100,6 +102,36 @@ void BM_Fig11Backend(benchmark::State& state) {
   state.SetLabel(to_string(backend));
 }
 BENCHMARK(BM_Fig11Backend)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_SimdVsScalar(benchmark::State& state) {
+  // Lane-vectorization headroom on an ALU-dense workload: TEA (32 rounds of
+  // shifts/xors/adds per block) on the compiled backend, column-wise, one
+  // worker, with the SIMD tier pinned per run.  Arg 0 = scalar tier, arg 1 =
+  // the widest tier this CPU/build supports; the ratio of the two is the
+  // lane-vectorization speedup.
+  const std::size_t blocks = 32;
+  const std::size_t p = 4096;
+  const SimdIsa isa = state.range(0) != 0 ? detect_simd_isa() : SimdIsa::kScalar;
+  const trace::Program program = algos::tea_program(blocks);
+  Rng rng(3);
+  std::vector<Word> inputs;
+  for (std::size_t j = 0; j < p; ++j) {
+    const auto one = algos::tea_random_input(blocks, rng);
+    inputs.insert(inputs.end(), one.begin(), one.end());
+  }
+  const bulk::HostBulkExecutor executor(
+      bulk::Layout::column_wise(p, program.memory_words),
+      bulk::HostBulkExecutor::Options{
+          .workers = 1, .backend = exec::Backend::kCompiled, .simd = isa});
+  for (auto _ : state) {
+    auto run = executor.run(program, inputs);
+    benchmark::DoNotOptimize(run.memory.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p * program.profile().total()));
+  state.SetLabel(to_string(isa));
+}
+BENCHMARK(BM_SimdVsScalar)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_PlanColdVsWarm(benchmark::State& state) {
   // What the PlanCache buys: cold dispatch re-runs the whole prepare path
@@ -252,6 +284,9 @@ int main(int argc, char** argv) {
   }
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());
+  // Recorded in the JSON context block so CI artifacts say which SIMD tier
+  // the non-pinned benches actually ran on.
+  benchmark::AddCustomContext("simd_isa", obx::to_string(obx::active_simd_isa()));
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -22,8 +22,9 @@ void HostBulkExecutor::run_chunk(const trace::Program& program, std::span<Word> 
   const std::size_t chunk = lane_end - lane_begin;
   const std::size_t reg_count = std::max<std::size_t>(program.register_count, 1);
   // Lane-major register file: register r of lane (lane_begin + i) lives at
-  // regs[r * chunk + i].
-  std::vector<Word> regs(reg_count * chunk, Word{0});
+  // regs[r * chunk + i].  64-byte aligned: bulk_alu's vector sweeps stream
+  // whole cachelines through these columns.
+  aligned_vector<Word> regs(reg_count * chunk, Word{0});
   auto reg = [&](std::uint8_t r) { return regs.data() + std::size_t{r} * chunk; };
 
   const std::size_t p = layout_.lanes();
@@ -129,19 +130,23 @@ HostRunResult HostBulkExecutor::run(const trace::Program& program,
   if (compiled != nullptr) {
     result.backend = exec::Backend::kCompiled;
     result.counts = compiled->counts();
-    const std::size_t tile = exec::resolve_tile_lanes(
-        options_.tile_lanes, compiled->register_count(), layout_);
+    const SimdIsa isa = options_.simd.value_or(active_simd_isa());
+    result.simd = isa;
+    const std::size_t tile =
+        exec::resolve_tile_lanes(options_.tile_lanes, compiled->register_count(),
+                                 layout_, simd_width_words(isa));
     const auto t0 = std::chrono::steady_clock::now();
     parallel_for_chunks(p, options_.workers, align,
                         [&](std::size_t begin, std::size_t end) {
                           exec::run_compiled_chunk(*compiled, layout_, inputs,
                                                    program.input_words, result.memory,
-                                                   begin, end, tile);
+                                                   begin, end, tile, isa);
                         });
     const auto t1 = std::chrono::steady_clock::now();
     result.seconds = std::chrono::duration<double>(t1 - t0).count();
     return result;
   }
+  result.simd = active_simd_isa();  // what trace::bulk_alu will dispatch to
 
   parallel_for_chunks(p, options_.workers, 1, [&](std::size_t begin, std::size_t end) {
     for (Lane j = begin; j < end; ++j) {

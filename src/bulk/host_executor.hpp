@@ -8,9 +8,12 @@
 // scalar interpreter p times.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "common/aligned.hpp"
+#include "common/simd_isa.hpp"
 #include "common/types.hpp"
 #include "bulk/layout.hpp"
 #include "exec/backend.hpp"
@@ -23,7 +26,10 @@ class ExecutionPlan;
 namespace obx::bulk {
 
 struct HostRunResult {
-  std::vector<Word> memory;   ///< final arranged global memory (p·n words)
+  /// Final arranged global memory (p·n words), 64-byte aligned for the
+  /// vectorized kernels.  Compares equal to a plain std::vector<Word> with
+  /// the same contents (see common/aligned.hpp).
+  aligned_vector<Word> memory;
   trace::StepCounts counts;   ///< steps in one program stream (per input)
   /// Wall-clock of the lockstep loop.  The interpreted backend scatters
   /// before the clock starts; the compiled backend scatters tile-by-tile
@@ -32,6 +38,9 @@ struct HostRunResult {
   /// Engine that actually ran (kCompiled may fall back to kInterpreted when
   /// the program exceeds the compile budget).
   exec::Backend backend = exec::Backend::kInterpreted;
+  /// SIMD tier the lockstep loop ran at (Options::simd if set — compiled
+  /// backend only — else the process-wide active_simd_isa()).
+  SimdIsa simd = SimdIsa::kScalar;
 };
 
 class HostBulkExecutor {
@@ -48,6 +57,14 @@ class HostBulkExecutor {
     exec::Backend backend = exec::Backend::kAuto;
     std::size_t tile_lanes = 0;  ///< compiled lane-tile size; 0 = auto (fit L1)
     std::size_t compile_budget_steps = exec::kDefaultCompileBudget;
+    /// SIMD tier for the compiled backend's lane-vectorized kernels.
+    /// Unset = the process-wide active_simd_isa() (OBX_SIMD-overridable).
+    /// Setting it pins this executor's runs to one tier regardless of the
+    /// environment — every tier is bit-identical, so this is pure tuning
+    /// (and how tests compare scalar against vector in one process).  The
+    /// interpreted backend ignores it: its ALU sweeps go through
+    /// trace::bulk_alu, whose tier is latched process-wide.
+    std::optional<SimdIsa> simd{};
   };
 
   explicit HostBulkExecutor(Layout layout);

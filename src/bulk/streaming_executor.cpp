@@ -32,7 +32,8 @@ StreamingExecutor::Stats StreamingExecutor::run(
       .workers = options_.workers,
       .backend = options_.backend,
       .tile_lanes = options_.tile_lanes,
-      .compile_budget_steps = options_.compile_budget_steps};
+      .compile_budget_steps = options_.compile_budget_steps,
+      .simd = options_.simd};
   // All full batches share one layout/executor; only a trailing partial
   // batch (batch size changes at most once) forces a rebuild.
   std::optional<HostBulkExecutor> exec;

@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 
+#include "common/simd_isa.hpp"
 #include "common/types.hpp"
 #include "bulk/layout.hpp"
 #include "exec/backend.hpp"
@@ -36,6 +38,9 @@ class StreamingExecutor {
     exec::Backend backend = exec::Backend::kAuto;
     std::size_t tile_lanes = 0;
     std::size_t compile_budget_steps = exec::kDefaultCompileBudget;
+    /// SIMD tier for each batch's compiled kernels; unset = process-wide
+    /// active_simd_isa() (see HostBulkExecutor::Options::simd).
+    std::optional<SimdIsa> simd{};
   };
 
   struct Stats {

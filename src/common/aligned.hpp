@@ -1,0 +1,63 @@
+// 64-byte-aligned allocation for SIMD-hot buffers.
+//
+// The vectorized backend streams whole cachelines through the per-tile
+// register file and the arranged memory image; std::allocator only promises
+// alignof(std::max_align_t) (16 on x86-64), which lets a 512-bit access
+// straddle two cachelines.  aligned_vector pins those buffers to 64-byte
+// boundaries — one line, and big enough for any vector width we dispatch to —
+// at zero cost elsewhere (the allocator is stateless and on the aligned
+// operator-new path).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace obx {
+
+inline constexpr std::size_t kSimdAlignBytes = 64;
+
+template <class T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kSimdAlignBytes}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kSimdAlignBytes});
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// std::vector with 64-byte-aligned storage.  Element-wise interchangeable
+/// with std::vector<T>; the cross-allocator comparisons below keep call sites
+/// (tests especially) free to mix the two.
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+template <class T, class A>
+  requires(!std::is_same_v<A, AlignedAllocator<T>>)
+bool operator==(const aligned_vector<T>& a, const std::vector<T, A>& b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+template <class T, class A>
+  requires(!std::is_same_v<A, AlignedAllocator<T>>)
+bool operator==(const std::vector<T, A>& a, const aligned_vector<T>& b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace obx

@@ -2,425 +2,19 @@
 
 #include <algorithm>
 #include <bit>
-#include <type_traits>
-#include <vector>
 
+#include "common/aligned.hpp"
 #include "common/check.hpp"
-#include "trace/value.hpp"
+#include "exec/backend_detail.hpp"
 
 namespace obx::exec {
 
 namespace {
 
 using bulk::Arrangement;
-using opt::FusedKind;
-using opt::FusedOp;
-using trace::Op;
-using trace::Step;
-using trace::StepKind;
-using trace::as_f64;
-using trace::as_i64;
-using trace::from_bool;
-using trace::from_f64;
-using trace::from_i64;
-
-/// One lane tile: a window of `len` consecutive lanes starting at `base`,
-/// with an L1-resident lane-major register tile (register r of tile lane j at
-/// regs[r * cap + j]).
-struct Tile {
-  Word* regs = nullptr;
-  std::size_t cap = 0;
-  std::size_t len = 0;
-  Word* mem = nullptr;
-  std::size_t p = 0;
-  std::size_t n = 0;
-  std::size_t block = 0;
-  Arrangement arr = Arrangement::kColumnWise;
-  std::size_t base = 0;
-};
-
-Word* reg(const Tile& t, std::uint8_t r) { return t.regs + std::size_t{r} * t.cap; }
-
-/// Tile-lane j of canonical address a lives at ptr[j * stride].  Valid because
-/// a tile never spans a blocked layout's block boundary.
-struct MemRef {
-  Word* ptr = nullptr;
-  std::size_t stride = 1;
-};
-
-MemRef mem_ref(const Tile& t, Addr a) {
-  switch (t.arr) {
-    case Arrangement::kColumnWise:
-      return {t.mem + std::size_t{a} * t.p + t.base, 1};
-    case Arrangement::kRowWise:
-      return {t.mem + t.base * t.n + a, t.n};
-    case Arrangement::kBlocked:
-      return {t.mem + (t.base / t.block) * (t.n * t.block) + std::size_t{a} * t.block +
-                  t.base % t.block,
-              1};
-  }
-  return {};
-}
-
-/// apply_alu with the op resolved at compile time, so fused kernels inline
-/// the operation into their lane loops.
-template <Op OP>
-inline Word apply1(Word x, Word y, Word z, Word d) {
-  (void)x; (void)y; (void)z; (void)d;
-  if constexpr (OP == Op::kNop) return d;
-  else if constexpr (OP == Op::kAddF) return from_f64(as_f64(x) + as_f64(y));
-  else if constexpr (OP == Op::kSubF) return from_f64(as_f64(x) - as_f64(y));
-  else if constexpr (OP == Op::kMulF) return from_f64(as_f64(x) * as_f64(y));
-  else if constexpr (OP == Op::kDivF) return from_f64(as_f64(x) / as_f64(y));
-  else if constexpr (OP == Op::kMinF) return from_f64(as_f64(x) < as_f64(y) ? as_f64(x) : as_f64(y));
-  else if constexpr (OP == Op::kMaxF) return from_f64(as_f64(x) > as_f64(y) ? as_f64(x) : as_f64(y));
-  else if constexpr (OP == Op::kNegF) return from_f64(-as_f64(x));
-  else if constexpr (OP == Op::kAddI) return x + y;  // wrap via unsigned arithmetic
-  else if constexpr (OP == Op::kSubI) return x - y;
-  else if constexpr (OP == Op::kMulI) return x * y;
-  else if constexpr (OP == Op::kMinI) return from_i64(as_i64(x) < as_i64(y) ? as_i64(x) : as_i64(y));
-  else if constexpr (OP == Op::kMaxI) return from_i64(as_i64(x) > as_i64(y) ? as_i64(x) : as_i64(y));
-  else if constexpr (OP == Op::kAnd) return x & y;
-  else if constexpr (OP == Op::kOr) return x | y;
-  else if constexpr (OP == Op::kXor) return x ^ y;
-  else if constexpr (OP == Op::kShl) return x << (y & 63);
-  else if constexpr (OP == Op::kShr) return x >> (y & 63);
-  else if constexpr (OP == Op::kNotU) return ~x;
-  else if constexpr (OP == Op::kLtF) return from_bool(as_f64(x) < as_f64(y));
-  else if constexpr (OP == Op::kLeF) return from_bool(as_f64(x) <= as_f64(y));
-  else if constexpr (OP == Op::kEqF) return from_bool(as_f64(x) == as_f64(y));
-  else if constexpr (OP == Op::kLtI) return from_bool(as_i64(x) < as_i64(y));
-  else if constexpr (OP == Op::kLeI) return from_bool(as_i64(x) <= as_i64(y));
-  else if constexpr (OP == Op::kEqI) return from_bool(x == y);
-  else if constexpr (OP == Op::kNeI) return from_bool(x != y);
-  else if constexpr (OP == Op::kLtU) return from_bool(x < y);
-  else if constexpr (OP == Op::kSelect) return x != 0 ? y : z;
-  else if constexpr (OP == Op::kCmovLtF) return as_f64(x) < as_f64(y) ? z : d;
-  else if constexpr (OP == Op::kCmovLtI) return as_i64(x) < as_i64(y) ? z : d;
-  else if constexpr (OP == Op::kMov) return x;
-}
-
-template <class F>
-inline void dispatch_op(Op op, F&& f) {
-#define OBX_EXEC_OP(O)                                        \
-  case Op::O:                                                 \
-    f(std::integral_constant<Op, Op::O>{});                   \
-    return;
-  switch (op) {
-    OBX_EXEC_OP(kNop)
-    OBX_EXEC_OP(kAddF)
-    OBX_EXEC_OP(kSubF)
-    OBX_EXEC_OP(kMulF)
-    OBX_EXEC_OP(kDivF)
-    OBX_EXEC_OP(kMinF)
-    OBX_EXEC_OP(kMaxF)
-    OBX_EXEC_OP(kNegF)
-    OBX_EXEC_OP(kAddI)
-    OBX_EXEC_OP(kSubI)
-    OBX_EXEC_OP(kMulI)
-    OBX_EXEC_OP(kMinI)
-    OBX_EXEC_OP(kMaxI)
-    OBX_EXEC_OP(kAnd)
-    OBX_EXEC_OP(kOr)
-    OBX_EXEC_OP(kXor)
-    OBX_EXEC_OP(kShl)
-    OBX_EXEC_OP(kShr)
-    OBX_EXEC_OP(kNotU)
-    OBX_EXEC_OP(kLtF)
-    OBX_EXEC_OP(kLeF)
-    OBX_EXEC_OP(kEqF)
-    OBX_EXEC_OP(kLtI)
-    OBX_EXEC_OP(kLeI)
-    OBX_EXEC_OP(kEqI)
-    OBX_EXEC_OP(kNeI)
-    OBX_EXEC_OP(kLtU)
-    OBX_EXEC_OP(kSelect)
-    OBX_EXEC_OP(kCmovLtF)
-    OBX_EXEC_OP(kCmovLtI)
-    OBX_EXEC_OP(kMov)
-  }
-#undef OBX_EXEC_OP
-  OBX_CHECK(false, "unknown ALU op");
-}
-
-// ---------------------------------------------------------------------------
-// Singleton kernels.
-
-void k_load(const Tile& t, const FusedOp& f) {
-  if ((f.flags & opt::kElideAuxCommit) != 0) return;  // dead value: skip entirely
-  const MemRef m = mem_ref(t, f.addr);
-  Word* d = reg(t, f.aux);
-  if (m.stride == 1) {
-    for (std::size_t j = 0; j < t.len; ++j) d[j] = m.ptr[j];
-  } else {
-    for (std::size_t j = 0; j < t.len; ++j) d[j] = m.ptr[j * m.stride];
-  }
-}
-
-void k_store(const Tile& t, const FusedOp& f) {
-  const MemRef m = mem_ref(t, f.addr2);
-  const Word* s = reg(t, f.aux);
-  if (m.stride == 1) {
-    for (std::size_t j = 0; j < t.len; ++j) m.ptr[j] = s[j];
-  } else {
-    for (std::size_t j = 0; j < t.len; ++j) m.ptr[j * m.stride] = s[j];
-  }
-}
-
-void k_imm(const Tile& t, const FusedOp& f) {
-  if ((f.flags & opt::kElideAuxCommit) != 0) return;
-  Word* d = reg(t, f.aux);
-  for (std::size_t j = 0; j < t.len; ++j) d[j] = f.imm;
-}
-
-void k_alu(const Tile& t, const FusedOp& f) {
-  Word* d = reg(t, f.dst);
-  const Word* a = reg(t, f.src0);
-  const Word* b = reg(t, f.src1);
-  const Word* c = reg(t, f.src2);
-  dispatch_op(f.op, [&](auto opc) {
-    constexpr Op OP = decltype(opc)::value;
-    for (std::size_t j = 0; j < t.len; ++j) d[j] = apply1<OP>(a[j], b[j], c[j], d[j]);
-  });
-}
-
-// ---------------------------------------------------------------------------
-// Pair / triple kernels.  In-group consumers of the produced value (the
-// loaded word, the immediate, the ALU result) are fed by value forwarding,
-// so an elided register commit never changes what the group computes.
-
-void k_imm_alu(const Tile& t, const FusedOp& f) {
-  Word* ir = reg(t, f.aux);
-  Word* d = reg(t, f.dst);
-  const Word* a = reg(t, f.src0);
-  const Word* b = reg(t, f.src1);
-  const Word* c = reg(t, f.src2);
-  const Word iv = f.imm;
-  const bool commit = (f.flags & opt::kElideAuxCommit) == 0;
-  const bool s0f = f.src0 == f.aux;
-  const bool s1f = f.src1 == f.aux;
-  const bool s2f = f.src2 == f.aux;
-  const bool ddf = f.dst == f.aux;
-  dispatch_op(f.op, [&](auto opc) {
-    constexpr Op OP = decltype(opc)::value;
-    for (std::size_t j = 0; j < t.len; ++j) {
-      if (commit) ir[j] = iv;
-      const Word av = s0f ? iv : a[j];
-      const Word bv = s1f ? iv : b[j];
-      const Word cv = s2f ? iv : c[j];
-      const Word dv = ddf ? iv : d[j];
-      d[j] = apply1<OP>(av, bv, cv, dv);
-    }
-  });
-}
-
-template <Op OP, bool UNIT>
-void k_load_alu_body(const Tile& t, const FusedOp& f, const MemRef m) {
-  Word* lr = reg(t, f.aux);
-  Word* d = reg(t, f.dst);
-  const Word* a = reg(t, f.src0);
-  const Word* b = reg(t, f.src1);
-  const Word* c = reg(t, f.src2);
-  const bool commit = (f.flags & opt::kElideAuxCommit) == 0;
-  const bool s0f = f.src0 == f.aux;
-  const bool s1f = f.src1 == f.aux;
-  const bool s2f = f.src2 == f.aux;
-  const bool ddf = f.dst == f.aux;
-  for (std::size_t j = 0; j < t.len; ++j) {
-    const Word tt = UNIT ? m.ptr[j] : m.ptr[j * m.stride];
-    if (commit) lr[j] = tt;
-    const Word av = s0f ? tt : a[j];
-    const Word bv = s1f ? tt : b[j];
-    const Word cv = s2f ? tt : c[j];
-    const Word dv = ddf ? tt : d[j];
-    d[j] = apply1<OP>(av, bv, cv, dv);
-  }
-}
-
-void k_load_alu(const Tile& t, const FusedOp& f) {
-  const MemRef m = mem_ref(t, f.addr);
-  dispatch_op(f.op, [&](auto opc) {
-    constexpr Op OP = decltype(opc)::value;
-    if (m.stride == 1) k_load_alu_body<OP, true>(t, f, m);
-    else k_load_alu_body<OP, false>(t, f, m);
-  });
-}
-
-template <Op OP, bool UNIT>
-void k_alu_store_body(const Tile& t, const FusedOp& f, const MemRef m) {
-  Word* d = reg(t, f.dst);
-  const Word* a = reg(t, f.src0);
-  const Word* b = reg(t, f.src1);
-  const Word* c = reg(t, f.src2);
-  const Word* s = reg(t, f.aux);
-  const bool sfwd = f.aux == f.dst;
-  for (std::size_t j = 0; j < t.len; ++j) {
-    const Word v = apply1<OP>(a[j], b[j], c[j], d[j]);
-    d[j] = v;
-    const Word sv = sfwd ? v : s[j];
-    if (UNIT) m.ptr[j] = sv;
-    else m.ptr[j * m.stride] = sv;
-  }
-}
-
-void k_alu_store(const Tile& t, const FusedOp& f) {
-  const MemRef m = mem_ref(t, f.addr2);
-  dispatch_op(f.op, [&](auto opc) {
-    constexpr Op OP = decltype(opc)::value;
-    if (m.stride == 1) k_alu_store_body<OP, true>(t, f, m);
-    else k_alu_store_body<OP, false>(t, f, m);
-  });
-}
-
-template <Op OP, bool UNIT>
-void k_load_alu_store_body(const Tile& t, const FusedOp& f, const MemRef in,
-                           const MemRef out) {
-  Word* lr = reg(t, f.aux);
-  Word* d = reg(t, f.dst);
-  const Word* a = reg(t, f.src0);
-  const Word* b = reg(t, f.src1);
-  const Word* c = reg(t, f.src2);
-  const Word* s = reg(t, f.aux2);
-  const bool commit = (f.flags & opt::kElideAuxCommit) == 0;
-  const bool s0f = f.src0 == f.aux;
-  const bool s1f = f.src1 == f.aux;
-  const bool s2f = f.src2 == f.aux;
-  const bool ddf = f.dst == f.aux;
-  const bool st_v = f.aux2 == f.dst;  // store sees the ALU result
-  const bool st_t = f.aux2 == f.aux;  // store sees the loaded word
-  for (std::size_t j = 0; j < t.len; ++j) {
-    const Word tt = UNIT ? in.ptr[j] : in.ptr[j * in.stride];
-    if (commit) lr[j] = tt;
-    const Word av = s0f ? tt : a[j];
-    const Word bv = s1f ? tt : b[j];
-    const Word cv = s2f ? tt : c[j];
-    const Word dv = ddf ? tt : d[j];
-    const Word v = apply1<OP>(av, bv, cv, dv);
-    d[j] = v;
-    const Word sv = st_v ? v : (st_t ? tt : s[j]);
-    if (UNIT) out.ptr[j] = sv;
-    else out.ptr[j * out.stride] = sv;
-  }
-}
-
-void k_load_alu_store(const Tile& t, const FusedOp& f) {
-  const MemRef in = mem_ref(t, f.addr);
-  const MemRef out = mem_ref(t, f.addr2);
-  dispatch_op(f.op, [&](auto opc) {
-    constexpr Op OP = decltype(opc)::value;
-    if (in.stride == 1) k_load_alu_store_body<OP, true>(t, f, in, out);
-    else k_load_alu_store_body<OP, false>(t, f, in, out);
-  });
-}
-
-// ---------------------------------------------------------------------------
-// Run kernels.
-
-/// A run of register-only steps, executed step-outer over the L1-resident
-/// register tile (the tile is the whole point: every sweep hits L1).
-void k_reg_run(const Tile& t, const FusedOp& f, const Step* body) {
-  for (std::uint32_t k = 0; k < f.run_len; ++k) {
-    const Step& s = body[k];
-    if (s.kind == StepKind::kImm) {
-      Word* d = reg(t, s.dst);
-      for (std::size_t j = 0; j < t.len; ++j) d[j] = s.imm;
-    } else {
-      trace::bulk_alu(s.op, reg(t, s.dst), reg(t, s.src0), reg(t, s.src1),
-                      reg(t, s.src2), t.len);
-    }
-  }
-}
-
-/// W consecutive triples of a kTripleRun for one tile: the accumulator is
-/// read from and written back to its register column once per W triples and
-/// carried in a machine register in between — the scan/reduction fast path.
-/// COMMIT (last group of a run with a live loaded register) also commits the
-/// final loaded word; a template parameter so the hot non-committing loop
-/// has no conditional store.
-template <Op OP, bool UNIT, int W, bool COMMIT>
-void k_triple_group(const Tile& t, Word* acc, Word* ldr, Word* const* in,
-                    Word* const* out, bool s0l, bool s1l) {
-  const std::size_t stride = UNIT ? 1 : t.n;
-  for (std::size_t j = 0; j < t.len; ++j) {
-    Word v = acc[j];
-    Word tt = 0;
-    for (int w = 0; w < W; ++w) {
-      tt = UNIT ? in[w][j] : in[w][j * stride];
-      const Word a = s0l ? tt : v;
-      const Word b = s1l ? tt : v;
-      v = apply1<OP>(a, b, Word{0}, v);
-      if (UNIT) out[w][j] = v;
-      else out[w][j * stride] = v;
-    }
-    acc[j] = v;
-    if constexpr (COMMIT) ldr[j] = tt;
-    else (void)ldr;
-  }
-}
-
-void k_triple_run(const Tile& t, const FusedOp& f, const Step* body) {
-  constexpr int kW = 8;
-  Word* acc = reg(t, f.dst);
-  Word* ldr = reg(t, f.aux);
-  const bool s0l = (f.flags & opt::kTripleS0Loaded) != 0;
-  const bool s1l = (f.flags & opt::kTripleS1Loaded) != 0;
-  const bool want_ld = (f.flags & opt::kElideAuxCommit) == 0;
-  const bool unit = t.arr != Arrangement::kRowWise;
-  const std::size_t runs = f.run_len;
-  dispatch_op(f.op, [&](auto opc) {
-    constexpr Op OP = decltype(opc)::value;
-    Word* in[kW];
-    Word* out[kW];
-    std::size_t k = 0;
-    for (; k + kW <= runs; k += kW) {
-      for (int w = 0; w < kW; ++w) {
-        const std::size_t base = (k + static_cast<std::size_t>(w)) * 3;
-        in[w] = mem_ref(t, body[base].addr).ptr;
-        out[w] = mem_ref(t, body[base + 2].addr).ptr;
-      }
-      const bool commit = want_ld && k + kW == runs;
-      if (unit) {
-        if (commit) k_triple_group<OP, true, kW, true>(t, acc, ldr, in, out, s0l, s1l);
-        else k_triple_group<OP, true, kW, false>(t, acc, ldr, in, out, s0l, s1l);
-      } else {
-        if (commit) k_triple_group<OP, false, kW, true>(t, acc, ldr, in, out, s0l, s1l);
-        else k_triple_group<OP, false, kW, false>(t, acc, ldr, in, out, s0l, s1l);
-      }
-    }
-    for (; k < runs; ++k) {
-      in[0] = mem_ref(t, body[k * 3].addr).ptr;
-      out[0] = mem_ref(t, body[k * 3 + 2].addr).ptr;
-      const bool commit = want_ld && k + 1 == runs;
-      if (unit) {
-        if (commit) k_triple_group<OP, true, 1, true>(t, acc, ldr, in, out, s0l, s1l);
-        else k_triple_group<OP, true, 1, false>(t, acc, ldr, in, out, s0l, s1l);
-      } else {
-        if (commit) k_triple_group<OP, false, 1, true>(t, acc, ldr, in, out, s0l, s1l);
-        else k_triple_group<OP, false, 1, false>(t, acc, ldr, in, out, s0l, s1l);
-      }
-    }
-  });
-}
-
-// ---------------------------------------------------------------------------
-
-void exec_segment(const Tile& t, const CompiledProgram::Segment& seg) {
-  const Step* runs = seg.run_steps.data();
-  for (const FusedOp& f : seg.ops) {
-    switch (f.kind) {
-      case FusedKind::kLoad: k_load(t, f); break;
-      case FusedKind::kStore: k_store(t, f); break;
-      case FusedKind::kImm: k_imm(t, f); break;
-      case FusedKind::kAlu: k_alu(t, f); break;
-      case FusedKind::kImmAlu: k_imm_alu(t, f); break;
-      case FusedKind::kLoadAlu: k_load_alu(t, f); break;
-      case FusedKind::kAluStore: k_alu_store(t, f); break;
-      case FusedKind::kLoadAluStore: k_load_alu_store(t, f); break;
-      case FusedKind::kRegRun: k_reg_run(t, f, runs + f.run_begin); break;
-      case FusedKind::kTripleRun: k_triple_run(t, f, runs + f.run_begin); break;
-    }
-  }
-}
+using detail::MemRef;
+using detail::Tile;
+using detail::mem_ref;
 
 /// Scatters this tile's inputs into arranged memory.  Column-wise/blocked is
 /// a cache-blocked transpose (sub-tiles of lanes keep the source lines
@@ -470,6 +64,36 @@ void scatter_tile(const Tile& t, std::span<const Word> inputs, std::size_t iw) {
   }
 }
 
+using SegmentFn = void (*)(const Tile&, const CompiledProgram::Segment&);
+
+/// Maps the requested SIMD tier to its segment body, degrading to the widest
+/// engine this binary actually contains (an AVX2-less toolchain build asked
+/// for kAvx2 still runs, on the baseline 128-bit engine).
+SegmentFn segment_fn_for(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return detail::exec_segment_w1;
+    case SimdIsa::kSse2:
+    case SimdIsa::kNeon:
+      return detail::exec_segment_w2;
+    case SimdIsa::kAvx2:
+#if defined(OBX_SIMD_HAVE_AVX2)
+      return detail::exec_segment_avx2;
+#else
+      return detail::exec_segment_w2;
+#endif
+    case SimdIsa::kAvx512:
+#if defined(OBX_SIMD_HAVE_AVX512)
+      return detail::exec_segment_avx512;
+#elif defined(OBX_SIMD_HAVE_AVX2)
+      return detail::exec_segment_avx2;
+#else
+      return detail::exec_segment_w2;
+#endif
+  }
+  return detail::exec_segment_w1;
+}
+
 }  // namespace
 
 std::string to_string(Backend backend) {
@@ -482,17 +106,36 @@ std::string to_string(Backend backend) {
 }
 
 std::size_t resolve_tile_lanes(std::size_t requested, std::size_t reg_count,
-                               const bulk::Layout& layout) {
+                               const bulk::Layout& layout, std::size_t vector_width) {
+  const std::size_t w = std::max<std::size_t>(vector_width, 1);
   std::size_t tile = requested;
   if (tile == 0) {
     constexpr std::size_t kRegTileBytes = 16 * 1024;
     tile = kRegTileBytes / (sizeof(Word) * std::max<std::size_t>(reg_count, 1));
+    // Power of two in [32, 1024]: already a multiple of every vector width.
     tile = std::clamp<std::size_t>(std::bit_floor(tile), 32, 1024);
   }
   tile = std::max<std::size_t>(std::min(tile, layout.lanes()), 1);
   if (layout.arrangement() == Arrangement::kBlocked) {
+    // A tile must divide the block (tile addressing relies on one stride).
+    // Prefer the largest such divisor that is also a vector-width multiple;
+    // fall back to the largest plain divisor of the request (a
+    // scalar-tail-only tile) when none exists.
     tile = std::min(tile, layout.block());
-    while (layout.block() % tile != 0) --tile;
+    std::size_t vec = 0;
+    for (std::size_t d = tile - tile % w; d >= w; d -= w) {
+      if (layout.block() % d == 0) {
+        vec = d;
+        break;
+      }
+    }
+    if (vec != 0) {
+      tile = vec;
+    } else {
+      while (layout.block() % tile != 0) --tile;
+    }
+  } else if (tile >= w) {
+    tile -= tile % w;  // round down to a vector-width multiple
   }
   return tile;
 }
@@ -500,12 +143,13 @@ std::size_t resolve_tile_lanes(std::size_t requested, std::size_t reg_count,
 void run_compiled_chunk(const CompiledProgram& compiled, const bulk::Layout& layout,
                         std::span<const Word> inputs, std::size_t input_words,
                         std::span<Word> memory, Lane lane_begin, Lane lane_end,
-                        std::size_t tile_lanes) {
+                        std::size_t tile_lanes, SimdIsa isa) {
   OBX_CHECK(tile_lanes > 0, "tile size must be positive");
   OBX_CHECK(compiled.memory_words() == layout.words_per_input(),
             "compiled program sized for a different layout");
   const std::size_t reg_count = std::max<std::size_t>(compiled.register_count(), 1);
-  std::vector<Word> regs(reg_count * tile_lanes);
+  aligned_vector<Word> regs(reg_count * tile_lanes);
+  const SegmentFn segment_fn = segment_fn_for(isa);
 
   Tile t;
   t.regs = regs.data();
@@ -522,7 +166,7 @@ void run_compiled_chunk(const CompiledProgram& compiled, const bulk::Layout& lay
     scatter_tile(t, inputs, input_words);
     std::fill(regs.begin(), regs.end(), Word{0});
     for (const CompiledProgram::Segment& seg : compiled.segments()) {
-      exec_segment(t, seg);
+      segment_fn(t, seg);
     }
   }
 }

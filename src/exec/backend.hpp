@@ -15,6 +15,7 @@
 #include <span>
 #include <string>
 
+#include "common/simd_isa.hpp"
 #include "common/types.hpp"
 #include "bulk/layout.hpp"
 #include "exec/compiled_program.hpp"
@@ -31,20 +32,29 @@ std::string to_string(Backend backend);
 
 /// Picks a lane-tile size: `requested` if nonzero, else the largest power of
 /// two in [32, 1024] keeping the register tile within ~16 KB (a third of a
-/// typical 48 KB L1d, leaving room for the memory streams).  For blocked
-/// layouts the tile is shrunk to a divisor of the block so a tile never
-/// crosses a block boundary (tile addressing relies on a single stride).
+/// typical 48 KB L1d, leaving room for the memory streams).  A nonzero
+/// `requested` that is at least `vector_width` lanes is rounded down to a
+/// multiple of it so only the final tile of a chunk has a scalar tail;
+/// smaller requests are honoured as-is.  For blocked layouts the tile is
+/// shrunk to a divisor of the block so a tile never crosses a block boundary
+/// (tile addressing relies on a single stride), preferring a divisor that is
+/// also a vector-width multiple when one exists.
 std::size_t resolve_tile_lanes(std::size_t requested, std::size_t reg_count,
-                               const bulk::Layout& layout);
+                               const bulk::Layout& layout,
+                               std::size_t vector_width = 1);
 
 /// Executes `compiled` over lanes [lane_begin, lane_end), tile by tile,
 /// scattering each tile's inputs in place.  `memory` must be pre-zeroed;
 /// inputs are lane-major flat (lane j at inputs[j * input_words ...]).
 /// For blocked layouts [lane_begin, lane_end) must be block-aligned and
-/// `tile_lanes` must divide the block (see resolve_tile_lanes).
+/// `tile_lanes` must divide the block (see resolve_tile_lanes).  `isa`
+/// selects the lane-vectorized kernel set (lanes are packed
+/// `simd_width_words(isa)` per vector, ragged tails handled scalar); tiers
+/// this binary lacks degrade to the widest one it has.  Any tier is
+/// bit-identical to kScalar.
 void run_compiled_chunk(const CompiledProgram& compiled, const bulk::Layout& layout,
                         std::span<const Word> inputs, std::size_t input_words,
                         std::span<Word> memory, Lane lane_begin, Lane lane_end,
-                        std::size_t tile_lanes);
+                        std::size_t tile_lanes, SimdIsa isa = active_simd_isa());
 
 }  // namespace obx::exec

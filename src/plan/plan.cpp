@@ -96,7 +96,8 @@ bulk::HostBulkExecutor::Options ExecutionPlan::host_options() const {
       .workers = workers_,
       .backend = backend_,
       .tile_lanes = options_.tile_lanes,
-      .compile_budget_steps = options_.compile_budget_steps};
+      .compile_budget_steps = options_.compile_budget_steps,
+      .simd = provenance_.simd};
 }
 
 bulk::StreamingExecutor::Options ExecutionPlan::streaming_options(
@@ -107,7 +108,8 @@ bulk::StreamingExecutor::Options ExecutionPlan::streaming_options(
       .arrangement = arrangement_,
       .backend = backend_,
       .tile_lanes = options_.tile_lanes,
-      .compile_budget_steps = options_.compile_budget_steps};
+      .compile_budget_steps = options_.compile_budget_steps,
+      .simd = provenance_.simd};
 }
 
 std::string ExecutionPlan::describe() const {
@@ -159,6 +161,7 @@ std::string ExecutionPlan::describe() const {
   }
   os << "\n";
   os << "  backend     : " << exec::to_string(backend_) << "\n";
+  os << "  simd        : " << to_string(pv.simd) << " (w=" << pv.simd_width << ")\n";
 
   os << "  arrangement : " << bulk::to_string(arrangement_);
   if (pv.arrangement_forced) {

@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd_isa.hpp"
 #include "common/types.hpp"
 #include "bulk/host_executor.hpp"
 #include "bulk/layout.hpp"
@@ -130,6 +131,15 @@ struct PlanProvenance {
 
   /// Tile size resolve_tile_lanes() picks at reference_lanes occupancy.
   std::size_t resolved_tile_lanes = 0;
+
+  /// SIMD tier the lockstep kernels dispatch to — the process-wide
+  /// active_simd_isa() at plan-build time (OBX_SIMD-overridable, latched) —
+  /// and its vector width in 64-bit words.  Part of the plan fingerprint:
+  /// the tier changes which code runs and how tiles are rounded, even though
+  /// results are bit-identical across tiers.  Executors built from this plan
+  /// are pinned to the recorded tier via host_options()/streaming_options().
+  SimdIsa simd = SimdIsa::kScalar;
+  std::size_t simd_width = 1;
 };
 
 /// An immutable, shareable record of every input-independent decision for

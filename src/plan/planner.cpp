@@ -49,6 +49,8 @@ std::uint64_t plan_fingerprint(const ExecutionPlan& plan) {
   mix(pv.compiled_fused_ops);
   mix(static_cast<std::uint64_t>(plan.arrangement()));
   mix(static_cast<std::uint64_t>(plan.backend()));
+  mix(static_cast<std::uint64_t>(pv.simd));
+  mix(pv.simd_width);
   mix(pv.resolved_tile_lanes);
   mix(static_cast<std::uint64_t>(pv.row_units));
   mix(static_cast<std::uint64_t>(pv.col_units));
@@ -124,14 +126,19 @@ std::shared_ptr<const ExecutionPlan> Planner::build(trace::Program program) cons
   }
   plan->units_by_lanes_.emplace(options_.reference_lanes, chosen_units);
 
-  // 4. Tile — record what the tile resolution picks at the reference
-  //    occupancy (each run still resolves for its own lane count).
+  // 4. SIMD + tile — record the tier the kernels will dispatch to (latched
+  //    per process, OBX_SIMD-overridable; results are tier-independent) and
+  //    what the tile resolution picks at the reference occupancy under that
+  //    tier's vector width (each run still resolves for its own lane count).
+  pv.simd = active_simd_isa();
+  pv.simd_width = simd_width_words(pv.simd);
   const std::size_t reg_count =
       plan->compiled_ != nullptr
           ? plan->compiled_->register_count()
           : std::max<std::size_t>(plan->program_.register_count, 1);
-  pv.resolved_tile_lanes = exec::resolve_tile_lanes(
-      options_.tile_lanes, reg_count, plan->layout(options_.reference_lanes));
+  pv.resolved_tile_lanes =
+      exec::resolve_tile_lanes(options_.tile_lanes, reg_count,
+                               plan->layout(options_.reference_lanes), pv.simd_width);
 
   plan->fingerprint_ = plan_fingerprint(*plan);
   return plan;

@@ -1,0 +1,13 @@
+// trace::bulk_alu body compiled for AVX2 (256-bit: 4 words per iteration).
+// This TU is only added to the build when the compiler accepts -mavx2; the
+// dispatcher in step.cpp only calls it when the CPU reports AVX2.
+#include "trace/alu_ops.hpp"
+
+namespace obx::trace::detail {
+
+void bulk_alu_avx2(Op op, Word* dst, const Word* a, const Word* b, const Word* c,
+                   std::size_t count) {
+  bulk_alu_tagged<2>(op, dst, a, b, c, count);
+}
+
+}  // namespace obx::trace::detail

@@ -1,0 +1,14 @@
+// trace::bulk_alu body compiled for AVX-512 (512-bit: 8 words per
+// iteration).  This TU is only added to the build when the compiler accepts
+// -mavx512f; the dispatcher in step.cpp only calls it when the CPU reports
+// AVX512F/DQ/BW/VL.
+#include "trace/alu_ops.hpp"
+
+namespace obx::trace::detail {
+
+void bulk_alu_avx512(Op op, Word* dst, const Word* a, const Word* b, const Word* c,
+                     std::size_t count) {
+  bulk_alu_tagged<3>(op, dst, a, b, c, count);
+}
+
+}  // namespace obx::trace::detail

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/simd_isa.hpp"
+#include "trace/alu_ops.hpp"
 #include "trace/value.hpp"
 
 namespace obx::trace {
@@ -12,130 +14,49 @@ Step Step::imm_f64(std::uint8_t dst, double value) {
 }
 
 Word apply_alu(Op op, Word a, Word b, Word c, Word old_dst) {
-  switch (op) {
-    case Op::kNop:
-      return old_dst;
-    case Op::kAddF:
-      return from_f64(as_f64(a) + as_f64(b));
-    case Op::kSubF:
-      return from_f64(as_f64(a) - as_f64(b));
-    case Op::kMulF:
-      return from_f64(as_f64(a) * as_f64(b));
-    case Op::kDivF:
-      return from_f64(as_f64(a) / as_f64(b));
-    case Op::kMinF:
-      return from_f64(as_f64(a) < as_f64(b) ? as_f64(a) : as_f64(b));
-    case Op::kMaxF:
-      return from_f64(as_f64(a) > as_f64(b) ? as_f64(a) : as_f64(b));
-    case Op::kNegF:
-      return from_f64(-as_f64(a));
-    case Op::kAddI:
-      return a + b;  // two's-complement wrap via unsigned arithmetic
-    case Op::kSubI:
-      return a - b;
-    case Op::kMulI:
-      return a * b;
-    case Op::kMinI:
-      return from_i64(as_i64(a) < as_i64(b) ? as_i64(a) : as_i64(b));
-    case Op::kMaxI:
-      return from_i64(as_i64(a) > as_i64(b) ? as_i64(a) : as_i64(b));
-    case Op::kAnd:
-      return a & b;
-    case Op::kOr:
-      return a | b;
-    case Op::kXor:
-      return a ^ b;
-    case Op::kShl:
-      return a << (b & 63);
-    case Op::kShr:
-      return a >> (b & 63);
-    case Op::kNotU:
-      return ~a;
-    case Op::kLtF:
-      return from_bool(as_f64(a) < as_f64(b));
-    case Op::kLeF:
-      return from_bool(as_f64(a) <= as_f64(b));
-    case Op::kEqF:
-      return from_bool(as_f64(a) == as_f64(b));
-    case Op::kLtI:
-      return from_bool(as_i64(a) < as_i64(b));
-    case Op::kLeI:
-      return from_bool(as_i64(a) <= as_i64(b));
-    case Op::kEqI:
-      return from_bool(a == b);
-    case Op::kNeI:
-      return from_bool(a != b);
-    case Op::kLtU:
-      return from_bool(a < b);
-    case Op::kSelect:
-      return a != 0 ? b : c;
-    case Op::kCmovLtF:
-      return as_f64(a) < as_f64(b) ? c : old_dst;
-    case Op::kCmovLtI:
-      return as_i64(a) < as_i64(b) ? c : old_dst;
-    case Op::kMov:
-      return a;
-  }
-  OBX_CHECK(false, "unknown ALU op");
-  return old_dst;
+  Word result = old_dst;
+  dispatch_op(op, [&](auto opc) {
+    constexpr Op OP = decltype(opc)::value;
+    result = apply_one<OP>(a, b, c, old_dst);
+  });
+  return result;
 }
 
-namespace {
-
-template <typename F>
-void alu_loop(Word* dst, const Word* a, const Word* b, const Word* c, std::size_t count,
-              F&& f) {
-  for (std::size_t i = 0; i < count; ++i) dst[i] = f(a[i], b[i], c[i], dst[i]);
-}
-
-}  // namespace
+namespace detail {
+// Wide-vector sweeps, defined in per-ISA translation units that are only
+// part of the build when the compiler supports the target flags (see
+// src/trace/CMakeLists.txt).  Tag 0 below is the baseline body compiled with
+// the project's default flags (SSE2 on x86-64, AdvSIMD on AArch64).
+#if defined(OBX_SIMD_HAVE_AVX2)
+void bulk_alu_avx2(Op op, Word* dst, const Word* a, const Word* b, const Word* c,
+                   std::size_t count);
+#endif
+#if defined(OBX_SIMD_HAVE_AVX512)
+void bulk_alu_avx512(Op op, Word* dst, const Word* a, const Word* b, const Word* c,
+                     std::size_t count);
+#endif
+}  // namespace detail
 
 void bulk_alu(Op op, Word* dst, const Word* a, const Word* b, const Word* c,
               std::size_t count) {
-#define OBX_ALU_CASE(OPCODE, EXPR)                                            \
-  case OPCODE:                                                                \
-    alu_loop(dst, a, b, c, count,                                             \
-             [](Word x, Word y, Word z, Word d) -> Word {                     \
-               (void)x; (void)y; (void)z; (void)d;                            \
-               return (EXPR);                                                 \
-             });                                                              \
-    return;
-
-  switch (op) {
-    OBX_ALU_CASE(Op::kNop, d)
-    OBX_ALU_CASE(Op::kAddF, from_f64(as_f64(x) + as_f64(y)))
-    OBX_ALU_CASE(Op::kSubF, from_f64(as_f64(x) - as_f64(y)))
-    OBX_ALU_CASE(Op::kMulF, from_f64(as_f64(x) * as_f64(y)))
-    OBX_ALU_CASE(Op::kDivF, from_f64(as_f64(x) / as_f64(y)))
-    OBX_ALU_CASE(Op::kMinF, from_f64(as_f64(x) < as_f64(y) ? as_f64(x) : as_f64(y)))
-    OBX_ALU_CASE(Op::kMaxF, from_f64(as_f64(x) > as_f64(y) ? as_f64(x) : as_f64(y)))
-    OBX_ALU_CASE(Op::kNegF, from_f64(-as_f64(x)))
-    OBX_ALU_CASE(Op::kAddI, x + y)  // wrap via unsigned arithmetic
-    OBX_ALU_CASE(Op::kSubI, x - y)
-    OBX_ALU_CASE(Op::kMulI, x * y)
-    OBX_ALU_CASE(Op::kMinI, from_i64(as_i64(x) < as_i64(y) ? as_i64(x) : as_i64(y)))
-    OBX_ALU_CASE(Op::kMaxI, from_i64(as_i64(x) > as_i64(y) ? as_i64(x) : as_i64(y)))
-    OBX_ALU_CASE(Op::kAnd, x & y)
-    OBX_ALU_CASE(Op::kOr, x | y)
-    OBX_ALU_CASE(Op::kXor, x ^ y)
-    OBX_ALU_CASE(Op::kShl, x << (y & 63))
-    OBX_ALU_CASE(Op::kShr, x >> (y & 63))
-    OBX_ALU_CASE(Op::kNotU, ~x)
-    OBX_ALU_CASE(Op::kLtF, from_bool(as_f64(x) < as_f64(y)))
-    OBX_ALU_CASE(Op::kLeF, from_bool(as_f64(x) <= as_f64(y)))
-    OBX_ALU_CASE(Op::kEqF, from_bool(as_f64(x) == as_f64(y)))
-    OBX_ALU_CASE(Op::kLtI, from_bool(as_i64(x) < as_i64(y)))
-    OBX_ALU_CASE(Op::kLeI, from_bool(as_i64(x) <= as_i64(y)))
-    OBX_ALU_CASE(Op::kEqI, from_bool(x == y))
-    OBX_ALU_CASE(Op::kNeI, from_bool(x != y))
-    OBX_ALU_CASE(Op::kLtU, from_bool(x < y))
-    OBX_ALU_CASE(Op::kSelect, x != 0 ? y : z)
-    OBX_ALU_CASE(Op::kCmovLtF, as_f64(x) < as_f64(y) ? z : d)
-    OBX_ALU_CASE(Op::kCmovLtI, as_i64(x) < as_i64(y) ? z : d)
-    OBX_ALU_CASE(Op::kMov, x)
-  }
-#undef OBX_ALU_CASE
-  OBX_CHECK(false, "unknown ALU op");
+  using Fn = void (*)(Op, Word*, const Word*, const Word*, const Word*, std::size_t);
+  // One body per SIMD tier, picked once per process (active_simd_isa is
+  // latched; OBX_SIMD=scalar pins the baseline body).
+  static const Fn fn = [] {
+    switch (active_simd_isa()) {
+#if defined(OBX_SIMD_HAVE_AVX512)
+      case SimdIsa::kAvx512:
+        return static_cast<Fn>(detail::bulk_alu_avx512);
+#endif
+#if defined(OBX_SIMD_HAVE_AVX2)
+      case SimdIsa::kAvx2:
+        return static_cast<Fn>(detail::bulk_alu_avx2);
+#endif
+      default:
+        return static_cast<Fn>(detail::bulk_alu_tagged<0>);
+    }
+  }();
+  fn(op, dst, a, b, c, count);
 }
 
 std::string to_string(Op op) {

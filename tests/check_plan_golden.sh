@@ -17,6 +17,12 @@ cli="$1"
 golden_dir="$2"
 mode="${3:-check}"
 
+# Plans record the active SIMD tier (and fold it into the fingerprint), which
+# depends on the host CPU.  Pin the scalar tier so the goldens are
+# host-independent; the SIMD tiers themselves are covered by
+# exec_equivalence_test, which asserts bit-identical results in-process.
+export OBX_SIMD=scalar
+
 if [[ "$mode" == "--update" ]]; then
   mkdir -p "$golden_dir"
 fi

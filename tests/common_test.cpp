@@ -1,13 +1,17 @@
-// common/: coroutine generator, RNG, formatting, checks.
+// common/: coroutine generator, RNG, formatting, checks, SIMD ISA
+// selection, aligned allocation.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/check.hpp"
 #include "common/format.hpp"
 #include "common/generator.hpp"
 #include "common/rng.hpp"
+#include "common/simd_isa.hpp"
 #include "trace/value.hpp"
 
 namespace {
@@ -165,5 +169,59 @@ TEST(Check, ThrowsWithContext) {
 }
 
 TEST(Check, PassesSilently) { OBX_CHECK(true, "never seen"); }
+
+// ---------------------------------------------------------------------------
+// SIMD ISA selection
+// ---------------------------------------------------------------------------
+
+TEST(SimdIsa, WidthsAndNames) {
+  EXPECT_EQ(simd_width_words(SimdIsa::kScalar), 1u);
+  EXPECT_EQ(simd_width_words(SimdIsa::kSse2), 2u);
+  EXPECT_EQ(simd_width_words(SimdIsa::kNeon), 2u);
+  EXPECT_EQ(simd_width_words(SimdIsa::kAvx2), 4u);
+  EXPECT_EQ(simd_width_words(SimdIsa::kAvx512), 8u);
+  for (const SimdIsa isa : {SimdIsa::kScalar, SimdIsa::kSse2, SimdIsa::kNeon,
+                            SimdIsa::kAvx2, SimdIsa::kAvx512}) {
+    EXPECT_EQ(parse_simd_isa(to_string(isa)), isa);
+  }
+  EXPECT_FALSE(parse_simd_isa("auto").has_value());
+  EXPECT_FALSE(parse_simd_isa("").has_value());
+  EXPECT_FALSE(parse_simd_isa("avx1024").has_value());
+}
+
+TEST(SimdIsa, DetectionIsSupportedAndStable) {
+  EXPECT_TRUE(simd_isa_supported(SimdIsa::kScalar));
+  const SimdIsa detected = detect_simd_isa();
+  EXPECT_TRUE(simd_isa_supported(detected));
+  EXPECT_EQ(detect_simd_isa(), detected);
+  // The latched active tier is one of the supported tiers (OBX_SIMD
+  // overrides clamp to supported ones).
+  EXPECT_TRUE(simd_isa_supported(active_simd_isa()));
+  EXPECT_EQ(active_simd_isa(), active_simd_isa());
+}
+
+// ---------------------------------------------------------------------------
+// Aligned allocation
+// ---------------------------------------------------------------------------
+
+TEST(Aligned, VectorStorageIs64ByteAligned) {
+  for (const std::size_t n : {1u, 3u, 17u, 1000u}) {
+    aligned_vector<Word> v(n, Word{42});
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kSimdAlignBytes, 0u)
+        << "n=" << n;
+  }
+}
+
+TEST(Aligned, ComparesWithPlainVector) {
+  const aligned_vector<Word> a{1, 2, 3};
+  const std::vector<Word> b{1, 2, 3};
+  const std::vector<Word> c{1, 2, 4};
+  const std::vector<Word> d{1, 2};
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(b == a);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+  EXPECT_TRUE(a == aligned_vector<Word>(b.begin(), b.end()));
+}
 
 }  // namespace

@@ -1,7 +1,11 @@
 // Compiled-backend equivalence fuzz: for every registry algorithm, every
 // arrangement, and awkward lane counts, the compiled lane-tiled backend must
 // produce bit-identical arranged memory to the interpreted backend, and both
-// must match the scalar interpreter per lane.
+// must match the scalar interpreter per lane.  The same sweep pins the
+// compiled backend to the scalar SIMD tier and to the best tier this
+// CPU/build supports and asserts those are bit-identical too — the
+// lane-vectorization contract (including the float-op algorithms, whose
+// lane-wise IEEE results must not change with vector width).
 #include <gtest/gtest.h>
 
 #include <tuple>
@@ -11,6 +15,7 @@
 #include "bulk/bulk.hpp"
 #include "bulk/host_executor.hpp"
 #include "common/rng.hpp"
+#include "common/simd_isa.hpp"
 #include "exec/backend.hpp"
 #include "trace/interpreter.hpp"
 
@@ -75,6 +80,32 @@ TEST_P(ExecEquivalence, CompiledMatchesInterpretedAndInterpreter) {
   EXPECT_EQ(a.counts.total(), b.counts.total());
   EXPECT_EQ(a.counts.memory(), b.counts.memory());
 
+  // SIMD tiers in one process: pin the compiled backend to kScalar and to
+  // the widest supported tier; both must match the default run bit-for-bit.
+  const HostBulkExecutor compiled_scalar(
+      layout, HostBulkExecutor::Options{.workers = 2,
+                                        .backend = exec::Backend::kCompiled,
+                                        .simd = SimdIsa::kScalar});
+  const HostRunResult s = compiled_scalar.run(program, inputs);
+  ASSERT_EQ(s.backend, exec::Backend::kCompiled);
+  EXPECT_EQ(s.simd, SimdIsa::kScalar);
+  ASSERT_EQ(s.memory, b.memory)
+      << name << " " << layout.name() << " p=" << p << ": scalar vs "
+      << to_string(b.simd);
+  const SimdIsa best = detect_simd_isa();
+  if (best != SimdIsa::kScalar) {
+    const HostBulkExecutor compiled_best(
+        layout, HostBulkExecutor::Options{.workers = 2,
+                                          .backend = exec::Backend::kCompiled,
+                                          .simd = best});
+    const HostRunResult v = compiled_best.run(program, inputs);
+    ASSERT_EQ(v.backend, exec::Backend::kCompiled);
+    EXPECT_EQ(v.simd, best);
+    ASSERT_EQ(v.memory, s.memory)
+        << name << " " << layout.name() << " p=" << p << ": " << to_string(best)
+        << " vs scalar";
+  }
+
   const std::vector<Word> outputs = compiled.gather_outputs(program, b.memory);
   for (std::size_t j = 0; j < p; ++j) {
     const std::span<const Word> input(inputs.data() + j * program.input_words,
@@ -136,6 +167,56 @@ TEST(ExecEquivalenceTiles, TileSizeIsPureTuning) {
     ASSERT_EQ(got.backend, exec::Backend::kCompiled);
     ASSERT_EQ(ref.memory, got.memory) << "tile=" << tile;
   }
+}
+
+// Lane counts that are not multiples of any vector width: every tile ends in
+// a scalar epilogue (for p < width the whole run is epilogue).  Uses a
+// float-heavy algorithm so IEEE tail handling is what is being exercised.
+TEST(ExecEquivalenceRaggedTail, OddLaneCountsMatchScalarTier) {
+  const algos::Algorithm& algo = algos::find("convolution");
+  const std::size_t n = algo.test_sizes.front();
+  const trace::Program program = algo.make_program(n);
+  for (const std::size_t p : {1u, 3u, 7u, 9u, 63u, 65u}) {
+    Rng rng(0xA7u + p);
+    const std::vector<Word> inputs = flat_inputs(algo, n, p, rng);
+    const Layout layout = Layout::column_wise(p, program.memory_words);
+    const HostRunResult scalar =
+        HostBulkExecutor(layout, {.backend = exec::Backend::kCompiled,
+                                  .simd = SimdIsa::kScalar})
+            .run(program, inputs);
+    const HostRunResult best =
+        HostBulkExecutor(layout, {.backend = exec::Backend::kCompiled,
+                                  .simd = detect_simd_isa()})
+            .run(program, inputs);
+    ASSERT_EQ(scalar.backend, exec::Backend::kCompiled);
+    ASSERT_EQ(best.backend, exec::Backend::kCompiled);
+    ASSERT_EQ(scalar.memory, best.memory)
+        << "p=" << p << " tier=" << to_string(best.simd);
+  }
+}
+
+// The tile-size rounding rule: requested sizes >= the vector width round
+// down to a multiple of it; smaller requests are honoured; auto sizes are
+// powers of two (multiples of every width); blocked layouts prefer a
+// vector-multiple divisor of the block and fall back to a plain divisor.
+TEST(ResolveTileLanes, RoundsToVectorWidthMultiples) {
+  const Layout col = Layout::column_wise(4096, 8);
+  EXPECT_EQ(exec::resolve_tile_lanes(100, 4, col, 8), 96u);
+  EXPECT_EQ(exec::resolve_tile_lanes(96, 4, col, 8), 96u);
+  EXPECT_EQ(exec::resolve_tile_lanes(100, 4, col, 1), 100u);
+  // Requests below the width are honoured as-is (pure scalar tail).
+  EXPECT_EQ(exec::resolve_tile_lanes(3, 4, col, 8), 3u);
+  // Auto tiles are powers of two regardless of width.
+  const std::size_t auto_tile = exec::resolve_tile_lanes(0, 4, col, 8);
+  EXPECT_EQ(auto_tile % 8, 0u);
+  EXPECT_EQ(auto_tile, exec::resolve_tile_lanes(0, 4, col, 1));
+  // Blocked: tile must divide the block; prefer a vector-width multiple.
+  const Layout blocked24 = Layout::blocked(48, 8, 24);
+  EXPECT_EQ(exec::resolve_tile_lanes(24, 4, blocked24, 4), 24u);
+  EXPECT_EQ(exec::resolve_tile_lanes(23, 4, blocked24, 4), 12u);
+  // No vector-multiple divisor exists: fall back to the plain divisor rule.
+  const Layout blocked9 = Layout::blocked(27, 8, 9);
+  EXPECT_EQ(exec::resolve_tile_lanes(9, 4, blocked9, 4), 9u);
 }
 
 }  // namespace
