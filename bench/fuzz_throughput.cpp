@@ -1,0 +1,41 @@
+// Fuzz-harness throughput: programs/sec and matrix configs/sec of
+// check::run_fuzz as the program-size budget grows.
+//
+// This is the number the CI budgets are sized from: the bounded check_fuzz
+// ctest leg (120 iterations) and the nightly long run (thousands) both spend
+// their time in the same generate → oracle → full-matrix sweep measured
+// here.  Cost is dominated by the matrix width (|arrangements| × |SIMD
+// tiers| × tiles + straddles) times the oracle's O(p · steps) interpret, so
+// it scales near-linearly with max_steps.
+#include <cstdio>
+
+#include "check/fuzz.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace obx;
+  std::printf("fuzz throughput: 60 iterations per row, seed fixed, full "
+              "host matrix\n\n");
+  std::printf("%10s %10s %12s %12s %12s\n", "max_steps", "programs",
+              "configs", "programs/s", "configs/s");
+  for (const std::size_t max_steps :
+       {std::size_t{40}, std::size_t{120}, std::size_t{360}, std::size_t{720}}) {
+    check::FuzzOptions options;
+    options.seed = 1;
+    options.iters = 60;
+    options.gen.max_steps = max_steps;
+    check::FuzzReport report;
+    const double secs =
+        bench::time_once([&] { report = check::run_fuzz(options); });
+    if (!report.ok()) {
+      std::printf("DIVERGENCE at max_steps=%zu: %s\n", max_steps,
+                  report.failures.front().divergence.to_string().c_str());
+      return 1;
+    }
+    std::printf("%10zu %10zu %12zu %12.1f %12.1f\n", max_steps,
+                report.programs, report.configs,
+                static_cast<double>(report.programs) / secs,
+                static_cast<double>(report.configs) / secs);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fault injection for the serving layer: force the failure paths and prove
+// the lifecycle guarantee holds on every one of them.
+//
+// A FaultPlan is injected into BulkService the same way the batcher takes
+// its clock — as a parameter (ServiceOptions::before_execute), not a global
+// — so campaigns are deterministic functions of their options.  The plan
+// throws on chosen batches (generic executor fault, allocation failure);
+// run_fault_campaign() then hammers a service from concurrent producers,
+// optionally closing it mid-stream, and audits the one invariant everything
+// else rests on:
+//
+//   every submitted job's future resolves exactly once —
+//   submitted == completed + rejected + shed + failed, zero unresolved.
+//
+// "Unresolved" covers both a future that never becomes ready and one that
+// throws std::future_error(broken_promise) — i.e. a Job whose promise was
+// destroyed without a value.  Either is a silent job drop.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "serve/service.hpp"
+
+namespace obx::check {
+
+/// Deterministic batch-granular fault schedule.  Counters, not randomness:
+/// "fail every 3rd batch" replays identically under any thread interleaving
+/// of which batch is third.
+struct FaultPlan {
+  /// Throw std::runtime_error from before_execute on every k-th batch
+  /// (1 = every batch).  0 disables.
+  std::size_t fail_every_batches = 0;
+  /// Throw std::bad_alloc on every k-th batch (takes precedence over
+  /// fail_every_batches when both fire).  0 disables.
+  std::size_t alloc_fail_every_batches = 0;
+
+  /// The ServiceOptions::before_execute hook implementing this plan.
+  /// Returns an empty function when the plan injects nothing.  The returned
+  /// hook owns its batch counter, so each hook() call starts a fresh
+  /// schedule.
+  std::function<void(const serve::Batch&)> hook() const;
+};
+
+struct CampaignOptions {
+  serve::ServiceOptions service;  ///< base options; before_execute is overwritten
+  FaultPlan plan;
+  std::size_t producers = 4;
+  std::size_t jobs_per_producer = 64;
+  /// Give every third job a (tight but positive) deadline, exercising the
+  /// deadline flush path under faults.
+  bool with_deadlines = true;
+  /// Race a stop() against the producers, so some submissions land on a
+  /// closed queue and in-flight batches drain through shutdown.
+  bool close_mid_stream = false;
+};
+
+struct CampaignReport {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t shed = 0;
+  std::size_t failed = 0;      ///< future resolved with an exception
+  std::size_t unresolved = 0;  ///< never ready, or broken_promise
+  serve::MetricsSnapshot metrics;
+
+  /// The lifecycle guarantee, checked from the *caller's* side of every
+  /// future (the service's own counters are reported but not trusted here).
+  bool exactly_once() const {
+    return unresolved == 0 &&
+           submitted == completed + rejected + shed + failed;
+  }
+  std::string summary() const;
+};
+
+/// Runs one campaign: spin up a BulkService with the plan's hook, submit
+/// producers × jobs_per_producer single-lane jobs from concurrent threads,
+/// stop, and account for every future.
+CampaignReport run_fault_campaign(const CampaignOptions& options);
+
+}  // namespace obx::check

@@ -1,0 +1,142 @@
+#include "check/fuzz.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "trace/serialize.hpp"
+#include "trace/step.hpp"
+
+namespace obx::check {
+
+namespace {
+
+/// Per-iteration seed: decorrelates iterations while staying a pure function
+/// of (campaign seed, iteration index).
+std::uint64_t iteration_seed(std::uint64_t seed, std::uint64_t iter) {
+  std::uint64_t x = seed ^ (iter * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x | 1;  // Rng(0) is fine, but keep seeds visibly nonzero
+}
+
+std::size_t pick_lanes(Rng& rng) {
+  const std::vector<std::size_t> boundaries = boundary_lane_counts();
+  if (rng.next_below(2) == 0) {
+    return boundaries[rng.next_below(boundaries.size())];
+  }
+  return 1 + rng.next_below(70);
+}
+
+}  // namespace
+
+std::string write_reproducer(const Reproducer& repro) {
+  std::ostringstream os;
+  os << "# obx-fuzz reproducer v1\n";
+  os << "# input-seed=" << repro.input_seed << " p=" << repro.p << "\n";
+  if (!repro.note.empty()) os << "# note=" << repro.note << "\n";
+  os << trace::serialize_program(repro.program);
+  return os.str();
+}
+
+Reproducer parse_reproducer(const std::string& text) {
+  Reproducer repro;
+  std::istringstream is(text);
+  std::string line;
+  std::ostringstream body;
+  bool seen_seed = false;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] == '#') {
+      std::istringstream fields(line.substr(1));
+      std::string field;
+      while (fields >> field) {
+        if (field.rfind("input-seed=", 0) == 0) {
+          repro.input_seed = std::stoull(field.substr(11));
+          seen_seed = true;
+        } else if (field.rfind("p=", 0) == 0) {
+          repro.p = std::stoull(field.substr(2));
+        } else if (field.rfind("note=", 0) == 0) {
+          repro.note = line.substr(line.find("note=") + 5);
+        }
+      }
+      continue;
+    }
+    body << line << "\n";
+  }
+  OBX_CHECK(seen_seed, "reproducer missing '# input-seed=... p=...' header");
+  OBX_CHECK(repro.p >= 1, "reproducer needs p >= 1");
+  repro.program = trace::parse_program(body.str());
+  return repro;
+}
+
+std::optional<Divergence> replay_reproducer(const Reproducer& repro) {
+  const std::vector<Word> inputs =
+      generate_inputs(repro.input_seed, repro.p, repro.program.input_words);
+  return check_program(repro.program, inputs, repro.p);
+}
+
+std::string regression_test_source(const Reproducer& repro,
+                                   const std::string& test_name) {
+  std::ostringstream os;
+  os << "TEST(FuzzRegression, " << test_name << ") {\n";
+  if (!repro.note.empty()) os << "  // found as: " << repro.note << "\n";
+  os << "  const trace::Program program = trace::parse_program(R\"obx(\n"
+     << trace::serialize_program(repro.program) << ")obx\");\n";
+  os << "  const auto inputs = check::generate_inputs(" << repro.input_seed
+     << "ULL, " << repro.p << ", program.input_words);\n";
+  os << "  const auto divergence = check::check_program(program, inputs, " << repro.p
+     << ");\n";
+  os << "  EXPECT_FALSE(divergence.has_value())\n"
+     << "      << (divergence ? divergence->to_string() : \"\");\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string FuzzReport::summary() const {
+  std::ostringstream os;
+  os << "fuzz: " << programs << " programs x full matrix (" << configs
+     << " config runs), " << failures.size() << " divergence"
+     << (failures.size() == 1 ? "" : "s");
+  return os.str();
+}
+
+FuzzReport run_fuzz(const FuzzOptions& options) {
+  FuzzReport report;
+  for (std::uint64_t iter = 0; iter < options.iters; ++iter) {
+    const std::uint64_t iter_seed = iteration_seed(options.seed, iter);
+    Rng rng(iter_seed);
+    const trace::Program program = generate_program(rng, options.gen);
+    const std::size_t p = pick_lanes(rng);
+    const std::vector<Word> inputs =
+        generate_inputs(iter_seed, p, program.input_words);
+
+    ++report.programs;
+    auto divergence = check_program(program, inputs, p, &report.configs);
+    if (!divergence.has_value()) continue;
+
+    FuzzFailure failure;
+    failure.iteration = iter;
+    failure.divergence = *divergence;
+    failure.reproducer.input_seed = iter_seed;
+    failure.reproducer.p = p;
+    failure.reproducer.note =
+        divergence->config + " (campaign seed " + std::to_string(options.seed) +
+        " iter " + std::to_string(iter) + ")";
+    if (options.shrink) {
+      const Predicate pred = [&](const trace::Program& candidate) {
+        const std::vector<Word> candidate_inputs =
+            generate_inputs(iter_seed, p, candidate.input_words);
+        return check_program(candidate, candidate_inputs, p).has_value();
+      };
+      failure.shrink = shrink_program(program, pred, options.shrink_options);
+      failure.reproducer.program = failure.shrink.program;
+    } else {
+      failure.reproducer.program = program;
+    }
+    report.failures.push_back(std::move(failure));
+    if (report.failures.size() >= options.max_failures) break;
+  }
+  return report;
+}
+
+}  // namespace obx::check

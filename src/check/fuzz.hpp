@@ -1,0 +1,78 @@
+// The fuzz campaign driver: generate → execute matrix → shrink → reproduce.
+//
+// run_fuzz() is the engine behind `obx_cli fuzz` and the bounded check_fuzz
+// ctest leg: for each iteration it generates a random oblivious program
+// (check/generator.hpp), runs it through the full execution matrix
+// (check/differential.hpp) with trace::interpret as oracle, and — when a
+// path diverges — shrinks the program to a minimal failing step sequence
+// (check/shrink.hpp) and packages it as a Reproducer: a self-contained text
+// artifact (committed under tests/regressions/) that replays the exact
+// failure from a .obx program dump plus a deterministic input seed.
+//
+// Everything is a pure function of FuzzOptions::seed: same seed, same
+// programs, same inputs, same verdict, on every host (modulo the host's
+// available SIMD tiers, which only *adds* matrix columns).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/differential.hpp"
+#include "check/generator.hpp"
+#include "check/shrink.hpp"
+#include "trace/program.hpp"
+
+namespace obx::check {
+
+/// A replayable failing (or sentinel) test case: program text + input seed +
+/// occupancy.  Serialised as '#'-prefixed key=value header lines followed by
+/// the .obx program dump.
+struct Reproducer {
+  trace::Program program;
+  std::uint64_t input_seed = 1;
+  std::size_t p = 8;
+  std::string note;  ///< e.g. the config that diverged when it was found
+};
+
+std::string write_reproducer(const Reproducer& repro);
+/// Throws std::logic_error on malformed text.
+Reproducer parse_reproducer(const std::string& text);
+
+/// Replays a reproducer through the full matrix; nullopt = all paths agree.
+std::optional<Divergence> replay_reproducer(const Reproducer& repro);
+
+/// A ready-to-paste GoogleTest regression test body for a reproducer.
+std::string regression_test_source(const Reproducer& repro,
+                                   const std::string& test_name);
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t iters = 100;
+  GenOptions gen;
+  /// Stop generating after this many distinct failing programs.
+  std::size_t max_failures = 4;
+  bool shrink = true;
+  ShrinkOptions shrink_options;
+};
+
+struct FuzzFailure {
+  std::uint64_t iteration = 0;
+  Divergence divergence;   ///< first divergence of the unshrunk program
+  ShrinkResult shrink;     ///< populated when FuzzOptions::shrink
+  Reproducer reproducer;   ///< minimal (or original) failing case
+};
+
+struct FuzzReport {
+  std::size_t programs = 0;
+  std::size_t configs = 0;  ///< total (program, config) executions
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string summary() const;
+};
+
+FuzzReport run_fuzz(const FuzzOptions& options);
+
+}  // namespace obx::check

@@ -1,0 +1,242 @@
+#include "check/generator.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+
+namespace obx::check {
+
+namespace {
+
+using trace::Op;
+using trace::Step;
+
+/// Every ALU op in the ISA.  The fuzzer must cover all of them: the compiled
+/// kernels re-implement each one per vector width, and the sign/wrap/IEEE
+/// corners (kMulI overflow, kShl by 63, NaN through kMinF/kMaxF/kCmovLtF)
+/// are exactly where an engine would silently drift from the interpreter.
+constexpr Op kAllOps[] = {
+    Op::kNop,  Op::kAddF, Op::kSubF, Op::kMulF,   Op::kDivF,    Op::kMinF,
+    Op::kMaxF, Op::kNegF, Op::kAddI, Op::kSubI,   Op::kMulI,    Op::kMinI,
+    Op::kMaxI, Op::kAnd,  Op::kOr,   Op::kXor,    Op::kShl,     Op::kShr,
+    Op::kNotU, Op::kLtF,  Op::kLeF,  Op::kEqF,    Op::kLtI,     Op::kLeI,
+    Op::kEqI,  Op::kNeI,  Op::kLtU,  Op::kSelect, Op::kCmovLtF, Op::kCmovLtI,
+    Op::kMov};
+
+/// Ops that make interesting scan accumulators (associative-ish, but the
+/// harness never relies on associativity — only on determinism).
+constexpr Op kScanOps[] = {Op::kAddF, Op::kAddI, Op::kMinI, Op::kMaxI,
+                           Op::kXor,  Op::kAnd,  Op::kOr,   Op::kMinF,
+                           Op::kMaxF, Op::kMulI};
+
+std::vector<Word> make_edge_words() {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const double denorm = std::numeric_limits<double>::denorm_min();
+  return {
+      Word{0},
+      Word{1},
+      Word{2},
+      Word{63},
+      Word{64},
+      Word{65},
+      ~Word{0},                          // -1 as i64, NaN-adjacent as f64
+      Word{1} << 63,                     // INT64_MIN / -0.0
+      (Word{1} << 63) - 1,               // INT64_MAX
+      std::bit_cast<Word>(qnan),
+      std::bit_cast<Word>(-qnan),
+      std::bit_cast<Word>(inf),
+      std::bit_cast<Word>(-inf),
+      std::bit_cast<Word>(denorm),
+      std::bit_cast<Word>(-denorm),
+      std::bit_cast<Word>(0.0),
+      std::bit_cast<Word>(-0.0),
+      std::bit_cast<Word>(1.0),
+      std::bit_cast<Word>(-1.0),
+      std::bit_cast<Word>(0.5),
+      std::bit_cast<Word>(1e308),
+      std::bit_cast<Word>(-1e308),
+      std::bit_cast<Word>(1e-308),       // subnormal territory under division
+      Word{0xdeadbeefcafebabeULL},
+      Word{0x0101010101010101ULL},
+      Word{0x8000000080000000ULL},
+  };
+}
+
+struct Ctx {
+  Rng& rng;
+  std::size_t n;     // memory words
+  std::size_t regs;  // register count
+
+  std::uint8_t reg() { return static_cast<std::uint8_t>(rng.next_below(regs)); }
+  Addr addr() { return static_cast<Addr>(rng.next_below(n)); }
+  Op any_op() { return kAllOps[rng.next_below(std::size(kAllOps))]; }
+  Word imm() {
+    // Half edge patterns, half raw randomness.
+    if (rng.next_below(2) == 0) {
+      const auto& pool = edge_words();
+      return pool[rng.next_below(pool.size())];
+    }
+    switch (rng.next_below(3)) {
+      case 0: return rng.next_u64();
+      case 1: return rng.next_below(256);  // small integers
+      default: return std::bit_cast<Word>(rng.next_double(-1e6, 1e6));
+    }
+  }
+};
+
+/// One unconstrained random step.
+void emit_random(Ctx& c, std::vector<Step>& body) {
+  switch (c.rng.next_below(4)) {
+    case 0: body.push_back(Step::load(c.reg(), c.addr())); break;
+    case 1: body.push_back(Step::store(c.addr(), c.reg())); break;
+    case 2: body.push_back(Step::alu(c.any_op(), c.reg(), c.reg(), c.reg(), c.reg())); break;
+    default: body.push_back(Step::immediate(c.reg(), c.imm())); break;
+  }
+}
+
+/// Scan idiom: acc = op(acc, mem[a]); mem[a] = acc — a run of >= 2
+/// load→alu→store triples with one carried accumulator, the shape
+/// opt::fuse recognises as kTripleRun (in-register accumulator for the
+/// whole run, the prefix-sums fast path).
+void emit_scan_run(Ctx& c, std::vector<Step>& body, std::size_t budget) {
+  const std::uint8_t acc = c.reg();
+  std::uint8_t tmp = c.reg();
+  if (tmp == acc) tmp = static_cast<std::uint8_t>((tmp + 1) % c.regs);
+  if (tmp == acc) return;  // single-register program: no scan possible
+  const Op op = kScanOps[c.rng.next_below(std::size(kScanOps))];
+  const std::size_t len = std::min<std::size_t>(2 + c.rng.next_below(6), budget / 3);
+  const bool acc_first = c.rng.next_below(2) == 0;
+  body.push_back(Step::immediate(acc, c.imm()));
+  for (std::size_t k = 0; k < len; ++k) {
+    const Addr a = c.addr();
+    body.push_back(Step::load(tmp, a));
+    body.push_back(acc_first ? Step::alu(op, acc, acc, tmp)
+                             : Step::alu(op, acc, tmp, acc));
+    body.push_back(Step::store(a, acc));
+  }
+}
+
+/// Fusion bait: the load/alu, imm/alu, alu/store and load/alu/store jams the
+/// fusion pass recognises, plus register-only runs (kRegRun) and a
+/// load-then-overwrite pattern that arms dead-commit elision.
+void emit_fusion_bait(Ctx& c, std::vector<Step>& body) {
+  switch (c.rng.next_below(5)) {
+    case 0: {  // load → alu
+      const std::uint8_t r = c.reg();
+      body.push_back(Step::load(r, c.addr()));
+      body.push_back(Step::alu(c.any_op(), c.reg(), r, c.reg(), c.reg()));
+      break;
+    }
+    case 1: {  // imm → alu
+      const std::uint8_t r = c.reg();
+      body.push_back(Step::immediate(r, c.imm()));
+      body.push_back(Step::alu(c.any_op(), c.reg(), c.reg(), r, c.reg()));
+      break;
+    }
+    case 2: {  // alu → store
+      const std::uint8_t r = c.reg();
+      body.push_back(Step::alu(c.any_op(), r, c.reg(), c.reg(), c.reg()));
+      body.push_back(Step::store(c.addr(), r));
+      break;
+    }
+    case 3: {  // load → alu → store triple
+      const std::uint8_t r = c.reg();
+      const std::uint8_t d = c.reg();
+      body.push_back(Step::load(r, c.addr()));
+      body.push_back(Step::alu(c.any_op(), d, r, c.reg(), c.reg()));
+      body.push_back(Step::store(c.addr(), d));
+      break;
+    }
+    default: {  // register-only run, ending in an overwrite (elision bait)
+      const std::size_t len = 2 + c.rng.next_below(5);
+      for (std::size_t k = 0; k < len; ++k) {
+        if (c.rng.next_below(3) == 0) {
+          body.push_back(Step::immediate(c.reg(), c.imm()));
+        } else {
+          body.push_back(Step::alu(c.any_op(), c.reg(), c.reg(), c.reg(), c.reg()));
+        }
+      }
+      const std::uint8_t r = c.reg();
+      body.push_back(Step::load(r, c.addr()));
+      body.push_back(Step::immediate(r, c.imm()));  // dead commit of the load
+      break;
+    }
+  }
+}
+
+/// Shift-count edges: shl/shr where the count register holds 62..66 —
+/// straddles the architectural &63 mask.
+void emit_shift_edge(Ctx& c, std::vector<Step>& body) {
+  const std::uint8_t cnt = c.reg();
+  body.push_back(Step::immediate(cnt, 62 + c.rng.next_below(5)));
+  body.push_back(Step::alu(c.rng.next_below(2) == 0 ? Op::kShl : Op::kShr, c.reg(),
+                           c.reg(), cnt));
+}
+
+}  // namespace
+
+const std::vector<Word>& edge_words() {
+  static const std::vector<Word> pool = make_edge_words();
+  return pool;
+}
+
+trace::Program generate_program(Rng& rng, const GenOptions& options) {
+  OBX_CHECK(options.min_memory_words >= 1 &&
+                options.max_memory_words >= options.min_memory_words,
+            "invalid memory-word range");
+  OBX_CHECK(options.min_registers >= 1 &&
+                options.max_registers >= options.min_registers &&
+                options.max_registers <= 256,
+            "invalid register range");
+  OBX_CHECK(options.min_steps >= 1 && options.max_steps >= options.min_steps,
+            "invalid step range");
+
+  const std::size_t n =
+      options.min_memory_words +
+      rng.next_below(options.max_memory_words - options.min_memory_words + 1);
+  const std::size_t regs =
+      options.min_registers +
+      rng.next_below(options.max_registers - options.min_registers + 1);
+  const std::size_t target =
+      options.min_steps + rng.next_below(options.max_steps - options.min_steps + 1);
+
+  Ctx c{rng, n, regs};
+  std::vector<Step> body;
+  body.reserve(target + 24);
+  while (body.size() < target) {
+    const std::size_t budget = target - body.size() + 24;
+    switch (rng.next_below(8)) {
+      case 0: emit_scan_run(c, body, budget); break;
+      case 1:
+      case 2: emit_fusion_bait(c, body); break;
+      case 3: emit_shift_edge(c, body); break;
+      default: emit_random(c, body); break;
+    }
+  }
+
+  return trace::make_replay_program("fuzz-" + std::to_string(rng.next_u64() & 0xffff),
+                                    n, n, 0, n, regs, std::move(body));
+}
+
+std::vector<Word> generate_inputs(std::uint64_t seed, std::size_t p,
+                                  std::size_t input_words) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xbf58476d1ce4e5b9ULL);
+  const auto& pool = edge_words();
+  std::vector<Word> inputs(p * input_words);
+  for (Word& w : inputs) {
+    switch (rng.next_below(4)) {
+      case 0: w = pool[rng.next_below(pool.size())]; break;
+      case 1: w = rng.next_u64(); break;
+      case 2: w = rng.next_below(1024); break;
+      default: w = std::bit_cast<Word>(rng.next_double(-1e3, 1e3)); break;
+    }
+  }
+  return inputs;
+}
+
+}  // namespace obx::check

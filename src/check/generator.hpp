@@ -1,0 +1,59 @@
+// Seeded random generation of valid oblivious trace programs.
+//
+// The fuzzer's grammar produces programs that are structurally oblivious by
+// construction (addresses are literals, never derived from data) but
+// otherwise adversarial: every ALU op in the ISA including the wrap/IEEE
+// edge ops, immediates drawn from a pool of edge bit patterns (NaN, ±inf,
+// -0.0, denormals, INT64_MIN, shift counts at the &63 mask boundary), and
+// the idioms the compiled backend's fusion pass keys on — scan runs
+// (load → alu → store with a carried accumulator), load/alu/store jams,
+// register-only runs — so superinstruction formation and dead-commit elision
+// are exercised on purpose, not by luck.
+//
+// Determinism contract: generate_program(rng) with an Rng seeded identically
+// produces an identical step stream on every platform (Rng is xoshiro256**,
+// portable by design), which is what makes `obx_cli fuzz --seed S`
+// replayable and shrunken reproducers stable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::check {
+
+struct GenOptions {
+  /// Canonical memory words (input == memory == output: the whole final
+  /// memory image is the observable output, so any divergence anywhere in
+  /// memory is caught, not just in a declared output window).
+  std::size_t min_memory_words = 1;
+  std::size_t max_memory_words = 48;
+
+  std::size_t min_registers = 1;
+  std::size_t max_registers = 12;
+
+  /// Step-count range.  The default straddles the fusion segment boundary
+  /// only when callers raise it (see obx_cli fuzz --max-steps); unit tests
+  /// keep it small so a full matrix sweep stays fast under sanitizers.
+  std::size_t min_steps = 4;
+  std::size_t max_steps = 360;
+};
+
+/// Generates one random valid oblivious program.  Consumes a deterministic
+/// amount of `rng` state for a given outcome sequence, so a fixed seed yields
+/// a fixed program.
+trace::Program generate_program(Rng& rng, const GenOptions& options = {});
+
+/// Deterministic adversarial inputs for `p` lanes of `input_words` words:
+/// a seeded mix of raw 64-bit patterns, small integers, doubles, and the
+/// same edge bit patterns the generator uses for immediates.
+std::vector<Word> generate_inputs(std::uint64_t seed, std::size_t p,
+                                  std::size_t input_words);
+
+/// The edge-case immediate pool (exposed for tests).
+const std::vector<Word>& edge_words();
+
+}  // namespace obx::check

@@ -1,0 +1,154 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+
+namespace obx::check {
+
+namespace {
+
+using trace::Op;
+using trace::Step;
+using trace::StepKind;
+
+/// Rebuilds a replayable program around `steps`, shrinking the declared
+/// memory/register regions to what the steps actually reference.  The whole
+/// memory stays both input and output so observability never shrinks.
+trace::Program rebuild(const trace::Program& base, std::vector<Step> steps) {
+  std::size_t max_addr = 0;
+  std::size_t max_reg = 0;
+  for (const Step& s : steps) {
+    if (s.is_memory()) max_addr = std::max<std::size_t>(max_addr, s.addr);
+    max_reg = std::max<std::size_t>(max_reg, s.dst);
+    if (s.kind == StepKind::kAlu) {
+      max_reg = std::max<std::size_t>(max_reg, s.src0);
+      max_reg = std::max<std::size_t>(max_reg, s.src1);
+      max_reg = std::max<std::size_t>(max_reg, s.src2);
+    } else if (s.kind == StepKind::kStore) {
+      max_reg = std::max<std::size_t>(max_reg, s.src0);
+    }
+  }
+  const std::size_t n = std::min(base.memory_words, max_addr + 1);
+  const std::size_t regs = std::min<std::size_t>(
+      std::max<std::size_t>(base.register_count, 1), max_reg + 1);
+  return trace::make_replay_program(base.name + "-shrunk", n, n, 0, n,
+                                    std::max<std::size_t>(regs, 1), std::move(steps));
+}
+
+struct Search {
+  const trace::Program& base;
+  const Predicate& pred;
+  const ShrinkOptions& options;
+  std::size_t calls = 0;
+
+  bool out_of_budget() const { return calls >= options.max_predicate_calls; }
+
+  bool still_fails(const std::vector<Step>& steps) {
+    if (out_of_budget()) return false;
+    ++calls;
+    return pred(rebuild(base, std::vector<Step>(steps)));
+  }
+};
+
+/// Window-removal pass: repeatedly delete the largest removable windows.
+/// Returns true if anything was removed.
+bool remove_chunks(Search& search, std::vector<Step>& steps) {
+  bool removed_any = false;
+  for (std::size_t chunk = std::max<std::size_t>(steps.size() / 2, 1); chunk >= 1;
+       chunk /= 2) {
+    bool removed = true;
+    while (removed && steps.size() > 1 && !search.out_of_budget()) {
+      removed = false;
+      for (std::size_t begin = 0; begin + chunk <= steps.size();) {
+        std::vector<Step> candidate;
+        candidate.reserve(steps.size() - chunk);
+        candidate.insert(candidate.end(), steps.begin(),
+                         steps.begin() + static_cast<std::ptrdiff_t>(begin));
+        candidate.insert(candidate.end(),
+                         steps.begin() + static_cast<std::ptrdiff_t>(begin + chunk),
+                         steps.end());
+        if (!candidate.empty() && search.still_fails(candidate)) {
+          steps = std::move(candidate);
+          removed = true;
+          removed_any = true;
+          // keep begin: the window now holds the next steps
+        } else {
+          ++begin;
+        }
+        if (search.out_of_budget()) break;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return removed_any;
+}
+
+/// Per-step simplification: try cheaper variants of each surviving step.
+bool simplify_steps(Search& search, std::vector<Step>& steps) {
+  bool changed_any = false;
+  for (std::size_t i = 0; i < steps.size() && !search.out_of_budget(); ++i) {
+    std::vector<Step> variants;
+    const Step& s = steps[i];
+    switch (s.kind) {
+      case StepKind::kAlu:
+        if (s.op != Op::kMov) variants.push_back(Step::alu(Op::kMov, s.dst, s.src0));
+        if (s.op != Op::kNop) variants.push_back(Step::alu(Op::kNop, s.dst, 0));
+        break;
+      case StepKind::kImm:
+        if (s.imm != 0) variants.push_back(Step::immediate(s.dst, 0));
+        if (s.imm != 1) variants.push_back(Step::immediate(s.dst, 1));
+        break;
+      case StepKind::kLoad:
+        if (s.addr != 0) variants.push_back(Step::load(s.dst, 0));
+        break;
+      case StepKind::kStore:
+        if (s.addr != 0) variants.push_back(Step::store(0, s.src0));
+        break;
+    }
+    for (const Step& v : variants) {
+      std::vector<Step> candidate = steps;
+      candidate[i] = v;
+      if (search.still_fails(candidate)) {
+        steps = std::move(candidate);
+        changed_any = true;
+        break;
+      }
+    }
+  }
+  return changed_any;
+}
+
+}  // namespace
+
+ShrinkResult shrink_program(const trace::Program& failing, const Predicate& pred,
+                            const ShrinkOptions& options) {
+  const trace::TracedProgram traced = trace::TracedProgram::capture(failing);
+  std::vector<Step> steps = traced.steps();
+  OBX_CHECK(!steps.empty(), "cannot shrink an empty program");
+
+  Search search{failing, pred, options};
+  OBX_CHECK(search.still_fails(steps), "shrink_program: predicate does not fail "
+                                       "on the input program");
+
+  ShrinkResult result;
+  result.steps_before = steps.size();
+
+  // Alternate removal and simplification to a fixed point: a simplified step
+  // often unlocks further removals (a kMov chain collapses, say).
+  bool progress = true;
+  while (progress && !search.out_of_budget()) {
+    progress = remove_chunks(search, steps);
+    progress = simplify_steps(search, steps) || progress;
+  }
+
+  result.program = rebuild(failing, std::move(steps));
+  result.steps_after = trace::TracedProgram::capture(result.program).steps().size();
+  result.predicate_calls = search.calls;
+  result.budget_exhausted = search.out_of_budget();
+  return result;
+}
+
+}  // namespace obx::check

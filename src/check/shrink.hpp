@@ -1,0 +1,50 @@
+// Test-case shrinking: minimise a failing oblivious program to the smallest
+// step sequence that still diverges.
+//
+// Classic delta debugging specialised to the trace ISA.  The caller supplies
+// a predicate ("does this program still fail?"); the shrinker owns the
+// search:
+//
+//   1. chunk removal — try deleting windows of steps, halving the window
+//      size down to single steps, re-scanning after every successful delete;
+//   2. step simplification — per surviving step, try cheaper variants
+//      (ALU op → kMov, immediate → 0, address → 0) that keep the failure;
+//   3. region shrink — drop memory words and registers above the highest
+//      ones referenced, renumbering nothing (addresses are literals).
+//
+// Every candidate is a fresh trace::Program with a fresh exec-cache slot, so
+// predicates that compile are re-exercised, not memoised away.  The
+// predicate must be deterministic; the shrinker is then deterministic too,
+// which is what makes emitted reproducers stable across hosts.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "trace/program.hpp"
+
+namespace obx::check {
+
+/// True when the candidate program still exhibits the failure being chased.
+using Predicate = std::function<bool(const trace::Program&)>;
+
+struct ShrinkOptions {
+  /// Upper bound on predicate evaluations (each one may run the full config
+  /// matrix, so this caps shrink cost, not just iteration count).
+  std::size_t max_predicate_calls = 4000;
+};
+
+struct ShrinkResult {
+  trace::Program program;          ///< smallest failing program found
+  std::size_t steps_before = 0;
+  std::size_t steps_after = 0;
+  std::size_t predicate_calls = 0;
+  bool budget_exhausted = false;   ///< stopped on max_predicate_calls
+};
+
+/// Minimises `failing` under `pred`.  `pred(failing)` must be true on entry
+/// (checked).  The result's program still satisfies `pred`.
+ShrinkResult shrink_program(const trace::Program& failing, const Predicate& pred,
+                            const ShrinkOptions& options = {});
+
+}  // namespace obx::check

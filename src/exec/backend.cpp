@@ -137,7 +137,10 @@ std::size_t resolve_tile_lanes(std::size_t requested, std::size_t reg_count,
   } else if (tile >= w) {
     tile -= tile % w;  // round down to a vector-width multiple
   }
-  return tile;
+  // Degenerate inputs (p < vector width, reg_count == 0, a blocked layout
+  // whose block shares no divisor with the request) must still yield a
+  // runnable scalar tile: run_compiled_chunk refuses tile_lanes == 0.
+  return std::max<std::size_t>(tile, 1);
 }
 
 void run_compiled_chunk(const CompiledProgram& compiled, const bulk::Layout& layout,

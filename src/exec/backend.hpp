@@ -38,7 +38,10 @@ std::string to_string(Backend backend);
 /// smaller requests are honoured as-is.  For blocked layouts the tile is
 /// shrunk to a divisor of the block so a tile never crosses a block boundary
 /// (tile addressing relies on a single stride), preferring a divisor that is
-/// also a vector-width multiple when one exists.
+/// also a vector-width multiple when one exists.  Always returns >= 1, even
+/// for degenerate inputs (p < vector_width, reg_count == 0, blocked layouts
+/// whose block is not a vector-width multiple): the worst case is a valid
+/// scalar tile, never 0.
 std::size_t resolve_tile_lanes(std::size_t requested, std::size_t reg_count,
                                const bulk::Layout& layout,
                                std::size_t vector_width = 1);

@@ -27,6 +27,7 @@ AdmissionQueue::AdmissionQueue(std::size_t capacity, OverflowPolicy policy)
 }
 
 AdmissionQueue::PushResult AdmissionQueue::push(Job&& job, std::optional<Job>* shed) {
+  std::optional<Job> victim;
   std::unique_lock lock(mutex_);
   if (closed_) return PushResult::kRejected;
   if (jobs_.size() >= capacity_) {
@@ -38,7 +39,7 @@ AdmissionQueue::PushResult AdmissionQueue::push(Job&& job, std::optional<Job>* s
       case OverflowPolicy::kReject:
         return PushResult::kRejected;
       case OverflowPolicy::kShedOldest:
-        if (shed != nullptr) *shed = std::move(jobs_.front());
+        victim = std::move(jobs_.front());
         jobs_.pop_front();
         break;
     }
@@ -46,6 +47,19 @@ AdmissionQueue::PushResult AdmissionQueue::push(Job&& job, std::optional<Job>* s
   jobs_.push_back(std::move(job));
   lock.unlock();
   not_empty_.notify_one();
+  if (victim.has_value()) {
+    if (shed != nullptr) {
+      *shed = std::move(*victim);
+    } else {
+      // No out-param: the evicted job's future must still resolve.  Letting
+      // the Job die here would surface as std::future_error(broken_promise)
+      // at the producer — a silent drop in all but name.
+      JobResult r;
+      r.status = JobStatus::kShed;
+      r.latency = Clock::now() - victim->enqueue_time;
+      victim->promise.set_value(std::move(r));
+    }
+  }
   return PushResult::kAccepted;
 }
 

@@ -37,9 +37,11 @@ class AdmissionQueue {
 
   /// Admits `job` under the configured policy.  With kShedOldest, a full
   /// queue evicts its oldest entry into *shed (the caller owns resolving its
-  /// promise).  Returns kRejected only under kReject on a full queue, or for
-  /// any push after close(); on rejection `job` is left untouched, so the
-  /// caller still owns it and must resolve its promise.
+  /// promise); when `shed` is null the queue resolves the evicted job's
+  /// promise itself with JobStatus::kShed — an eviction never destroys an
+  /// unresolved promise.  Returns kRejected only under kReject on a full
+  /// queue, or for any push after close(); on rejection `job` is left
+  /// untouched, so the caller still owns it and must resolve its promise.
   PushResult push(Job&& job, std::optional<Job>* shed = nullptr);
 
   /// Blocks until a job is available or the queue is closed and empty.

@@ -26,10 +26,28 @@ const char* to_string(FlushReason reason) {
   return "?";
 }
 
+namespace {
+
+/// tp - d without wrapping past Clock::time_point::min().  A job deadline
+/// already in the past (or pathologically early) must flush *immediately*;
+/// plain subtraction would overflow the signed duration rep — UB that in
+/// practice wraps to a far-future instant and parks the group forever.
+/// Requires d >= 0 (enforced on BatcherOptions below).
+Clock::time_point saturating_minus(Clock::time_point tp, Clock::duration d) {
+  if (tp.time_since_epoch() < Clock::time_point::min().time_since_epoch() + d) {
+    return Clock::time_point::min();
+  }
+  return tp - d;
+}
+
+}  // namespace
+
 Batcher::Batcher(BatcherOptions options) : options_(options) {
   OBX_CHECK(options_.max_batch_lanes > 0, "batches need at least one lane");
   OBX_CHECK(options_.max_batch_delay >= Clock::duration::zero(),
             "max_batch_delay cannot be negative");
+  OBX_CHECK(options_.deadline_slack >= Clock::duration::zero(),
+            "deadline_slack cannot be negative");
 }
 
 void Batcher::add(Job&& job, Clock::time_point now) {
@@ -56,7 +74,8 @@ std::pair<Clock::time_point, FlushReason> Batcher::due(const Group& group) const
   Clock::time_point when = group.opened_at + options_.max_batch_delay;
   FlushReason reason = FlushReason::kDelay;
   if (group.tightest_deadline.has_value()) {
-    const Clock::time_point dl = *group.tightest_deadline - options_.deadline_slack;
+    const Clock::time_point dl =
+        saturating_minus(*group.tightest_deadline, options_.deadline_slack);
     if (dl < when) {
       when = dl;
       reason = FlushReason::kDeadline;

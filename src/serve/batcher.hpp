@@ -33,7 +33,8 @@ struct BatcherOptions {
   std::size_t max_batch_lanes = 256;
   Clock::duration max_batch_delay = std::chrono::microseconds(500);
   /// Headroom reserved for execution when honouring deadlines: a group
-  /// flushes once now >= deadline - deadline_slack.
+  /// flushes once now >= deadline - deadline_slack (saturating: a deadline
+  /// already closer than the slack flushes immediately).  Must be >= 0.
   Clock::duration deadline_slack = Clock::duration::zero();
 };
 

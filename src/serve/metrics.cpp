@@ -26,7 +26,15 @@ double Histogram::mean() const {
 }
 
 std::uint64_t Histogram::min() const {
-  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  if (count() == 0) return 0;
+  // reset() racing record() can leave a torn snapshot where min_ still holds
+  // its ~0 sentinel (or a stale floor) while max_ already reflects a sample.
+  // Clamp so min() <= max() always holds; the window closes on the next
+  // record().  (A lone UINT64_MAX sample also leaves min_ == sentinel — and
+  // the clamp returns the right answer there too, since min == max.)
+  const std::uint64_t mn = min_.load(std::memory_order_relaxed);
+  const std::uint64_t mx = max_.load(std::memory_order_relaxed);
+  return mn > mx ? mx : mn;
 }
 
 std::uint64_t Histogram::max() const {
@@ -36,7 +44,7 @@ std::uint64_t Histogram::max() const {
 std::uint64_t Histogram::quantile(double q) const {
   const std::uint64_t n = count();
   if (n == 0) return 0;
-  if (q < 0) q = 0;
+  if (!(q >= 0)) q = 0;  // negated so NaN lands here, not in the cast below
   if (q > 1) q = 1;
   const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n - 1)) + 1;
   std::uint64_t seen = 0;
@@ -65,6 +73,7 @@ MetricsSnapshot Metrics::snapshot() const {
   s.completed = completed.load(std::memory_order_relaxed);
   s.rejected = rejected.load(std::memory_order_relaxed);
   s.shed = shed.load(std::memory_order_relaxed);
+  s.failed = failed.load(std::memory_order_relaxed);
   s.deadline_missed = deadline_missed.load(std::memory_order_relaxed);
   s.batches = batches.load(std::memory_order_relaxed);
   s.queue_depth = queue_depth.load(std::memory_order_relaxed);
@@ -87,7 +96,7 @@ std::string MetricsSnapshot::to_string() const {
   std::ostringstream os;
   os << "serve.metrics:\n"
      << "  jobs        submitted=" << submitted << " completed=" << completed
-     << " rejected=" << rejected << " shed=" << shed
+     << " rejected=" << rejected << " shed=" << shed << " failed=" << failed
      << " deadline_missed=" << deadline_missed << "\n"
      << "  queue       depth=" << queue_depth
      << " delay_us mean=" << mean_queue_delay_us << " p50=" << p50_queue_delay_us

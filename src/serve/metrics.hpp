@@ -26,11 +26,16 @@ class Histogram {
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   double mean() const;
-  std::uint64_t min() const;  ///< 0 when empty
+  std::uint64_t min() const;  ///< 0 when empty; clamped so min() <= max()
   std::uint64_t max() const;  ///< 0 when empty
-  /// Upper bound of the bucket containing the q-quantile (q in [0, 1]).
+  /// Upper bound of the bucket containing the q-quantile.  q is clamped to
+  /// [0, 1]; NaN reads as 0.  Returns 0 when empty.
   std::uint64_t quantile(double q) const;
 
+  /// Not atomic with respect to concurrent record(): a racing sample can land
+  /// partially before and partially after, leaving e.g. min_ at its sentinel
+  /// while max_ holds the sample (min() clamps that torn window).  Intended
+  /// for quiesced or test use; counters self-heal on subsequent records.
   void reset();
 
  private:
@@ -47,6 +52,7 @@ struct MetricsSnapshot {
   std::uint64_t completed = 0;
   std::uint64_t rejected = 0;
   std::uint64_t shed = 0;
+  std::uint64_t failed = 0;  ///< resolved with an exception (execution threw)
   std::uint64_t deadline_missed = 0;
   std::uint64_t batches = 0;
   std::int64_t queue_depth = 0;
@@ -68,6 +74,7 @@ class Metrics {
   std::atomic<std::uint64_t> completed{0};
   std::atomic<std::uint64_t> rejected{0};
   std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> failed{0};
   std::atomic<std::uint64_t> deadline_missed{0};
   std::atomic<std::uint64_t> batches{0};
   std::atomic<std::int64_t> queue_depth{0};

@@ -187,6 +187,7 @@ void BulkService::execute(Batch&& batch) {
 
   std::vector<std::vector<Word>> outputs(lanes);
   try {
+    if (options_.before_execute) options_.before_execute(batch);
     // Every engine decision (arrangement, backend, tile, workers) comes from
     // the plan built once at register_program() time.
     const bulk::StreamingExecutor exec(prepared.plan(), lanes);
@@ -201,6 +202,7 @@ void BulkService::execute(Batch&& batch) {
         });
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
+    metrics_.failed.fetch_add(batch.jobs.size(), std::memory_order_relaxed);
     for (Job& job : batch.jobs) job.promise.set_exception(error);
     return;
   }

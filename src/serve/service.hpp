@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <optional>
@@ -50,6 +51,11 @@ struct ServiceOptions {
   /// Estimate simulated UMM units per executed batch (memoised per program
   /// and occupancy; adds one timing-estimator pass per distinct occupancy).
   bool record_simulated_units = true;
+  /// Fault-injection seam (check::FaultPlan): called on the executor thread
+  /// right before a batch runs, inside the failure-handling scope — a throw
+  /// here resolves every job in the batch with that exception, exactly like
+  /// an engine failure.  Empty in production.
+  std::function<void(const Batch&)> before_execute;
 };
 
 class BulkService {

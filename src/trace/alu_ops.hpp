@@ -30,16 +30,32 @@
 
 namespace obx::trace {
 
+/// The single quiet-NaN bit pattern every engine produces for a NaN
+/// arithmetic result.
+inline constexpr Word kCanonicalNaN = Word{0x7ff8000000000000ULL};
+
+/// Bit-casts an arithmetic result back to a Word, canonicalizing NaN.
+/// Hardware NaN-payload propagation picks a payload from the *first* source
+/// operand of the instruction — and the compiler may commute a `+` or `*`
+/// differently in scalar codegen than in the SLP-vectorized copy of this
+/// same expression, so two engines computing `a + b` on two NaNs can return
+/// different bit patterns.  Collapsing every NaN result to one canonical
+/// pattern is what makes "bit-identical in every engine at every vector
+/// width" true for the float ops (found by check::run_fuzz, sse2 vs scalar).
+OBX_ALWAYS_INLINE Word from_f64_canon(double r) {
+  return r != r ? kCanonicalNaN : from_f64(r);
+}
+
 /// apply_alu with the op as a template parameter: `x op y` (z = second
 /// ternary operand, d = old destination for the cmov family).
 template <Op OP>
 OBX_ALWAYS_INLINE Word apply_one(Word x, Word y, Word z, Word d) {
   (void)x; (void)y; (void)z; (void)d;
   if constexpr (OP == Op::kNop) return d;
-  else if constexpr (OP == Op::kAddF) return from_f64(as_f64(x) + as_f64(y));
-  else if constexpr (OP == Op::kSubF) return from_f64(as_f64(x) - as_f64(y));
-  else if constexpr (OP == Op::kMulF) return from_f64(as_f64(x) * as_f64(y));
-  else if constexpr (OP == Op::kDivF) return from_f64(as_f64(x) / as_f64(y));
+  else if constexpr (OP == Op::kAddF) return from_f64_canon(as_f64(x) + as_f64(y));
+  else if constexpr (OP == Op::kSubF) return from_f64_canon(as_f64(x) - as_f64(y));
+  else if constexpr (OP == Op::kMulF) return from_f64_canon(as_f64(x) * as_f64(y));
+  else if constexpr (OP == Op::kDivF) return from_f64_canon(as_f64(x) / as_f64(y));
   else if constexpr (OP == Op::kMinF) return from_f64(as_f64(x) < as_f64(y) ? as_f64(x) : as_f64(y));
   else if constexpr (OP == Op::kMaxF) return from_f64(as_f64(x) > as_f64(y) ? as_f64(x) : as_f64(y));
   else if constexpr (OP == Op::kNegF) return from_f64(-as_f64(x));

@@ -1,0 +1,141 @@
+// Fault-injection campaigns against the serving layer: every forced failure
+// mode — executor throws, allocation failure, shed storms, reject storms,
+// mid-stream close, compile-budget exhaustion — must preserve the lifecycle
+// guarantee: every submitted job's future resolves exactly once.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <new>
+#include <stdexcept>
+
+#include "check/fault.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// The plan itself: a deterministic counter-driven schedule.
+
+TEST(FaultPlan, EmptyPlanYieldsEmptyHook) {
+  EXPECT_FALSE(static_cast<bool>(check::FaultPlan{}.hook()));
+}
+
+TEST(FaultPlan, HookThrowsOnItsSchedule) {
+  check::FaultPlan plan;
+  plan.fail_every_batches = 2;
+  const auto hook = plan.hook();
+  ASSERT_TRUE(static_cast<bool>(hook));
+  serve::Batch batch;
+  batch.program_id = "probe";
+  EXPECT_NO_THROW(hook(batch));                   // batch 1
+  EXPECT_THROW(hook(batch), std::runtime_error);  // batch 2
+  EXPECT_NO_THROW(hook(batch));                   // batch 3
+  EXPECT_THROW(hook(batch), std::runtime_error);  // batch 4
+}
+
+TEST(FaultPlan, AllocFaultTakesPrecedence) {
+  check::FaultPlan plan;
+  plan.fail_every_batches = 1;        // would fire on every batch...
+  plan.alloc_fail_every_batches = 2;  // ...but even batches bad_alloc instead
+  const auto hook = plan.hook();
+  serve::Batch batch;
+  EXPECT_THROW(hook(batch), std::runtime_error);
+  EXPECT_THROW(hook(batch), std::bad_alloc);
+}
+
+TEST(FaultPlan, EachHookOwnsAFreshCounter) {
+  check::FaultPlan plan;
+  plan.fail_every_batches = 2;
+  const auto first = plan.hook();
+  serve::Batch batch;
+  EXPECT_NO_THROW(first(batch));
+  EXPECT_THROW(first(batch), std::runtime_error);
+  const auto second = plan.hook();  // restarts at batch 1
+  EXPECT_NO_THROW(second(batch));
+}
+
+// ---------------------------------------------------------------------------
+// Campaigns.  Every one of these asserts the same invariant from the
+// caller's side of the futures: submitted == completed + rejected + shed +
+// failed with zero unresolved.
+
+TEST(FaultCampaign, ExactlyOnceWhenEveryBatchFails) {
+  check::CampaignOptions options;
+  options.plan.fail_every_batches = 1;  // no batch ever executes
+  options.producers = 2;
+  options.jobs_per_producer = 24;
+  const check::CampaignReport report = check::run_fault_campaign(options);
+  EXPECT_TRUE(report.exactly_once()) << report.summary();
+  EXPECT_EQ(report.submitted, 48u);
+  EXPECT_EQ(report.completed, 0u);
+  EXPECT_EQ(report.failed, 48u);
+  // The service's own failed counter must agree with the caller-side audit.
+  EXPECT_EQ(report.metrics.failed, report.failed);
+  EXPECT_EQ(report.metrics.completed, 0u);
+}
+
+TEST(FaultCampaign, ExactlyOnceUnderAllocationFailures) {
+  check::CampaignOptions options;
+  options.plan.alloc_fail_every_batches = 2;
+  options.producers = 2;
+  options.jobs_per_producer = 32;
+  const check::CampaignReport report = check::run_fault_campaign(options);
+  EXPECT_TRUE(report.exactly_once()) << report.summary();
+  EXPECT_GT(report.failed, 0u);
+  EXPECT_GT(report.completed, 0u);  // odd batches still run
+  EXPECT_EQ(report.metrics.failed, report.failed);
+}
+
+TEST(FaultCampaign, ExactlyOnceUnderAShedStorm) {
+  check::CampaignOptions options;
+  options.service.queue_capacity = 2;
+  options.service.policy = serve::OverflowPolicy::kShedOldest;
+  options.service.executors = 1;
+  options.plan.fail_every_batches = 3;
+  options.producers = 4;
+  options.jobs_per_producer = 64;
+  const check::CampaignReport report = check::run_fault_campaign(options);
+  EXPECT_TRUE(report.exactly_once()) << report.summary();
+  EXPECT_GT(report.shed, 0u) << report.summary();
+}
+
+TEST(FaultCampaign, ExactlyOnceUnderARejectStorm) {
+  check::CampaignOptions options;
+  options.service.queue_capacity = 2;
+  options.service.policy = serve::OverflowPolicy::kReject;
+  options.service.executors = 1;
+  options.producers = 4;
+  options.jobs_per_producer = 64;
+  const check::CampaignReport report = check::run_fault_campaign(options);
+  EXPECT_TRUE(report.exactly_once()) << report.summary();
+  EXPECT_GT(report.rejected, 0u) << report.summary();
+}
+
+TEST(FaultCampaign, ExactlyOnceThroughAMidStreamClose) {
+  check::CampaignOptions options;
+  options.plan.fail_every_batches = 3;
+  options.close_mid_stream = true;
+  options.producers = 4;
+  options.jobs_per_producer = 48;
+  const check::CampaignReport report = check::run_fault_campaign(options);
+  EXPECT_TRUE(report.exactly_once()) << report.summary();
+  EXPECT_LE(report.submitted, 4u * 48u);
+}
+
+TEST(FaultCampaign, CompileBudgetExhaustionFallsBackAndCompletes) {
+  // A budget no program fits in: registration's compile fails, serving falls
+  // back to the interpreted engine, and every job still completes.
+  check::CampaignOptions options;
+  options.service.prepare.compile_budget_steps = 1;
+  options.producers = 2;
+  options.jobs_per_producer = 16;
+  const check::CampaignReport report = check::run_fault_campaign(options);
+  EXPECT_TRUE(report.exactly_once()) << report.summary();
+  EXPECT_EQ(report.completed, report.submitted);
+  EXPECT_EQ(report.failed, 0u);
+}
+
+}  // namespace

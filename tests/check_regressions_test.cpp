@@ -1,0 +1,54 @@
+// Replays every committed reproducer under tests/regressions/ through the
+// full execution matrix.  Each file is a shrunken fuzz find (or hand-written
+// sentinel) for a bug that has since been fixed; a divergence here means a
+// fixed bug came back.  Add new files with:
+//   obx_cli fuzz --seed S          # prints the shrunken reproducer text
+//   obx_cli fuzz --replay FILE     # verifies a saved one
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace obx;
+
+std::vector<fs::path> reproducer_files() {
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(OBX_REGRESSIONS_DIR)) {
+    if (entry.path().extension() == ".repro") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(FuzzRegressions, DirectoryHoldsTheCommittedSentinels) {
+  // The NaN-canonicalization finds must stay committed: they are the guard
+  // against reintroducing payload-dependent float results.
+  EXPECT_GE(reproducer_files().size(), 3u);
+}
+
+TEST(FuzzRegressions, EveryCommittedReproducerReplaysClean) {
+  const std::vector<fs::path> files = reproducer_files();
+  ASSERT_FALSE(files.empty()) << "no .repro files in " << OBX_REGRESSIONS_DIR;
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    ASSERT_TRUE(in.good()) << file;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const check::Reproducer repro = check::parse_reproducer(text.str());
+    const auto divergence = check::replay_reproducer(repro);
+    EXPECT_FALSE(divergence.has_value())
+        << file.filename() << ": " << divergence->to_string()
+        << (repro.note.empty() ? "" : "\n  note: " + repro.note);
+  }
+}
+
+}  // namespace

@@ -219,4 +219,30 @@ TEST(ResolveTileLanes, RoundsToVectorWidthMultiples) {
   EXPECT_EQ(exec::resolve_tile_lanes(9, 4, blocked9, 4), 9u);
 }
 
+// Degenerate inputs must always yield a valid (>= 1 lane) tile: a zero tile
+// would turn the executor's tile loop into an infinite loop or a div-by-zero.
+TEST(ResolveTileLanes, DegenerateInputsYieldAtLeastOneLane) {
+  // Occupancy below every vector width.
+  const Layout one = Layout::column_wise(1, 8);
+  EXPECT_EQ(exec::resolve_tile_lanes(0, 4, one, 8), 1u);
+  EXPECT_EQ(exec::resolve_tile_lanes(100, 4, one, 8), 1u);
+  const Layout three = Layout::column_wise(3, 8);
+  EXPECT_GE(exec::resolve_tile_lanes(0, 4, three, 8), 1u);
+  EXPECT_GE(exec::resolve_tile_lanes(7, 4, three, 8), 1u);
+  // reg_count == 0 (a store-only or empty program).
+  EXPECT_GE(exec::resolve_tile_lanes(0, 0, Layout::column_wise(64, 8), 8), 1u);
+  // Explicit requests of 1 survive vector-width rounding.
+  EXPECT_EQ(exec::resolve_tile_lanes(1, 4, Layout::column_wise(64, 8), 8), 1u);
+  // Blocked with block = 1 (prime p): the only divisor is 1.
+  EXPECT_EQ(exec::resolve_tile_lanes(0, 4, Layout::blocked(7, 8, 1), 8), 1u);
+  // Blocked block smaller than the vector width: no vector-multiple divisor
+  // exists at all; the plain-divisor fallback must still be >= 1.
+  const std::size_t ragged =
+      exec::resolve_tile_lanes(8, 4, Layout::blocked(9, 8, 3), 8);
+  EXPECT_GE(ragged, 1u);
+  EXPECT_EQ(3u % ragged, 0u);  // still divides the block
+  // Huge vector width relative to everything else.
+  EXPECT_GE(exec::resolve_tile_lanes(2, 1, Layout::column_wise(2, 8), 64), 1u);
+}
+
 }  // namespace

@@ -20,8 +20,14 @@
 //                    [--executors 1] [--policy block|reject|shed] [--queue-cap 2048]
 //                    [--deadline-us D] [--snapshot]   (batching service load test;
 //                    rate 0 = closed-loop)
+//   obx_cli fuzz     [--seed S] [--iters N] [--max-steps M] [--no-shrink]
+//                    [--no-faults] | [--replay FILE]
+//                    (differential fuzz of the backend/arrangement/SIMD matrix
+//                    against the interpreter, plus serve fault-injection
+//                    campaigns; --replay re-checks a saved reproducer)
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -32,6 +38,8 @@
 #include "analysis/table.hpp"
 #include "bulk/bulk.hpp"
 #include "bulk/timing_estimator.hpp"
+#include "check/fault.hpp"
+#include "check/fuzz.hpp"
 #include "common/cli.hpp"
 #include "common/format.hpp"
 #include "common/rng.hpp"
@@ -53,7 +61,7 @@ using namespace obx;
 int usage() {
   std::fprintf(stderr,
                "usage: obx_cli <list|run|plan|time|check|optimize|hmm|analyze|dump|"
-               "serve-bench> [<algorithm>] [--n N] [--p P] [options]\n"
+               "serve-bench|fuzz> [<algorithm>] [--n N] [--p P] [options]\n"
                "run 'obx_cli list' to see the algorithm library.\n");
   return 2;
 }
@@ -353,6 +361,98 @@ int cmd_serve_bench(const cli::Args& args) {
   return 0;
 }
 
+// Differential fuzzing (check::run_fuzz) plus serve fault-injection
+// campaigns (check::run_fault_campaign).  Deterministic in --seed; exits
+// nonzero on any divergence or lifecycle violation, printing a ready-to-save
+// reproducer and a ready-to-paste regression test for each failure.
+int cmd_fuzz(const cli::Args& args) {
+  if (args.has("replay")) {
+    const std::string path = args.get("replay", "");
+    std::ifstream in(path);
+    OBX_CHECK(in.good(), "cannot open reproducer: " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const check::Reproducer repro = check::parse_reproducer(buffer.str());
+    const auto divergence = check::replay_reproducer(repro);
+    if (divergence.has_value()) {
+      std::printf("%s: %s\n", path.c_str(), divergence->to_string().c_str());
+      return 1;
+    }
+    std::printf("reproducer '%s': all configurations agree\n", path.c_str());
+    return 0;
+  }
+
+  check::FuzzOptions options;
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  options.iters = static_cast<std::size_t>(args.get_int("iters", 500));
+  if (args.has("max-steps")) {
+    options.gen.max_steps =
+        static_cast<std::size_t>(args.get_int("max-steps", 360));
+  }
+  options.shrink = !args.get_bool("no-shrink");
+
+  const check::FuzzReport report = check::run_fuzz(options);
+  std::printf("%s\n", report.summary().c_str());
+  for (const check::FuzzFailure& f : report.failures) {
+    std::printf("\n=== iteration %llu: %s\n",
+                static_cast<unsigned long long>(f.iteration),
+                f.divergence.to_string().c_str());
+    if (options.shrink) {
+      std::printf("shrunk %zu -> %zu steps (%zu predicate calls%s)\n",
+                  f.shrink.steps_before, f.shrink.steps_after,
+                  f.shrink.predicate_calls,
+                  f.shrink.budget_exhausted ? ", budget exhausted" : "");
+    }
+    std::printf("--- reproducer (save under tests/regressions/) ---\n%s",
+                check::write_reproducer(f.reproducer).c_str());
+    std::printf("--- regression test ---\n%s",
+                check::regression_test_source(
+                    f.reproducer, "Shrunk" + std::to_string(f.iteration))
+                    .c_str());
+  }
+
+  bool faults_ok = true;
+  if (!args.get_bool("no-faults")) {
+    std::vector<std::pair<std::string, check::CampaignOptions>> campaigns;
+    {
+      check::CampaignOptions c;
+      c.plan.fail_every_batches = 2;
+      campaigns.emplace_back("executor-fault", c);
+    }
+    {
+      check::CampaignOptions c;
+      c.plan.alloc_fail_every_batches = 3;
+      campaigns.emplace_back("alloc-fault", c);
+    }
+    {
+      check::CampaignOptions c;
+      c.service.queue_capacity = 4;
+      c.service.policy = serve::OverflowPolicy::kShedOldest;
+      c.service.executors = 1;
+      c.plan.fail_every_batches = 3;
+      campaigns.emplace_back("shed-storm", c);
+    }
+    {
+      check::CampaignOptions c;
+      c.service.queue_capacity = 4;
+      c.service.policy = serve::OverflowPolicy::kReject;
+      campaigns.emplace_back("reject-storm", c);
+    }
+    {
+      check::CampaignOptions c;
+      c.plan.fail_every_batches = 3;
+      c.close_mid_stream = true;
+      campaigns.emplace_back("mid-stream-close", c);
+    }
+    for (const auto& [name, campaign] : campaigns) {
+      const check::CampaignReport r = check::run_fault_campaign(campaign);
+      std::printf("fault %-16s %s\n", name.c_str(), r.summary().c_str());
+      faults_ok = faults_ok && r.exactly_once();
+    }
+  }
+  return (report.ok() && faults_ok) ? 0 : 1;
+}
+
 int cmd_dump(const cli::Args& args) {
   const algos::Algorithm& algo = algo_from(args);
   const std::size_t n = static_cast<std::size_t>(args.get_int("n", 8));
@@ -369,10 +469,11 @@ int main(int argc, char** argv) {
     const cli::Args args = cli::Args::parse(
         argc, argv,
         {"overlap", "count-compute", "optimize", "snapshot", "names",
-         "no-optimise", "no-compile"},
+         "no-optimise", "no-compile", "no-shrink", "no-faults"},
         {"n", "p", "width", "latency", "group", "model", "arrangement", "workers",
          "seed", "sms", "algos", "jobs", "rate", "producers", "batch-lanes",
-         "batch-delays-us", "executors", "policy", "queue-cap", "deadline-us"});
+         "batch-delays-us", "executors", "policy", "queue-cap", "deadline-us",
+         "iters", "max-steps", "replay"});
     if (args.positional().empty()) return usage();
     const std::string& cmd = args.positional()[0];
     if (cmd == "list") return cmd_list(args);
@@ -385,6 +486,7 @@ int main(int argc, char** argv) {
     if (cmd == "dump") return cmd_dump(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "serve-bench") return cmd_serve_bench(args);
+    if (cmd == "fuzz") return cmd_fuzz(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
