@@ -1,0 +1,116 @@
+// Network front-end ablation: pipeline depth × tenant mix over a loopback
+// socket, against the in-process service as the zero-wire baseline.
+//
+// The wire adds framing, two syscalls, and a round trip per request; at
+// pipeline depth 1 that round trip is on the critical path of every job, so
+// throughput is latency-bound.  Deepening the pipeline overlaps the wire
+// with execution — the socket analog of batching amortising the l·t floor —
+// until throughput converges on the service's own capacity.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "algos/algorithm.hpp"
+#include "analysis/table.hpp"
+#include "common/format.hpp"
+#include "net/load_gen.hpp"
+#include "net/server.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/service.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+obx::serve::ServiceOptions service_options() {
+  obx::serve::ServiceOptions options;
+  options.queue_capacity = 2048;
+  options.batcher.max_batch_lanes = 512;
+  options.batcher.max_batch_delay = std::chrono::microseconds(1000);
+  options.executors = 2;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  using namespace obx;
+  const std::size_t n = 256;
+  const std::size_t jobs_per_cell = 6000;
+  const algos::Algorithm& algo = algos::find("prefix-sums");
+
+  std::printf("net throughput sweep: prefix-sums n=%zu, %zu jobs/cell, "
+              "3 tenants x 2 connections, closed-loop\n\n",
+              n, jobs_per_cell);
+
+  const auto make_workload = [&](serve::BulkService& service) {
+    service.register_program(algo.name, algo.make_program(n));
+    return std::vector<serve::WorkloadItem>{serve::WorkloadItem{
+        .program_id = algo.name,
+        .make_input = [&](Rng& rng) { return algo.make_input(n, rng); }}};
+  };
+
+  analysis::Table table({"path", "pipeline", "jobs/s", "completed",
+                         "p50 us", "p95 us", "vs in-process"});
+
+  // Baseline: the identical closed-loop workload with no socket in the way.
+  double baseline = 0;
+  {
+    serve::BulkService service(service_options());
+    const auto workload = make_workload(service);
+    serve::LoadGenOptions load;
+    load.jobs = jobs_per_cell;
+    load.producers = 6;
+    load.arrival_rate_hz = 0;
+    const serve::LoadGenReport report = serve::run_load(service, workload, load);
+    service.stop();
+    baseline = report.jobs_per_sec;
+    table.add_row({"in-process", "-", format_fixed(report.jobs_per_sec, 0),
+                   std::to_string(report.completed),
+                   format_fixed(report.p50_latency_us, 0),
+                   format_fixed(report.p95_latency_us, 0), "1.00"});
+  }
+
+  for (const std::size_t depth : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{16}}) {
+    serve::BulkService service(service_options());
+    const auto workload = make_workload(service);
+    net::Server server(service, net::ServerOptions{});
+
+    const std::vector<net::NetTenantSpec> tenants = {
+        {.name = "interactive", .priority = serve::Priority::kHigh,
+         .weight = 1.0, .connections = 2},
+        {.name = "batchy", .priority = serve::Priority::kNormal,
+         .weight = 2.0, .connections = 2},
+        {.name = "bulk-low", .priority = serve::Priority::kLow,
+         .weight = 1.0, .connections = 2},
+    };
+    net::NetLoadOptions load;
+    load.jobs = jobs_per_cell;
+    load.arrival_rate_hz = 0;  // closed-loop: measure sustainable throughput
+    load.pipeline_depth = depth;
+    const net::NetLoadReport report = net::run_net_load(
+        server.host(), server.port(), workload, tenants, load);
+    server.stop();
+    service.stop();
+
+    double p50 = 0, p95 = 0;
+    for (const net::NetTenantReport& t : report.tenants) {
+      p50 += t.p50_latency_us / static_cast<double>(report.tenants.size());
+      p95 += t.p95_latency_us / static_cast<double>(report.tenants.size());
+    }
+    table.add_row({"loopback", std::to_string(depth),
+                   format_fixed(report.jobs_per_sec, 0),
+                   std::to_string(report.completed), format_fixed(p50, 0),
+                   format_fixed(p95, 0),
+                   baseline > 0
+                       ? format_fixed(report.jobs_per_sec / baseline, 2)
+                       : "-"});
+    if (!report.exactly_once()) {
+      std::printf("LEDGER VIOLATION at pipeline depth %zu\n", depth);
+      return 1;
+    }
+  }
+  table.print(std::cout);
+  bench::save_table(table, "net_throughput");
+  return 0;
+}

@@ -121,6 +121,7 @@ CampaignReport run_fault_campaign(const CampaignOptions& options) {
         case serve::JobStatus::kCompleted: ++report.completed; break;
         case serve::JobStatus::kRejected: ++report.rejected; break;
         case serve::JobStatus::kShed: ++report.shed; break;
+        case serve::JobStatus::kFailed: ++report.failed; break;
       }
     } catch (const std::future_error&) {
       ++report.unresolved;  // broken_promise: the Job died unresolved

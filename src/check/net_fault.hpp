@@ -1,0 +1,93 @@
+// Wire-level checking for the network front end.
+//
+// Two harnesses, both deterministic functions of their seeds:
+//
+// run_frame_fuzz(): the protocol codec under attack.  Round-trips randomly
+// generated frames (hostile strings included) through encode → chunked
+// FrameReader feeds and demands bit-identical decodes; then mutates valid
+// encodings — truncated headers, torn payloads, oversized length fields,
+// bad magic/version/type/flags, random byte flips — and demands the reader
+// either produces a (still-)valid frame or fails cleanly, never crashes,
+// never over-allocates.
+//
+// run_net_fault_campaign(): the serving path under network abuse.  Spins up
+// a real BulkService + net::Server on a loopback ephemeral port and throws
+// scenarios at it concurrently: well-behaved multi-tenant clients (checked
+// for exactly-one-result-per-submit and bit-identical outputs), clients
+// that vanish mid-request, writers that send torn frames or garbage,
+// slow-loris connections that trickle header bytes, and a quota-storm
+// tenant hammering a tiny token bucket — optionally with executor faults
+// injected through check::FaultPlan so engine failures surface as error
+// frames.  The audit is the wire image of the lifecycle guarantee:
+//
+//   submits_admitted == responses_sent + responses_dropped   (server ledger)
+//   every client submit resolves exactly once                (client ledger)
+//   service: submitted == completed + rejected + shed + failed
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/fault.hpp"
+#include "net/server.hpp"
+#include "serve/metrics.hpp"
+
+namespace obx::check {
+
+struct FrameFuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t roundtrips = 200;  ///< random frames round-tripped
+  std::size_t mutations = 400;   ///< mutated encodings fed to the reader
+};
+
+struct FrameFuzzReport {
+  std::size_t roundtrips = 0;
+  std::size_t mutations = 0;
+  /// Mutations the reader still decoded (expected: byte flips can land in
+  /// payload bytes without changing validity).
+  std::size_t mutations_decoded = 0;
+  std::size_t mutations_rejected = 0;
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string summary() const;
+};
+
+FrameFuzzReport run_frame_fuzz(const FrameFuzzOptions& options);
+
+struct NetCampaignOptions {
+  std::uint64_t seed = 1;
+  /// Well-behaved clients: one per tenant below.
+  std::size_t jobs_per_client = 64;
+  std::size_t tenants = 4;
+  /// Abusive connections per scenario (droppers, tearers, slow-loris).
+  std::size_t abusers = 3;
+  /// Jobs hammered through the quota-storm tenant (bucket: 5/s, burst 2).
+  std::size_t storm_jobs = 32;
+  /// Inject executor faults (kFailed → error frames) through this plan.
+  FaultPlan plan;
+  /// Queue capacity for the service (small = overflow paths exercised).
+  std::size_t queue_capacity = 64;
+  serve::OverflowPolicy policy = serve::OverflowPolicy::kReject;
+};
+
+struct NetCampaignReport {
+  std::size_t client_submits = 0;
+  std::size_t client_completed = 0;
+  std::size_t client_rejected = 0;
+  std::size_t client_shed = 0;
+  std::size_t client_failed = 0;           ///< error frames (injected faults)
+  std::size_t client_transport_errors = 0;
+  std::size_t output_mismatches = 0;
+  net::ServerStatsSnapshot server;
+  serve::MetricsSnapshot metrics;
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string summary() const;
+};
+
+NetCampaignReport run_net_fault_campaign(const NetCampaignOptions& options);
+
+}  // namespace obx::check

@@ -1,0 +1,346 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace obx::net {
+
+namespace {
+
+// --- little-endian scalar writers -----------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+void put_bytes(std::vector<std::uint8_t>& out, const std::string& s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_words(std::vector<std::uint8_t>& out, const std::vector<Word>& words) {
+  for (Word w : words) put_u64(out, static_cast<std::uint64_t>(w));
+}
+
+// --- bounds-checked little-endian cursor ----------------------------------
+
+/// Reads scalars off a payload span; any overrun or trailing garbage turns
+/// into ok() == false rather than UB, which is what the fuzz leg leans on.
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(scalar(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(scalar(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(scalar(4)); }
+  std::uint64_t u64() { return scalar(8); }
+  std::int64_t i64() { return static_cast<std::int64_t>(scalar(8)); }
+
+  std::string str(std::size_t n) {
+    if (!take(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_ + pos_ - n), n);
+    return s;
+  }
+
+  std::vector<Word> words(std::size_t count) {
+    std::vector<Word> out;
+    if (count > remaining() / 8) {  // cheap pre-check before reserving
+      ok_ = false;
+      return out;
+    }
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(static_cast<Word>(u64()));
+    }
+    if (!ok_) out.clear();
+    return out;
+  }
+
+ private:
+  std::uint64_t scalar(std::size_t n) {
+    if (!take(n)) return 0;
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ - n + i]) << (8 * i);
+    }
+    return v;
+  }
+
+  bool take(std::size_t n) {
+    if (!ok_ || n > size_ - pos_) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- per-type payload codecs ----------------------------------------------
+
+void encode_payload(const SubmitFrame& f, std::vector<std::uint8_t>& out) {
+  put_u16(out, static_cast<std::uint16_t>(f.program_id.size()));
+  put_u16(out, static_cast<std::uint16_t>(f.tenant.size()));
+  put_u8(out, static_cast<std::uint8_t>(f.priority));
+  put_u8(out, 0);  // reserved
+  put_u16(out, 0);  // reserved
+  put_u64(out, static_cast<std::uint64_t>(f.deadline_us));
+  put_u32(out, static_cast<std::uint32_t>(f.input.size()));
+  put_bytes(out, f.program_id);
+  put_bytes(out, f.tenant);
+  put_words(out, f.input);
+}
+
+bool decode_payload(Cursor& c, SubmitFrame& f) {
+  const std::size_t prog_len = c.u16();
+  const std::size_t tenant_len = c.u16();
+  const std::uint8_t priority = c.u8();
+  c.u8();
+  c.u16();
+  f.deadline_us = c.i64();
+  const std::size_t input_words = c.u32();
+  if (!c.ok()) return false;
+  if (prog_len > kMaxIdBytes || tenant_len > kMaxIdBytes) return false;
+  if (priority >= serve::kPriorityCount) return false;
+  f.priority = static_cast<serve::Priority>(priority);
+  f.program_id = c.str(prog_len);
+  f.tenant = c.str(tenant_len);
+  f.input = c.words(input_words);
+  return c.ok();
+}
+
+void encode_payload(const ResponseFrame& f, std::vector<std::uint8_t>& out) {
+  put_u8(out, static_cast<std::uint8_t>(f.status));
+  put_u8(out, f.deadline_missed ? 1 : 0);
+  put_u16(out, 0);  // reserved
+  put_u32(out, f.batch_lanes);
+  put_u64(out, f.queue_delay_us);
+  put_u64(out, f.latency_us);
+  put_u32(out, static_cast<std::uint32_t>(f.output.size()));
+  put_words(out, f.output);
+}
+
+bool decode_payload(Cursor& c, ResponseFrame& f) {
+  const std::uint8_t status = c.u8();
+  f.deadline_missed = c.u8() != 0;
+  c.u16();
+  f.batch_lanes = c.u32();
+  f.queue_delay_us = c.u64();
+  f.latency_us = c.u64();
+  const std::size_t output_words = c.u32();
+  if (!c.ok()) return false;
+  if (status > static_cast<std::uint8_t>(serve::JobStatus::kFailed)) {
+    return false;
+  }
+  f.status = static_cast<serve::JobStatus>(status);
+  f.output = c.words(output_words);
+  return c.ok();
+}
+
+void encode_payload(const ErrorFrame& f, std::vector<std::uint8_t>& out) {
+  put_u16(out, static_cast<std::uint16_t>(f.code));
+  put_u16(out, 0);  // reserved
+  put_u32(out, static_cast<std::uint32_t>(f.message.size()));
+  put_bytes(out, f.message);
+}
+
+bool decode_payload(Cursor& c, ErrorFrame& f) {
+  const std::uint16_t code = c.u16();
+  c.u16();
+  const std::size_t msg_len = c.u32();
+  if (!c.ok()) return false;
+  if (code < static_cast<std::uint16_t>(ErrorCode::kBadFrame) ||
+      code > static_cast<std::uint16_t>(ErrorCode::kInternal)) {
+    return false;
+  }
+  if (msg_len > kMaxIdBytes) return false;
+  f.code = static_cast<ErrorCode>(code);
+  f.message = c.str(msg_len);
+  return c.ok();
+}
+
+void encode_payload(const StatsRequestFrame&, std::vector<std::uint8_t>&) {}
+
+bool decode_payload(Cursor&, StatsRequestFrame&) { return true; }
+
+void encode_payload(const StatsResponseFrame& f,
+                    std::vector<std::uint8_t>& out) {
+  put_u32(out, static_cast<std::uint32_t>(f.text.size()));
+  put_bytes(out, f.text);
+}
+
+bool decode_payload(Cursor& c, StatsResponseFrame& f) {
+  const std::size_t len = c.u32();
+  if (!c.ok() || len > kMaxFramePayloadBytes) return false;
+  f.text = c.str(len);
+  return c.ok();
+}
+
+template <typename T>
+bool decode_as(const std::uint8_t* payload, std::size_t size,
+               std::uint32_t request_id, Frame& out) {
+  Cursor c(payload, size);
+  T frame;
+  frame.request_id = request_id;
+  if (!decode_payload(c, frame)) return false;
+  if (c.remaining() != 0) return false;  // trailing bytes = malformed
+  out = std::move(frame);
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadFrame: return "bad-frame";
+    case ErrorCode::kUnknownProgram: return "unknown-program";
+    case ErrorCode::kBadInput: return "bad-input";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kShuttingDown: return "shutting-down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::uint32_t request_id_of(const Frame& frame) {
+  return std::visit([](const auto& f) { return f.request_id; }, frame);
+}
+
+FrameType type_of(const Frame& frame) {
+  struct Visitor {
+    FrameType operator()(const SubmitFrame&) { return FrameType::kSubmit; }
+    FrameType operator()(const ResponseFrame&) { return FrameType::kResponse; }
+    FrameType operator()(const ErrorFrame&) { return FrameType::kError; }
+    FrameType operator()(const StatsRequestFrame&) {
+      return FrameType::kStatsRequest;
+    }
+    FrameType operator()(const StatsResponseFrame&) {
+      return FrameType::kStatsResponse;
+    }
+  };
+  return std::visit(Visitor{}, frame);
+}
+
+void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out) {
+  const std::size_t header_at = out.size();
+  out.resize(out.size() + kFrameHeaderBytes);
+  const std::size_t payload_at = out.size();
+  std::visit([&out](const auto& f) { encode_payload(f, out); }, frame);
+  const std::size_t payload_bytes = out.size() - payload_at;
+  OBX_CHECK(payload_bytes <= kMaxFramePayloadBytes,
+            "frame payload exceeds protocol maximum");
+
+  std::vector<std::uint8_t> header;
+  header.reserve(kFrameHeaderBytes);
+  put_u32(header, kFrameMagic);
+  put_u8(header, kProtocolVersion);
+  put_u8(header, static_cast<std::uint8_t>(type_of(frame)));
+  put_u16(header, 0);  // flags
+  put_u32(header, static_cast<std::uint32_t>(payload_bytes));
+  put_u32(header, request_id_of(frame));
+  std::memcpy(out.data() + header_at, header.data(), kFrameHeaderBytes);
+}
+
+std::vector<std::uint8_t> encode(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  encode_frame(frame, out);
+  return out;
+}
+
+void FrameReader::feed(const void* data, std::size_t bytes) {
+  if (failed() || bytes == 0) return;
+  // Reclaim consumed prefix before growing; keeps the buffer bounded by one
+  // frame plus whatever the socket delivered past it.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + bytes);
+}
+
+FrameReader::Status FrameReader::next(Frame& out) {
+  if (failed()) return Status::kError;
+  if (buffered() < kFrameHeaderBytes) return Status::kNeedMore;
+
+  const std::uint8_t* h = buffer_.data() + consumed_;
+  Cursor header(h, kFrameHeaderBytes);
+  const std::uint32_t magic = header.u32();
+  const std::uint8_t version = header.u8();
+  const std::uint8_t type = header.u8();
+  const std::uint16_t flags = header.u16();
+  const std::uint32_t length = header.u32();
+  const std::uint32_t request_id = header.u32();
+
+  if (magic != kFrameMagic) return fail("bad frame magic");
+  if (version != kProtocolVersion) {
+    return fail("unsupported protocol version " + std::to_string(version));
+  }
+  if (flags != 0) return fail("nonzero reserved flags");
+  if (length > kMaxFramePayloadBytes) {
+    return fail("frame payload length " + std::to_string(length) +
+                " exceeds maximum");
+  }
+  if (buffered() < kFrameHeaderBytes + length) return Status::kNeedMore;
+
+  const std::uint8_t* payload = h + kFrameHeaderBytes;
+  bool decoded = false;
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kSubmit:
+      decoded = decode_as<SubmitFrame>(payload, length, request_id, out);
+      break;
+    case FrameType::kResponse:
+      decoded = decode_as<ResponseFrame>(payload, length, request_id, out);
+      break;
+    case FrameType::kError:
+      decoded = decode_as<ErrorFrame>(payload, length, request_id, out);
+      break;
+    case FrameType::kStatsRequest:
+      decoded = decode_as<StatsRequestFrame>(payload, length, request_id, out);
+      break;
+    case FrameType::kStatsResponse:
+      decoded = decode_as<StatsResponseFrame>(payload, length, request_id, out);
+      break;
+    default:
+      return fail("unknown frame type " + std::to_string(type));
+  }
+  if (!decoded) {
+    return fail("malformed " + std::to_string(type) + "-type frame payload");
+  }
+  consumed_ += kFrameHeaderBytes + length;
+  return Status::kFrame;
+}
+
+FrameReader::Status FrameReader::fail(const std::string& message) {
+  error_ = message;
+  return Status::kError;
+}
+
+}  // namespace obx::net

@@ -1,0 +1,137 @@
+// The obx wire protocol: binary length-prefixed frames.
+//
+// Every message is one frame — a fixed 16-byte little-endian header followed
+// by a typed payload:
+//
+//   offset  size  field
+//   0       4     magic      0x4F425846 ("FXBO" on the wire, "OBXF" spelled)
+//   4       1     version    kProtocolVersion (1)
+//   5       1     type       FrameType
+//   6       2     flags      reserved, must be 0
+//   8       4     length     payload bytes (<= kMaxFramePayloadBytes)
+//   12      4     request_id client-chosen correlation id
+//
+// A client submits work with kSubmit (program id, tenant id, priority
+// class, relative deadline, input lane) and receives exactly one kResponse
+// or kError per request id; kStatsRequest returns the server's metrics as
+// Prometheus exposition text in a kStatsResponse.  Responses may arrive out
+// of request order — batches complete independently — which is what the
+// request id is for.
+//
+// Decoding is strict: bad magic, an unsupported version, an unknown type,
+// an oversized length, or a payload that does not parse to exactly its
+// declared length poisons the stream (FrameReader::Status::kError) — the
+// server drops such connections.  A short buffer is not an error, just
+// kNeedMore: frames are reassembled incrementally from whatever chunks the
+// socket delivers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "serve/job.hpp"
+
+namespace obx::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4F425846u;
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Hard cap on one frame's payload: bounds per-connection memory and makes
+/// a hostile length field harmless.
+inline constexpr std::size_t kMaxFramePayloadBytes = std::size_t{1} << 24;
+/// Cap on embedded strings (program id, tenant id, error message).
+inline constexpr std::size_t kMaxIdBytes = 4096;
+
+enum class FrameType : std::uint8_t {
+  kSubmit = 1,
+  kResponse = 2,
+  kError = 3,
+  kStatsRequest = 4,
+  kStatsResponse = 5,
+};
+
+enum class ErrorCode : std::uint16_t {
+  kBadFrame = 1,        ///< protocol violation; the connection is closing
+  kUnknownProgram = 2,  ///< program id not registered on this server
+  kBadInput = 3,        ///< input lane has the wrong number of words
+  kOverloaded = 4,      ///< refused by admission (reserved; rejections are
+                        ///< normally kResponse with status kRejected)
+  kShuttingDown = 5,    ///< server is draining; resubmit elsewhere
+  kInternal = 6,        ///< execution failed (JobStatus::kFailed)
+};
+
+const char* to_string(ErrorCode code);
+
+struct SubmitFrame {
+  std::uint32_t request_id = 0;
+  std::string program_id;
+  std::string tenant = "default";
+  serve::Priority priority = serve::Priority::kNormal;
+  std::int64_t deadline_us = -1;  ///< relative to arrival; -1 = none
+  std::vector<Word> input;
+};
+
+struct ResponseFrame {
+  std::uint32_t request_id = 0;
+  serve::JobStatus status = serve::JobStatus::kCompleted;
+  bool deadline_missed = false;
+  std::uint32_t batch_lanes = 0;
+  std::uint64_t queue_delay_us = 0;
+  std::uint64_t latency_us = 0;
+  std::vector<Word> output;
+};
+
+struct ErrorFrame {
+  std::uint32_t request_id = 0;  ///< 0 when not tied to one request
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+struct StatsRequestFrame {
+  std::uint32_t request_id = 0;
+};
+
+struct StatsResponseFrame {
+  std::uint32_t request_id = 0;
+  std::string text;  ///< Prometheus exposition format
+};
+
+using Frame = std::variant<SubmitFrame, ResponseFrame, ErrorFrame,
+                           StatsRequestFrame, StatsResponseFrame>;
+
+std::uint32_t request_id_of(const Frame& frame);
+FrameType type_of(const Frame& frame);
+
+/// Appends the full encoding (header + payload) of `frame` to `out`.
+void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out);
+
+std::vector<std::uint8_t> encode(const Frame& frame);
+
+/// Incremental frame parser over a byte stream.  feed() whatever the socket
+/// delivered; next() pops complete frames until kNeedMore.  The first
+/// protocol violation poisons the reader permanently (kError + error()).
+class FrameReader {
+ public:
+  enum class Status { kFrame, kNeedMore, kError };
+
+  void feed(const void* data, std::size_t bytes);
+  Status next(Frame& out);
+
+  bool failed() const { return !error_.empty(); }
+  const std::string& error() const { return error_; }
+  /// Bytes buffered but not yet consumed by a complete frame (a nonzero
+  /// value that never completes is a torn frame / slow-loris writer).
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  Status fail(const std::string& message);
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  std::string error_;
+};
+
+}  // namespace obx::net

@@ -1,0 +1,234 @@
+#include "net/load_gen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "net/client.hpp"
+
+namespace obx::net {
+
+namespace {
+
+using serve::Clock;
+
+struct ConnOutcome {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t shed = 0;
+  std::size_t failed = 0;
+  std::size_t transport_errors = 0;
+  std::size_t deadline_missed = 0;
+  std::vector<double> latencies_us;
+};
+
+void count_result(const Client::Result& r, ConnOutcome& outcome) {
+  if (!r.transport_error.empty()) {
+    ++outcome.transport_errors;
+    return;
+  }
+  if (r.error_code) {
+    ++outcome.failed;  // server-side error frame (kInternal etc.)
+    return;
+  }
+  switch (r.status) {
+    case serve::JobStatus::kCompleted:
+      ++outcome.completed;
+      outcome.latencies_us.push_back(static_cast<double>(r.latency_us));
+      if (r.deadline_missed) ++outcome.deadline_missed;
+      break;
+    case serve::JobStatus::kRejected: ++outcome.rejected; break;
+    case serve::JobStatus::kShed: ++outcome.shed; break;
+    case serve::JobStatus::kFailed: ++outcome.failed; break;
+  }
+}
+
+double exp_interval_seconds(Rng& rng, double rate_hz) {
+  return -std::log(1.0 - rng.next_double()) / rate_hz;
+}
+
+/// Maps a nominal Poisson arrival instant onto the bursty on/off schedule:
+/// each period's arrivals are compressed into its first `duty` fraction, so
+/// bursts run at rate/duty while the per-period count (and thus the mean
+/// rate) is preserved.  Monotone, so arrival order is unchanged.
+double burstify(double t_seconds, const NetLoadOptions& options) {
+  const double period = options.burst_period_s;
+  const double k = std::floor(t_seconds / period);
+  const double within = t_seconds - k * period;
+  return k * period + within * options.burst_duty;
+}
+
+void connection_worker(const std::string& host, std::uint16_t port,
+                       const std::vector<serve::WorkloadItem>& workload,
+                       const NetTenantSpec& tenant,
+                       const NetLoadOptions& options, std::size_t jobs,
+                       double rate_hz, std::uint64_t seed,
+                       ConnOutcome& outcome) {
+  Rng rng(seed);
+  Client client(host, port);
+  std::deque<std::uint32_t> in_flight;
+
+  const auto drain_one = [&] {
+    const std::uint32_t id = in_flight.front();
+    in_flight.pop_front();
+    count_result(client.wait(id), outcome);
+  };
+
+  const Clock::time_point t0 = Clock::now();
+  double nominal_s = 0;  // arrival clock before burst modulation
+  for (std::size_t i = 0; i < jobs; ++i) {
+    const serve::WorkloadItem& item = workload[rng.next_below(workload.size())];
+    std::vector<Word> input = item.make_input(rng);
+
+    if (rate_hz > 0) {
+      nominal_s += exp_interval_seconds(rng, rate_hz);
+      const double due_s =
+          options.bursty ? burstify(nominal_s, options) : nominal_s;
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(due_s)));
+    }
+    while (in_flight.size() >= options.pipeline_depth) drain_one();
+
+    ++outcome.submitted;
+    const std::optional<std::uint32_t> id =
+        client.submit_async(item.program_id, std::move(input), tenant.name,
+                            tenant.priority, options.deadline_us);
+    if (!id) {
+      ++outcome.transport_errors;  // dead transport still yields one outcome
+      continue;
+    }
+    in_flight.push_back(*id);
+    if (rate_hz == 0 && in_flight.size() >= options.pipeline_depth) {
+      drain_one();  // closed-loop: keep exactly pipeline_depth outstanding
+    }
+  }
+  while (!in_flight.empty()) drain_one();
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto idx =
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+NetLoadReport run_net_load(const std::string& host, std::uint16_t port,
+                           const std::vector<serve::WorkloadItem>& workload,
+                           const std::vector<NetTenantSpec>& tenants,
+                           const NetLoadOptions& options) {
+  OBX_CHECK(!workload.empty(), "net load generator needs a workload");
+  OBX_CHECK(!tenants.empty(), "net load generator needs at least one tenant");
+  OBX_CHECK(options.jobs > 0, "need at least one job");
+  OBX_CHECK(options.pipeline_depth > 0, "pipeline depth must be positive");
+  if (options.bursty) {
+    OBX_CHECK(options.burst_duty > 0 && options.burst_duty <= 1,
+              "burst duty must be in (0, 1]");
+    OBX_CHECK(options.burst_period_s > 0, "burst period must be positive");
+  }
+
+  double total_weight = 0;
+  for (const NetTenantSpec& t : tenants) {
+    OBX_CHECK(t.weight > 0, "tenant weights must be positive");
+    OBX_CHECK(t.connections > 0, "tenants need at least one connection");
+    total_weight += t.weight;
+  }
+
+  // Slice the job budget by tenant weight, then evenly per connection.
+  struct ConnPlan {
+    const NetTenantSpec* tenant;
+    std::size_t tenant_index;
+    std::size_t jobs;
+    double rate_hz;
+  };
+  std::vector<ConnPlan> plan;
+  std::size_t assigned = 0;
+  for (std::size_t ti = 0; ti < tenants.size(); ++ti) {
+    const NetTenantSpec& t = tenants[ti];
+    std::size_t tenant_jobs = static_cast<std::size_t>(
+        std::floor(static_cast<double>(options.jobs) * t.weight / total_weight));
+    if (ti + 1 == tenants.size()) tenant_jobs = options.jobs - assigned;
+    assigned += tenant_jobs;
+    const double tenant_rate =
+        options.arrival_rate_hz * t.weight / total_weight;
+    const std::size_t per = tenant_jobs / t.connections;
+    const std::size_t rem = tenant_jobs % t.connections;
+    for (unsigned c = 0; c < t.connections; ++c) {
+      ConnPlan p;
+      p.tenant = &t;
+      p.tenant_index = ti;
+      p.jobs = per + (c < rem ? 1 : 0);
+      p.rate_hz = tenant_rate / static_cast<double>(t.connections);
+      if (p.jobs > 0) plan.push_back(p);
+    }
+  }
+
+  std::vector<ConnOutcome> outcomes(plan.size());
+  std::vector<std::thread> threads;
+  threads.reserve(plan.size());
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const ConnPlan& p = plan[i];
+    threads.emplace_back([&, i, p] {
+      connection_worker(host, port, workload, *p.tenant, options, p.jobs,
+                        p.rate_hz, options.seed * 6271 + i * 31 + 1,
+                        outcomes[i]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto t1 = Clock::now();
+
+  NetLoadReport report;
+  report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  std::vector<std::vector<double>> tenant_latencies(tenants.size());
+  report.tenants.resize(tenants.size());
+  for (std::size_t ti = 0; ti < tenants.size(); ++ti) {
+    report.tenants[ti].tenant = tenants[ti].name;
+  }
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const ConnOutcome& o = outcomes[i];
+    NetTenantReport& t = report.tenants[plan[i].tenant_index];
+    t.submitted += o.submitted;
+    t.completed += o.completed;
+    t.rejected += o.rejected;
+    t.shed += o.shed;
+    t.failed += o.failed;
+    t.transport_errors += o.transport_errors;
+    t.deadline_missed += o.deadline_missed;
+    auto& lat = tenant_latencies[plan[i].tenant_index];
+    lat.insert(lat.end(), o.latencies_us.begin(), o.latencies_us.end());
+  }
+  for (std::size_t ti = 0; ti < tenants.size(); ++ti) {
+    NetTenantReport& t = report.tenants[ti];
+    auto& lat = tenant_latencies[ti];
+    std::sort(lat.begin(), lat.end());
+    if (!lat.empty()) {
+      double sum = 0;
+      for (double v : lat) sum += v;
+      t.mean_latency_us = sum / static_cast<double>(lat.size());
+      t.p50_latency_us = percentile(lat, 0.50);
+      t.p95_latency_us = percentile(lat, 0.95);
+    }
+    report.submitted += t.submitted;
+    report.completed += t.completed;
+    report.rejected += t.rejected;
+    report.shed += t.shed;
+    report.failed += t.failed;
+    report.transport_errors += t.transport_errors;
+    report.deadline_missed += t.deadline_missed;
+  }
+  report.jobs_per_sec =
+      report.wall_seconds > 0
+          ? static_cast<double>(report.completed) / report.wall_seconds
+          : 0;
+  return report;
+}
+
+}  // namespace obx::net

@@ -1,0 +1,91 @@
+// Multi-tenant load generator for the network front end.
+//
+// Replays open-loop arrival traces — Poisson, or on/off bursty with the
+// same mean rate — across many tenants, each with its own priority class,
+// traffic share, and connection count.  Every connection is one thread with
+// one blocking net::Client, pipelining up to pipeline_depth requests so the
+// wire is not round-trip bound.  Closed-loop (arrival_rate_hz = 0) measures
+// sustainable round-trip throughput instead.
+//
+// The accounting mirrors the exactly-once contract: every generated job is
+// reported as exactly one of completed / rejected / shed / failed /
+// transport_error, per tenant and in aggregate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/load_gen.hpp"
+
+namespace obx::net {
+
+struct NetTenantSpec {
+  std::string name = "default";
+  serve::Priority priority = serve::Priority::kNormal;
+  /// Relative share of the total job count (normalised across tenants).
+  double weight = 1.0;
+  /// Concurrent connections (threads) this tenant drives.
+  unsigned connections = 1;
+};
+
+struct NetLoadOptions {
+  std::size_t jobs = 10000;  ///< total across all tenants
+  /// Aggregate arrival rate; 0 = closed-loop (pipeline_depth outstanding
+  /// per connection, submit-on-completion).
+  double arrival_rate_hz = 0;
+  /// On/off burst modulation of the Poisson process: arrivals land only in
+  /// the first `burst_duty` fraction of every `burst_period`, at rate/duty,
+  /// preserving the mean.  Off for smooth Poisson.
+  bool bursty = false;
+  double burst_period_s = 0.25;
+  double burst_duty = 0.3;
+  /// Max requests in flight per connection before waiting one out.
+  std::size_t pipeline_depth = 8;
+  std::int64_t deadline_us = -1;  ///< per-job relative deadline; -1 = none
+  std::uint64_t seed = 1;
+};
+
+struct NetTenantReport {
+  std::string tenant;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t shed = 0;
+  std::size_t failed = 0;           ///< server answered kInternal / kFailed
+  std::size_t transport_errors = 0;
+  std::size_t deadline_missed = 0;
+  // Server-reported latency (submit → completion) of completed jobs, us.
+  double mean_latency_us = 0;
+  double p50_latency_us = 0;
+  double p95_latency_us = 0;
+};
+
+struct NetLoadReport {
+  double wall_seconds = 0;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t shed = 0;
+  std::size_t failed = 0;
+  std::size_t transport_errors = 0;
+  std::size_t deadline_missed = 0;
+  double jobs_per_sec = 0;  ///< completed / wall_seconds
+  std::vector<NetTenantReport> tenants;
+
+  /// Every generated job reached exactly one terminal bucket.
+  bool exactly_once() const {
+    return submitted == completed + rejected + shed + failed + transport_errors;
+  }
+};
+
+/// Drives host:port with `options.jobs` jobs spread over `tenants` by
+/// weight and over `workload` uniformly at random; blocks until every
+/// submission has a terminal outcome.
+NetLoadReport run_net_load(const std::string& host, std::uint16_t port,
+                           const std::vector<serve::WorkloadItem>& workload,
+                           const std::vector<NetTenantSpec>& tenants,
+                           const NetLoadOptions& options);
+
+}  // namespace obx::net

@@ -1,0 +1,184 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace obx::net {
+
+namespace {
+
+bool fill_addr(const std::string& host, std::uint16_t port,
+               sockaddr_in& addr) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  if (host == "localhost") {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return true;
+  }
+  return inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1;
+}
+
+void set_error(std::string* error, const std::string& what) {
+  if (error) *error = what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::set_nonblocking(bool on) {
+  const int flags = fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return fcntl(fd_, F_SETFL, want) == 0;
+}
+
+bool Socket::set_nodelay(bool on) {
+  const int v = on ? 1 : 0;
+  return setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &v, sizeof(v)) == 0;
+}
+
+IoResult Socket::read_some(void* data, std::size_t bytes) {
+  for (;;) {
+    const ssize_t n = ::read(fd_, data, bytes);
+    if (n > 0) {
+      return IoResult{IoResult::Kind::kOk, static_cast<std::size_t>(n)};
+    }
+    if (n == 0) return IoResult{IoResult::Kind::kClosed, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoResult{IoResult::Kind::kWouldBlock, 0};
+    }
+    return IoResult{IoResult::Kind::kError, 0};
+  }
+}
+
+IoResult Socket::write_some(const void* data, std::size_t bytes) {
+  for (;;) {
+    // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE, not SIGPIPE.
+    const ssize_t n = ::send(fd_, data, bytes, MSG_NOSIGNAL);
+    if (n >= 0) {
+      return IoResult{IoResult::Kind::kOk, static_cast<std::size_t>(n)};
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoResult{IoResult::Kind::kWouldBlock, 0};
+    }
+    return IoResult{IoResult::Kind::kError, 0};
+  }
+}
+
+Socket Socket::connect(const std::string& host, std::uint16_t port,
+                       std::string* error) {
+  sockaddr_in addr;
+  if (!fill_addr(host.empty() ? "127.0.0.1" : host, port, addr)) {
+    if (error) *error = "unparseable IPv4 host '" + host + "'";
+    return Socket{};
+  }
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    set_error(error, "socket");
+    return Socket{};
+  }
+  for (;;) {
+    if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    set_error(error, "connect " + host + ":" + std::to_string(port));
+    return Socket{};
+  }
+  s.set_nodelay(true);
+  return s;
+}
+
+Socket ListenSocket::accept() {
+  for (;;) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket s(fd);
+      s.set_nodelay(true);
+      return s;
+    }
+    if (errno == EINTR) continue;
+    return Socket{};
+  }
+}
+
+ListenSocket ListenSocket::listen(const std::string& host, std::uint16_t port,
+                                  int backlog, std::string* error) {
+  sockaddr_in addr;
+  if (!fill_addr(host, port, addr)) {
+    if (error) *error = "unparseable IPv4 host '" + host + "'";
+    return ListenSocket{};
+  }
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    set_error(error, "socket");
+    return ListenSocket{};
+  }
+  const int reuse = 1;
+  setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    set_error(error, "bind " + host + ":" + std::to_string(port));
+    return ListenSocket{};
+  }
+  if (::listen(s.fd(), backlog) != 0) {
+    set_error(error, "listen");
+    return ListenSocket{};
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(s.fd(), reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    set_error(error, "getsockname");
+    return ListenSocket{};
+  }
+  ListenSocket listener;
+  listener.socket_ = std::move(s);
+  listener.socket_.set_nonblocking(true);
+  listener.host_ = host.empty() ? "127.0.0.1" : host;
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) return;
+  read_ = Socket(fds[0]);
+  write_ = Socket(fds[1]);
+  read_.set_nonblocking(true);
+  write_.set_nonblocking(true);
+}
+
+void WakePipe::notify() {
+  const std::uint8_t one = 1;
+  // A full pipe is fine: the loop is already guaranteed to wake.
+  (void)::write(write_.fd(), &one, 1);
+}
+
+void WakePipe::drain() {
+  std::uint8_t sink[64];
+  while (::read(read_.fd(), sink, sizeof(sink)) > 0) {
+  }
+}
+
+}  // namespace obx::net

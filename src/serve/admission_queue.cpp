@@ -26,22 +26,38 @@ AdmissionQueue::AdmissionQueue(std::size_t capacity, OverflowPolicy policy)
   OBX_CHECK(capacity_ > 0, "admission queue needs capacity >= 1");
 }
 
-AdmissionQueue::PushResult AdmissionQueue::push(Job&& job, std::optional<Job>* shed) {
+AdmissionQueue::PushResult AdmissionQueue::push(Job&& job, OverflowPolicy policy,
+                                                std::optional<Job>* shed,
+                                                bool allow_block, bool* waited) {
   std::optional<Job> victim;
   std::unique_lock lock(mutex_);
   if (closed_) return PushResult::kRejected;
   if (jobs_.size() >= capacity_) {
-    switch (policy_) {
+    switch (policy) {
       case OverflowPolicy::kBlock:
+        if (!allow_block) return PushResult::kWouldBlock;
+        if (waited != nullptr) *waited = true;
         not_full_.wait(lock, [&] { return jobs_.size() < capacity_ || closed_; });
         if (closed_) return PushResult::kRejected;
         break;
       case OverflowPolicy::kReject:
         return PushResult::kRejected;
-      case OverflowPolicy::kShedOldest:
-        victim = std::move(jobs_.front());
-        jobs_.pop_front();
+      case OverflowPolicy::kShedOldest: {
+        // Victim: the oldest job of the least important class present (the
+        // deque is FIFO, so the first match is the oldest of that class).
+        auto victim_it = jobs_.begin();
+        for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+          if (it->priority > victim_it->priority) victim_it = it;
+        }
+        if (victim_it->priority < job.priority) {
+          // Everything queued outranks the newcomer: shedding would invert
+          // the priority order, so refuse the newcomer instead.
+          return PushResult::kRejected;
+        }
+        victim = std::move(*victim_it);
+        jobs_.erase(victim_it);
         break;
+      }
     }
   }
   jobs_.push_back(std::move(job));
@@ -51,13 +67,13 @@ AdmissionQueue::PushResult AdmissionQueue::push(Job&& job, std::optional<Job>* s
     if (shed != nullptr) {
       *shed = std::move(*victim);
     } else {
-      // No out-param: the evicted job's future must still resolve.  Letting
-      // the Job die here would surface as std::future_error(broken_promise)
-      // at the producer — a silent drop in all but name.
+      // No out-param: the evicted job must still resolve.  Letting the Job
+      // die here would surface as std::future_error(broken_promise) at the
+      // producer — a silent drop in all but name.
       JobResult r;
       r.status = JobStatus::kShed;
       r.latency = Clock::now() - victim->enqueue_time;
-      victim->promise.set_value(std::move(r));
+      victim->resolve(std::move(r));
     }
   }
   return PushResult::kAccepted;

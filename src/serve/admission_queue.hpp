@@ -8,9 +8,16 @@
 //                is lost, producer latency absorbs the overload)
 //   kReject    — admission fails fast (load-shedding at the front door;
 //                the caller gets JobStatus::kRejected immediately)
-//   kShedOldest— the oldest queued job is evicted to admit the newcomer
-//                (freshness-first: under overload, old requests are the
-//                least likely to still matter)
+//   kShedOldest— a queued job is evicted to admit the newcomer.  The victim
+//                is the oldest job of the *least important* priority class
+//                present, and a newcomer never evicts a job that outranks
+//                it (that push degenerates to kReject) — under overload,
+//                old low-priority requests are the least likely to matter.
+//
+// The policy is resolved per push: the service maps each priority class to
+// a policy, so one queue serves mixed-class traffic.  Event-loop callers
+// (the network front end) push with allow_block = false and get
+// kWouldBlock instead of a blocked thread.
 #pragma once
 
 #include <condition_variable>
@@ -30,19 +37,28 @@ OverflowPolicy overflow_policy_from(const std::string& name);  ///< "block"/"rej
 
 class AdmissionQueue {
  public:
-  enum class PushResult { kAccepted, kRejected };
+  enum class PushResult { kAccepted, kRejected, kWouldBlock };
   enum class PopResult { kJob, kTimeout, kClosed };
 
   AdmissionQueue(std::size_t capacity, OverflowPolicy policy);
 
-  /// Admits `job` under the configured policy.  With kShedOldest, a full
-  /// queue evicts its oldest entry into *shed (the caller owns resolving its
-  /// promise); when `shed` is null the queue resolves the evicted job's
-  /// promise itself with JobStatus::kShed — an eviction never destroys an
-  /// unresolved promise.  Returns kRejected only under kReject on a full
-  /// queue, or for any push after close(); on rejection `job` is left
-  /// untouched, so the caller still owns it and must resolve its promise.
-  PushResult push(Job&& job, std::optional<Job>* shed = nullptr);
+  /// Admits `job` under `policy`.  With kShedOldest, a full queue evicts the
+  /// oldest least-important entry into *shed (the caller owns resolving its
+  /// promise); when `shed` is null the queue resolves the evicted job itself
+  /// with JobStatus::kShed — an eviction never destroys an unresolved job.
+  /// Returns kRejected under kReject on a full queue, under kShedOldest when
+  /// every queued job outranks the newcomer, or for any push after close();
+  /// returns kWouldBlock (job untouched, nothing admitted) under kBlock on a
+  /// full queue when `allow_block` is false.  On kRejected/kWouldBlock `job`
+  /// is left untouched, so the caller still owns it.  `*waited` is set when
+  /// a kBlock push actually had to wait for room.
+  PushResult push(Job&& job, OverflowPolicy policy, std::optional<Job>* shed,
+                  bool allow_block = true, bool* waited = nullptr);
+
+  /// Admits under the queue's configured default policy (always blocking).
+  PushResult push(Job&& job, std::optional<Job>* shed = nullptr) {
+    return push(std::move(job), policy_, shed, /*allow_block=*/true);
+  }
 
   /// Blocks until a job is available or the queue is closed and empty.
   PopResult pop(Job& out);

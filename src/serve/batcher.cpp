@@ -12,8 +12,25 @@ const char* to_string(JobStatus status) {
     case JobStatus::kCompleted: return "completed";
     case JobStatus::kRejected: return "rejected";
     case JobStatus::kShed: return "shed";
+    case JobStatus::kFailed: return "failed";
   }
   return "?";
+}
+
+const char* to_string(Priority priority) {
+  switch (priority) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "?";
+}
+
+Priority priority_from(const std::string& name) {
+  if (name == "high") return Priority::kHigh;
+  if (name == "low") return Priority::kLow;
+  OBX_CHECK(name == "normal", "unknown priority class: " + name);
+  return Priority::kNormal;
 }
 
 const char* to_string(FlushReason reason) {

@@ -6,10 +6,17 @@
 // paper's economics pay off: Theorem 2 prices a bulk run at O(pt/w + lt),
 // so the fixed l·t floor (and, on the host, the per-step decode cost) is
 // amortised across every lane in the batch.
+//
+// Jobs carry a tenant id and a priority class: the service serves many
+// mutually distrusting clients, so admission (quotas, overflow policy,
+// shed-victim selection) is decided per tenant and per class, and the
+// metrics registry accounts per tenant.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <future>
 #include <optional>
 #include <string>
@@ -21,19 +28,33 @@ namespace obx::serve {
 
 using Clock = std::chrono::steady_clock;
 
-/// Terminal state of a submitted job.  Every future resolves exactly once
+/// Terminal state of a submitted job.  Every job resolves exactly once
 /// with one of these.
 enum class JobStatus {
   kCompleted,  ///< executed; `output` holds the program's output region
-  kRejected,   ///< refused at admission (queue full, policy = kReject)
+  kRejected,   ///< refused at admission (queue full / quota exceeded)
   kShed,       ///< dropped from the queue to admit newer work (kShedOldest)
+  kFailed,     ///< execution threw (callback path; the future path keeps the
+               ///< exception itself and never sees this status)
 };
 
 const char* to_string(JobStatus status);
 
+/// Priority class of a submitted job.  Classes map onto the admission
+/// queue's overflow policies (ServiceOptions::priority_policies) and steer
+/// shed-victim selection: under kShedOldest the oldest job of the *least
+/// important* queued class is evicted first, and a newcomer never evicts a
+/// job that outranks it.
+enum class Priority : std::uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+inline constexpr std::size_t kPriorityCount = 3;
+
+const char* to_string(Priority priority);
+Priority priority_from(const std::string& name);  ///< "high"/"normal"/"low"
+
 struct JobResult {
   JobStatus status = JobStatus::kCompleted;
   std::vector<Word> output;       ///< program.output_words words when completed
+  std::string error;              ///< detail for kFailed / quota rejections
   bool deadline_missed = false;   ///< completed, but after the job's deadline
   Clock::duration queue_delay{};  ///< submit → batch dispatch
   Clock::duration latency{};      ///< submit → completion
@@ -45,10 +66,48 @@ struct JobResult {
 struct Job {
   std::uint64_t id = 0;
   std::string program_id;
+  std::string tenant = "default";
+  Priority priority = Priority::kNormal;
   std::vector<Word> input;
   Clock::time_point enqueue_time{};
   std::optional<Clock::time_point> deadline;
   std::promise<JobResult> promise;
+  /// When set, terminal resolution invokes this callback instead of the
+  /// promise (the network front end routes completions through its event
+  /// loop this way; the promise is left untouched).  Invoked exactly once,
+  /// from whichever thread resolves the job.
+  std::function<void(JobResult&&)> on_complete;
+
+  /// Resolves the job with a value — callback if present, promise otherwise.
+  void resolve(JobResult&& result) {
+    if (on_complete) {
+      auto callback = std::move(on_complete);
+      on_complete = nullptr;
+      callback(std::move(result));
+    } else {
+      promise.set_value(std::move(result));
+    }
+  }
+
+  /// Resolves the job with an execution failure.  The future path keeps the
+  /// exception; the callback path flattens it to JobStatus::kFailed plus the
+  /// exception message, so a network peer still gets a terminal response.
+  void resolve_error(std::exception_ptr error) {
+    if (!on_complete) {
+      promise.set_exception(std::move(error));
+      return;
+    }
+    JobResult r;
+    r.status = JobStatus::kFailed;
+    try {
+      std::rethrow_exception(std::move(error));
+    } catch (const std::exception& e) {
+      r.error = e.what();
+    } catch (...) {
+      r.error = "unknown execution failure";
+    }
+    resolve(std::move(r));
+  }
 };
 
 /// Why a batch left the batcher (recorded in service metrics).

@@ -16,8 +16,23 @@ struct ProducerOutcome {
   std::size_t completed = 0;
   std::size_t rejected = 0;
   std::size_t shed = 0;
+  std::size_t failed = 0;
   std::size_t deadline_missed = 0;
 };
+
+void count_outcome(const JobResult& r, ProducerOutcome& outcome) {
+  switch (r.status) {
+    case JobStatus::kCompleted:
+      ++outcome.completed;
+      outcome.latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(r.latency).count());
+      if (r.deadline_missed) ++outcome.deadline_missed;
+      break;
+    case JobStatus::kRejected: ++outcome.rejected; break;
+    case JobStatus::kShed: ++outcome.shed; break;
+    case JobStatus::kFailed: ++outcome.failed; break;
+  }
+}
 
 double exp_interval_seconds(Rng& rng, double rate_hz) {
   // Inverse-CDF sample of Exp(rate); next_double() < 1 keeps log finite.
@@ -53,30 +68,11 @@ void producer(BulkService& service, const std::vector<WorkloadItem>& workload,
           service.submit(item.program_id, std::move(input), options.deadline));
       const JobResult r = futures.back().get();
       futures.clear();
-      switch (r.status) {
-        case JobStatus::kCompleted:
-          ++outcome.completed;
-          outcome.latencies_us.push_back(
-              std::chrono::duration<double, std::micro>(r.latency).count());
-          if (r.deadline_missed) ++outcome.deadline_missed;
-          break;
-        case JobStatus::kRejected: ++outcome.rejected; break;
-        case JobStatus::kShed: ++outcome.shed; break;
-      }
+      count_outcome(r, outcome);
     }
   }
   for (auto& f : futures) {
-    const JobResult r = f.get();
-    switch (r.status) {
-      case JobStatus::kCompleted:
-        ++outcome.completed;
-        outcome.latencies_us.push_back(
-            std::chrono::duration<double, std::micro>(r.latency).count());
-        if (r.deadline_missed) ++outcome.deadline_missed;
-        break;
-      case JobStatus::kRejected: ++outcome.rejected; break;
-      case JobStatus::kShed: ++outcome.shed; break;
-    }
+    count_outcome(f.get(), outcome);
   }
 }
 
@@ -121,6 +117,7 @@ LoadGenReport run_load(BulkService& service, const std::vector<WorkloadItem>& wo
     report.completed += o.completed;
     report.rejected += o.rejected;
     report.shed += o.shed;
+    report.failed += o.failed;
     report.deadline_missed += o.deadline_missed;
     latencies.insert(latencies.end(), o.latencies_us.begin(), o.latencies_us.end());
   }

@@ -39,6 +39,7 @@ struct LoadGenReport {
   std::size_t completed = 0;
   std::size_t rejected = 0;
   std::size_t shed = 0;
+  std::size_t failed = 0;  ///< resolved as kFailed (callback-path execution failure)
   std::size_t deadline_missed = 0;
   double jobs_per_sec = 0;  ///< completed / wall_seconds
   // Latency of completed jobs (submit → completion), microseconds.

@@ -1,6 +1,7 @@
 #include "serve/metrics.hpp"
 
 #include <bit>
+#include <mutex>
 #include <sstream>
 
 namespace obx::serve {
@@ -67,6 +68,18 @@ void Histogram::reset() {
   max_.store(0, std::memory_order_relaxed);
 }
 
+TenantCounters& Metrics::tenant(const std::string& tenant) {
+  {
+    std::shared_lock lock(tenants_mutex_);
+    const auto it = tenants_.find(tenant);
+    if (it != tenants_.end()) return *it->second;
+  }
+  std::unique_lock lock(tenants_mutex_);
+  auto& slot = tenants_[tenant];
+  if (!slot) slot = std::make_unique<TenantCounters>();
+  return *slot;
+}
+
 MetricsSnapshot Metrics::snapshot() const {
   MetricsSnapshot s;
   s.submitted = submitted.load(std::memory_order_relaxed);
@@ -75,6 +88,7 @@ MetricsSnapshot Metrics::snapshot() const {
   s.shed = shed.load(std::memory_order_relaxed);
   s.failed = failed.load(std::memory_order_relaxed);
   s.deadline_missed = deadline_missed.load(std::memory_order_relaxed);
+  s.throttled = throttled.load(std::memory_order_relaxed);
   s.batches = batches.load(std::memory_order_relaxed);
   s.queue_depth = queue_depth.load(std::memory_order_relaxed);
   s.flush_size = flush_size.load(std::memory_order_relaxed);
@@ -89,6 +103,27 @@ MetricsSnapshot Metrics::snapshot() const {
   s.mean_batch_occupancy = batch_occupancy.mean();
   s.max_batch_occupancy = static_cast<double>(batch_occupancy.max());
   s.mean_batch_sim_units = batch_sim_units.mean();
+  {
+    std::shared_lock lock(tenants_mutex_);
+    s.tenants.reserve(tenants_.size());
+    for (const auto& [name, counters] : tenants_) {  // std::map: sorted order
+      TenantSnapshot t;
+      t.tenant = name;
+      t.submitted = counters->submitted.load(std::memory_order_relaxed);
+      t.completed = counters->completed.load(std::memory_order_relaxed);
+      t.rejected = counters->rejected.load(std::memory_order_relaxed);
+      t.shed = counters->shed.load(std::memory_order_relaxed);
+      t.failed = counters->failed.load(std::memory_order_relaxed);
+      t.deadline_missed = counters->deadline_missed.load(std::memory_order_relaxed);
+      t.throttled = counters->throttled.load(std::memory_order_relaxed);
+      t.overflow_block = counters->overflow_block.load(std::memory_order_relaxed);
+      t.overflow_reject = counters->overflow_reject.load(std::memory_order_relaxed);
+      t.overflow_shed = counters->overflow_shed.load(std::memory_order_relaxed);
+      t.mean_queue_delay_us = counters->queue_delay_us.mean();
+      t.p95_queue_delay_us = static_cast<double>(counters->queue_delay_us.quantile(0.95));
+      s.tenants.push_back(std::move(t));
+    }
+  }
   return s;
 }
 
@@ -97,7 +132,7 @@ std::string MetricsSnapshot::to_string() const {
   os << "serve.metrics:\n"
      << "  jobs        submitted=" << submitted << " completed=" << completed
      << " rejected=" << rejected << " shed=" << shed << " failed=" << failed
-     << " deadline_missed=" << deadline_missed << "\n"
+     << " deadline_missed=" << deadline_missed << " throttled=" << throttled << "\n"
      << "  queue       depth=" << queue_depth
      << " delay_us mean=" << mean_queue_delay_us << " p50=" << p50_queue_delay_us
      << " p95=" << p95_queue_delay_us << "\n"
@@ -107,6 +142,112 @@ std::string MetricsSnapshot::to_string() const {
      << "  flushes     size=" << flush_size << " delay=" << flush_delay
      << " deadline=" << flush_deadline << " drain=" << flush_drain << "\n"
      << "  simulated   units/batch mean=" << mean_batch_sim_units << "\n";
+  for (const TenantSnapshot& t : tenants) {
+    os << "  tenant " << t.tenant << ": submitted=" << t.submitted
+       << " completed=" << t.completed << " rejected=" << t.rejected
+       << " shed=" << t.shed << " failed=" << t.failed
+       << " throttled=" << t.throttled << " overflow(block=" << t.overflow_block
+       << " reject=" << t.overflow_reject << " shed=" << t.overflow_shed
+       << ") delay_us mean=" << t.mean_queue_delay_us
+       << " p95=" << t.p95_queue_delay_us << "\n";
+  }
+  return os.str();
+}
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default:
+        // Any other control byte (including '\r' and DEL) would either be
+        // invisible or let a tenant name smuggle format structure into the
+        // scrape; a validated placeholder keeps the exposition parseable.
+        if (static_cast<unsigned char>(c) < 0x20 || c == '\x7f') {
+          out += '_';
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void counter(std::ostringstream& os, const char* name, std::uint64_t value) {
+  os << "# TYPE " << name << " counter\n" << name << " " << value << "\n";
+}
+
+void gauge(std::ostringstream& os, const char* name, double value) {
+  os << "# TYPE " << name << " gauge\n" << name << " " << value << "\n";
+}
+
+/// One labelled counter family: emits a `{tenant="..."}` sample per tenant.
+void tenant_counter(std::ostringstream& os, const std::string& name,
+                    const std::vector<TenantSnapshot>& tenants,
+                    std::uint64_t TenantSnapshot::* field) {
+  os << "# TYPE " << name << " counter\n";
+  for (const TenantSnapshot& t : tenants) {
+    os << name << "{tenant=\"" << escape_label_value(t.tenant) << "\"} "
+       << t.*field << "\n";
+  }
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsSnapshot& s) {
+  std::ostringstream os;
+  counter(os, "obx_serve_jobs_submitted_total", s.submitted);
+  counter(os, "obx_serve_jobs_completed_total", s.completed);
+  counter(os, "obx_serve_jobs_rejected_total", s.rejected);
+  counter(os, "obx_serve_jobs_shed_total", s.shed);
+  counter(os, "obx_serve_jobs_failed_total", s.failed);
+  counter(os, "obx_serve_jobs_deadline_missed_total", s.deadline_missed);
+  counter(os, "obx_serve_jobs_throttled_total", s.throttled);
+  counter(os, "obx_serve_batches_total", s.batches);
+  gauge(os, "obx_serve_queue_depth", static_cast<double>(s.queue_depth));
+  gauge(os, "obx_serve_queue_delay_us_mean", s.mean_queue_delay_us);
+  gauge(os, "obx_serve_queue_delay_us_p50", s.p50_queue_delay_us);
+  gauge(os, "obx_serve_queue_delay_us_p95", s.p95_queue_delay_us);
+  gauge(os, "obx_serve_batch_latency_us_mean", s.mean_batch_latency_us);
+  gauge(os, "obx_serve_batch_latency_us_p95", s.p95_batch_latency_us);
+  gauge(os, "obx_serve_batch_occupancy_mean", s.mean_batch_occupancy);
+  gauge(os, "obx_serve_batch_occupancy_max", s.max_batch_occupancy);
+  counter(os, "obx_serve_flush_size_total", s.flush_size);
+  counter(os, "obx_serve_flush_delay_total", s.flush_delay);
+  counter(os, "obx_serve_flush_deadline_total", s.flush_deadline);
+  counter(os, "obx_serve_flush_drain_total", s.flush_drain);
+  if (!s.tenants.empty()) {
+    tenant_counter(os, "obx_serve_tenant_submitted_total", s.tenants,
+                   &TenantSnapshot::submitted);
+    tenant_counter(os, "obx_serve_tenant_completed_total", s.tenants,
+                   &TenantSnapshot::completed);
+    tenant_counter(os, "obx_serve_tenant_rejected_total", s.tenants,
+                   &TenantSnapshot::rejected);
+    tenant_counter(os, "obx_serve_tenant_shed_total", s.tenants,
+                   &TenantSnapshot::shed);
+    tenant_counter(os, "obx_serve_tenant_failed_total", s.tenants,
+                   &TenantSnapshot::failed);
+    tenant_counter(os, "obx_serve_tenant_deadline_missed_total", s.tenants,
+                   &TenantSnapshot::deadline_missed);
+    tenant_counter(os, "obx_serve_tenant_throttled_total", s.tenants,
+                   &TenantSnapshot::throttled);
+    tenant_counter(os, "obx_serve_tenant_overflow_block_total", s.tenants,
+                   &TenantSnapshot::overflow_block);
+    tenant_counter(os, "obx_serve_tenant_overflow_reject_total", s.tenants,
+                   &TenantSnapshot::overflow_reject);
+    tenant_counter(os, "obx_serve_tenant_overflow_shed_total", s.tenants,
+                   &TenantSnapshot::overflow_shed);
+    os << "# TYPE obx_serve_tenant_queue_delay_us_p95 gauge\n";
+    for (const TenantSnapshot& t : s.tenants) {
+      os << "obx_serve_tenant_queue_delay_us_p95{tenant=\""
+         << escape_label_value(t.tenant) << "\"} " << t.p95_queue_delay_us << "\n";
+    }
+  }
   return os.str();
 }
 

@@ -1,15 +1,21 @@
-// Service metrics: lock-free counters and log2-bucketed histograms.
+// Service metrics: lock-free counters and log2-bucketed histograms, global
+// and per tenant, with a Prometheus-style text rendering.
 //
-// The hot paths (submit, dispatch, batch completion) only touch atomics;
-// snapshot() reads them without stopping the world, so numbers from a live
-// service are approximate in the usual monitoring sense (each individual
-// counter is exact, cross-counter consistency is not guaranteed).
+// The hot paths (submit, dispatch, batch completion) only touch atomics
+// (plus one shared-locked map lookup for the tenant row); snapshot() reads
+// them without stopping the world, so numbers from a live service are
+// approximate in the usual monitoring sense (each individual counter is
+// exact, cross-counter consistency is not guaranteed).
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
 #include <string>
+#include <vector>
 
 namespace obx::serve {
 
@@ -46,6 +52,33 @@ class Histogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+/// Per-tenant accounting row.  Overflow counters record which admission
+/// policy fired *on this tenant's submissions* (blocked-and-waited /
+/// rejected at the door / shed something to get in); `shed` counts this
+/// tenant's own jobs evicted as victims, `throttled` its quota rejections.
+struct TenantCounters {
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> deadline_missed{0};
+  std::atomic<std::uint64_t> throttled{0};
+  std::atomic<std::uint64_t> overflow_block{0};
+  std::atomic<std::uint64_t> overflow_reject{0};
+  std::atomic<std::uint64_t> overflow_shed{0};
+  Histogram queue_delay_us;  ///< submit → dispatch, completed jobs
+};
+
+/// Point-in-time copy of one tenant's counters.
+struct TenantSnapshot {
+  std::string tenant;
+  std::uint64_t submitted = 0, completed = 0, rejected = 0, shed = 0, failed = 0;
+  std::uint64_t deadline_missed = 0, throttled = 0;
+  std::uint64_t overflow_block = 0, overflow_reject = 0, overflow_shed = 0;
+  double mean_queue_delay_us = 0, p95_queue_delay_us = 0;
+};
+
 /// Point-in-time copy of every counter, for reporting.
 struct MetricsSnapshot {
   std::uint64_t submitted = 0;
@@ -54,6 +87,7 @@ struct MetricsSnapshot {
   std::uint64_t shed = 0;
   std::uint64_t failed = 0;  ///< resolved with an exception (execution threw)
   std::uint64_t deadline_missed = 0;
+  std::uint64_t throttled = 0;  ///< rejected at the per-tenant quota gate
   std::uint64_t batches = 0;
   std::int64_t queue_depth = 0;
 
@@ -63,6 +97,9 @@ struct MetricsSnapshot {
   double mean_batch_occupancy = 0, max_batch_occupancy = 0;
   double mean_batch_sim_units = 0;
   std::uint64_t flush_size = 0, flush_delay = 0, flush_deadline = 0, flush_drain = 0;
+
+  /// Per-tenant rows, sorted by tenant id (deterministic rendering).
+  std::vector<TenantSnapshot> tenants;
 
   /// Multi-line human-readable dump (the "text snapshot" of the service).
   std::string to_string() const;
@@ -76,6 +113,7 @@ class Metrics {
   std::atomic<std::uint64_t> shed{0};
   std::atomic<std::uint64_t> failed{0};
   std::atomic<std::uint64_t> deadline_missed{0};
+  std::atomic<std::uint64_t> throttled{0};
   std::atomic<std::uint64_t> batches{0};
   std::atomic<std::int64_t> queue_depth{0};
   std::atomic<std::uint64_t> flush_size{0};
@@ -88,7 +126,26 @@ class Metrics {
   Histogram batch_occupancy;    ///< lanes per executed batch
   Histogram batch_sim_units;    ///< simulated UMM time units per batch
 
+  /// The accounting row for `tenant`, created on first use.  The returned
+  /// reference is stable for the lifetime of the Metrics object.
+  TenantCounters& tenant(const std::string& tenant);
+
   MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::shared_mutex tenants_mutex_;
+  std::map<std::string, std::unique_ptr<TenantCounters>> tenants_;
 };
+
+/// Escapes a tenant id (or any string) for use as a Prometheus label value:
+/// backslash, double quote and newline get the exposition-format escapes,
+/// and every other control byte is replaced with '_' so a hostile tenant
+/// name can never corrupt the scrape output.
+std::string escape_label_value(const std::string& value);
+
+/// Renders a snapshot in the Prometheus text exposition format (counters
+/// and gauges prefixed `obx_serve_`, one `tenant="..."` labelled family per
+/// per-tenant counter).  Deterministic: tenants render in sorted order.
+std::string render_prometheus(const MetricsSnapshot& snapshot);
 
 }  // namespace obx::serve

@@ -66,13 +66,17 @@ class BulkService::BatchQueue {
 };
 
 BulkService::BulkService(ServiceOptions options)
-    : options_(options), batcher_(options.batcher) {
+    : options_(options), batcher_(options.batcher), tenants_(options.default_quota) {
   OBX_CHECK(options_.executors > 0, "executor pool needs at least one worker");
   options_.prepare.reference_lanes = options_.batcher.max_batch_lanes;
   options_.prepare.workers = options_.workers_per_batch;
   programs_ = std::make_unique<ProgramCache>(options_.prepare);
   queue_ = std::make_unique<AdmissionQueue>(options_.queue_capacity, options_.policy);
   batches_ = std::make_unique<BatchQueue>(options_.executors * 2);
+  const Clock::time_point now = Clock::now();
+  for (const auto& [tenant, quota] : options_.tenant_quotas) {
+    tenants_.set_quota(tenant, quota, now);
+  }
   batcher_thread_ = std::thread([this] { batcher_loop(); });
   executor_threads_.reserve(options_.executors);
   for (unsigned i = 0; i < options_.executors; ++i) {
@@ -86,9 +90,70 @@ void BulkService::register_program(const std::string& id, trace::Program program
   programs_->add(id, std::move(program));
 }
 
+void BulkService::set_tenant_quota(const std::string& tenant, TenantQuota quota) {
+  tenants_.set_quota(tenant, quota, Clock::now());
+}
+
+BulkService::TrySubmit BulkService::admit(Job&& job, bool allow_block) {
+  TenantCounters& tenant = metrics_.tenant(job.tenant);
+  const OverflowPolicy policy = options_.effective_policy(job.priority);
+
+  // Quota gate first: a tenant over its bucket never touches the shared
+  // queue, so a quota storm cannot displace other tenants' work.
+  const bool quota_ok = tenants_.admit(job.tenant, Clock::now());
+
+  if (!quota_ok) {
+    metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+    tenant.submitted.fetch_add(1, std::memory_order_relaxed);
+    metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+    metrics_.throttled.fetch_add(1, std::memory_order_relaxed);
+    tenant.rejected.fetch_add(1, std::memory_order_relaxed);
+    tenant.throttled.fetch_add(1, std::memory_order_relaxed);
+    JobResult r;
+    r.status = JobStatus::kRejected;
+    r.error = "tenant quota exceeded";
+    job.resolve(std::move(r));
+    return TrySubmit::kResolved;
+  }
+
+  std::optional<Job> shed;
+  bool waited = false;
+  const std::string tenant_id = job.tenant;  // job may be consumed by push
+  const auto result = queue_->push(std::move(job), policy, &shed, allow_block, &waited);
+
+  if (result == AdmissionQueue::PushResult::kWouldBlock) {
+    // Nothing happened: hand the quota token back so the retry is not
+    // charged twice.  (push leaves the job untouched, but our caller keeps
+    // the original input, so the Job itself can be dropped.)
+    tenants_.refund(tenant_id);
+    return TrySubmit::kWouldBlock;
+  }
+
+  metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
+  tenant.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (waited) tenant.overflow_block.fetch_add(1, std::memory_order_relaxed);
+  if (shed.has_value()) {
+    tenant.overflow_shed.fetch_add(1, std::memory_order_relaxed);
+    resolve_dropped(std::move(*shed), JobStatus::kShed);
+  }
+  if (result == AdmissionQueue::PushResult::kRejected) {
+    // push() leaves the job untouched on rejection, so it is still ours to
+    // resolve.
+    metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+    tenant.rejected.fetch_add(1, std::memory_order_relaxed);
+    tenant.overflow_reject.fetch_add(1, std::memory_order_relaxed);
+    JobResult r;
+    r.status = JobStatus::kRejected;
+    job.resolve(std::move(r));
+    return TrySubmit::kResolved;
+  }
+  metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
+  return TrySubmit::kResolved;
+}
+
 std::future<JobResult> BulkService::submit(const std::string& id,
                                            std::vector<Word> input,
-                                           std::optional<Clock::duration> deadline) {
+                                           const SubmitOptions& options) {
   const PreparedProgram& prepared = programs_->get(id);
   OBX_CHECK(input.size() == prepared.input_words(),
             "input has " + std::to_string(input.size()) + " words, program '" + id +
@@ -97,37 +162,58 @@ std::future<JobResult> BulkService::submit(const std::string& id,
   Job job;
   job.id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
   job.program_id = id;
+  job.tenant = options.tenant;
+  job.priority = options.priority;
   job.input = std::move(input);
   job.enqueue_time = Clock::now();
-  if (deadline.has_value()) job.deadline = job.enqueue_time + *deadline;
+  if (options.deadline.has_value()) job.deadline = job.enqueue_time + *options.deadline;
   std::future<JobResult> future = job.promise.get_future();
 
-  metrics_.submitted.fetch_add(1, std::memory_order_relaxed);
-  std::optional<Job> shed;
-  const auto result = queue_->push(std::move(job), &shed);
-  if (shed.has_value()) resolve_dropped(std::move(*shed), JobStatus::kShed);
-  if (result == AdmissionQueue::PushResult::kRejected) {
-    // push() leaves the job untouched on rejection, so the promise is still
-    // ours to resolve.
-    metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
-    JobResult r;
-    r.status = JobStatus::kRejected;
-    job.promise.set_value(std::move(r));
-    return future;
-  }
-  metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
+  admit(std::move(job), /*allow_block=*/true);
   return future;
+}
+
+std::future<JobResult> BulkService::submit(const std::string& id,
+                                           std::vector<Word> input,
+                                           std::optional<Clock::duration> deadline) {
+  SubmitOptions options;
+  options.deadline = deadline;
+  return submit(id, std::move(input), options);
+}
+
+BulkService::TrySubmit BulkService::try_submit(const std::string& id,
+                                               std::vector<Word> input,
+                                               const SubmitOptions& options,
+                                               std::function<void(JobResult&&)> done) {
+  const PreparedProgram& prepared = programs_->get(id);
+  OBX_CHECK(input.size() == prepared.input_words(),
+            "input has " + std::to_string(input.size()) + " words, program '" + id +
+                "' expects " + std::to_string(prepared.input_words()));
+  OBX_CHECK(static_cast<bool>(done), "try_submit needs a completion callback");
+
+  Job job;
+  job.id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  job.program_id = id;
+  job.tenant = options.tenant;
+  job.priority = options.priority;
+  job.input = std::move(input);
+  job.enqueue_time = Clock::now();
+  if (options.deadline.has_value()) job.deadline = job.enqueue_time + *options.deadline;
+  job.on_complete = std::move(done);
+
+  return admit(std::move(job), /*allow_block=*/false);
 }
 
 void BulkService::resolve_dropped(Job&& job, JobStatus status) {
   if (status == JobStatus::kShed) {
     metrics_.shed.fetch_add(1, std::memory_order_relaxed);
+    metrics_.tenant(job.tenant).shed.fetch_add(1, std::memory_order_relaxed);
     metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
   }
   JobResult r;
   r.status = status;
   r.latency = Clock::now() - job.enqueue_time;
-  job.promise.set_value(std::move(r));
+  job.resolve(std::move(r));
 }
 
 void BulkService::batcher_loop() {
@@ -203,7 +289,10 @@ void BulkService::execute(Batch&& batch) {
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
     metrics_.failed.fetch_add(batch.jobs.size(), std::memory_order_relaxed);
-    for (Job& job : batch.jobs) job.promise.set_exception(error);
+    for (Job& job : batch.jobs) {
+      metrics_.tenant(job.tenant).failed.fetch_add(1, std::memory_order_relaxed);
+      job.resolve_error(error);
+    }
     return;
   }
 
@@ -217,6 +306,7 @@ void BulkService::execute(Batch&& batch) {
 
   for (std::size_t j = 0; j < lanes; ++j) {
     Job& job = batch.jobs[j];
+    TenantCounters& tenant = metrics_.tenant(job.tenant);
     JobResult r;
     r.status = JobStatus::kCompleted;
     r.output = std::move(outputs[j]);
@@ -225,11 +315,14 @@ void BulkService::execute(Batch&& batch) {
     r.batch_lanes = lanes;
     r.deadline_missed = job.deadline.has_value() && completed > *job.deadline;
     metrics_.queue_delay_us.record(to_us(r.queue_delay));
+    tenant.queue_delay_us.record(to_us(r.queue_delay));
     metrics_.completed.fetch_add(1, std::memory_order_relaxed);
+    tenant.completed.fetch_add(1, std::memory_order_relaxed);
     if (r.deadline_missed) {
       metrics_.deadline_missed.fetch_add(1, std::memory_order_relaxed);
+      tenant.deadline_missed.fetch_add(1, std::memory_order_relaxed);
     }
-    job.promise.set_value(std::move(r));
+    job.resolve(std::move(r));
   }
 }
 

@@ -1,0 +1,66 @@
+#include "serve/tenant.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace obx::serve {
+
+void TokenBucket::refill(Clock::time_point now) {
+  if (now <= refilled_) return;
+  const double elapsed = std::chrono::duration<double>(now - refilled_).count();
+  tokens_ = std::min(quota_.effective_burst(), tokens_ + elapsed * quota_.rate_hz);
+  refilled_ = now;
+}
+
+bool TokenBucket::try_acquire(Clock::time_point now) {
+  if (quota_.rate_hz <= 0) return true;
+  refill(now);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+void TokenBucket::refund() {
+  if (quota_.rate_hz <= 0) return;
+  tokens_ = std::min(quota_.effective_burst(), tokens_ + 1.0);
+}
+
+double TokenBucket::tokens(Clock::time_point now) {
+  refill(now);
+  return tokens_;
+}
+
+TokenBucket* TenantTable::bucket_locked(const std::string& tenant,
+                                        Clock::time_point now) {
+  const auto it = buckets_.find(tenant);
+  if (it != buckets_.end()) return &it->second;
+  if (!default_quota_.has_value()) return nullptr;  // unlimited
+  return &buckets_.try_emplace(tenant, *default_quota_, now).first->second;
+}
+
+void TenantTable::set_quota(const std::string& tenant, TenantQuota quota,
+                            Clock::time_point now) {
+  std::lock_guard lock(mutex_);
+  buckets_.insert_or_assign(tenant, TokenBucket(quota, now));
+}
+
+bool TenantTable::admit(const std::string& tenant, Clock::time_point now) {
+  std::lock_guard lock(mutex_);
+  TokenBucket* bucket = bucket_locked(tenant, now);
+  return bucket == nullptr || bucket->try_acquire(now);
+}
+
+void TenantTable::refund(const std::string& tenant) {
+  std::lock_guard lock(mutex_);
+  const auto it = buckets_.find(tenant);
+  if (it != buckets_.end()) it->second.refund();
+}
+
+std::optional<TenantQuota> TenantTable::quota_for(const std::string& tenant) const {
+  std::lock_guard lock(mutex_);
+  const auto it = buckets_.find(tenant);
+  if (it != buckets_.end()) return it->second.quota();
+  return default_quota_;
+}
+
+}  // namespace obx::serve

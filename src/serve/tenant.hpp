@@ -1,0 +1,87 @@
+// Per-tenant admission quotas for the multi-tenant serving front end.
+//
+// A tenant is whoever a request claims to be submitted on behalf of (the
+// network protocol carries the id verbatim).  Tenants are mutually
+// distrusting: one tenant flooding the service must not be able to starve
+// the others, so admission charges a per-tenant token bucket *before* the
+// shared queue is touched.  Buckets are clock-injected — every method takes
+// `now` — so quota behaviour is deterministic and unit-testable, exactly
+// like the Batcher.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace obx::serve {
+
+/// Token-bucket quota: sustained `rate_hz` jobs/s with bursts up to `burst`
+/// jobs.  rate_hz <= 0 means unlimited (the bucket never throttles).
+struct TenantQuota {
+  double rate_hz = 0;
+  /// Bucket capacity; <= 0 defaults to max(rate_hz, 1) — one second of
+  /// sustained rate.
+  double burst = 0;
+
+  double effective_burst() const {
+    return burst > 0 ? burst : (rate_hz > 1 ? rate_hz : 1.0);
+  }
+};
+
+/// Classic token bucket, refilled lazily from the elapsed time between
+/// try_acquire calls.  Not thread-safe on its own; TenantTable serialises.
+class TokenBucket {
+ public:
+  TokenBucket(TenantQuota quota, Clock::time_point now)
+      : quota_(quota), tokens_(quota.effective_burst()), refilled_(now) {}
+
+  /// Takes one token if available.  Unlimited quotas always succeed.
+  bool try_acquire(Clock::time_point now);
+
+  /// Returns one token (an admission that was rolled back because the queue
+  /// would have blocked a non-blocking caller; the retry re-charges it).
+  void refund();
+
+  double tokens(Clock::time_point now);
+  const TenantQuota& quota() const { return quota_; }
+
+ private:
+  void refill(Clock::time_point now);
+
+  TenantQuota quota_;
+  double tokens_;
+  Clock::time_point refilled_;
+};
+
+/// Thread-safe tenant id → quota bucket registry.  Tenants without an
+/// explicit quota fall back to `default_quota` (when set) or run unlimited.
+class TenantTable {
+ public:
+  explicit TenantTable(std::optional<TenantQuota> default_quota = std::nullopt)
+      : default_quota_(default_quota) {}
+
+  /// Installs (or replaces) `tenant`'s quota; a replacement starts a fresh
+  /// bucket at full burst.
+  void set_quota(const std::string& tenant, TenantQuota quota, Clock::time_point now);
+
+  /// Charges one job against `tenant`'s bucket.  True = admit.
+  bool admit(const std::string& tenant, Clock::time_point now);
+
+  /// Returns one token to `tenant`'s bucket (rolled-back admission).
+  void refund(const std::string& tenant);
+
+  std::optional<TenantQuota> quota_for(const std::string& tenant) const;
+
+ private:
+  TokenBucket* bucket_locked(const std::string& tenant, Clock::time_point now);
+
+  std::optional<TenantQuota> default_quota_;
+  mutable std::mutex mutex_;
+  std::map<std::string, TokenBucket> buckets_;
+};
+
+}  // namespace obx::serve

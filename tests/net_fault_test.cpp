@@ -1,0 +1,56 @@
+// Network fault campaign: abusive peers (droppers, torn frames, slow-loris,
+// quota storms) and injected executor faults must never break the wire-level
+// exactly-once ledger or leak a job.
+#include <gtest/gtest.h>
+
+#include "check/net_fault.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace obx::check;
+
+TEST(NetFaultCampaign, CleanEngineAbusivePeers) {
+  NetCampaignOptions options;
+  options.seed = 1;
+  options.jobs_per_client = 48;
+  options.tenants = 4;
+  options.abusers = 3;
+  options.storm_jobs = 32;
+  const NetCampaignReport report = run_net_fault_campaign(options);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.client_completed, 0u);
+  EXPECT_GT(report.server.protocol_errors, 0u)
+      << "the garbage writers should have tripped the frame decoder";
+}
+
+TEST(NetFaultCampaign, InjectedExecutorFaultsBecomeErrorFrames) {
+  NetCampaignOptions options;
+  options.seed = 2;
+  options.jobs_per_client = 48;
+  options.tenants = 3;
+  options.abusers = 2;
+  options.storm_jobs = 16;
+  options.plan.fail_every_batches = 4;  // every 4th batch throws
+  const NetCampaignReport report = run_net_fault_campaign(options);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.client_failed, 0u)
+      << "injected faults should surface as error frames, not hangs";
+  EXPECT_GT(report.client_completed, 0u);
+}
+
+TEST(NetFaultCampaign, AllocFailuresUnderShedPolicy) {
+  NetCampaignOptions options;
+  options.seed = 3;
+  options.jobs_per_client = 32;
+  options.tenants = 3;
+  options.abusers = 2;
+  options.storm_jobs = 16;
+  options.queue_capacity = 16;  // tight queue: overflow paths fire
+  options.policy = serve::OverflowPolicy::kShedOldest;
+  options.plan.alloc_fail_every_batches = 5;
+  const NetCampaignReport report = run_net_fault_campaign(options);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Wire protocol codec: round trips, incremental reassembly, and strict
+// rejection of malformed frames.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/net_fault.hpp"
+#include "net/frame.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace obx::net;
+
+SubmitFrame sample_submit() {
+  SubmitFrame f;
+  f.request_id = 42;
+  f.program_id = "prefix-sums";
+  f.tenant = "tenant-a";
+  f.priority = serve::Priority::kHigh;
+  f.deadline_us = 1500;
+  f.input = {1, 2, 3, 0xffffffffffffffffULL};
+  return f;
+}
+
+TEST(NetFrame, SubmitRoundTrip) {
+  const std::vector<std::uint8_t> bytes = encode(Frame{sample_submit()});
+  ASSERT_GE(bytes.size(), kFrameHeaderBytes);
+
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  Frame out;
+  ASSERT_EQ(reader.next(out), FrameReader::Status::kFrame);
+  const auto& decoded = std::get<SubmitFrame>(out);
+  EXPECT_EQ(decoded.request_id, 42u);
+  EXPECT_EQ(decoded.program_id, "prefix-sums");
+  EXPECT_EQ(decoded.tenant, "tenant-a");
+  EXPECT_EQ(decoded.priority, serve::Priority::kHigh);
+  EXPECT_EQ(decoded.deadline_us, 1500);
+  EXPECT_EQ(decoded.input, sample_submit().input);
+  EXPECT_EQ(reader.next(out), FrameReader::Status::kNeedMore);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(NetFrame, ResponseAndErrorRoundTrip) {
+  ResponseFrame r;
+  r.request_id = 7;
+  r.status = obx::serve::JobStatus::kShed;
+  r.deadline_missed = true;
+  r.batch_lanes = 128;
+  r.queue_delay_us = 250;
+  r.latency_us = 900;
+  r.output = {10, 20};
+  ErrorFrame e;
+  e.request_id = 8;
+  e.code = ErrorCode::kUnknownProgram;
+  e.message = "no such program";
+
+  std::vector<std::uint8_t> bytes;
+  encode_frame(Frame{r}, bytes);
+  encode_frame(Frame{e}, bytes);
+
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  Frame out;
+  ASSERT_EQ(reader.next(out), FrameReader::Status::kFrame);
+  const auto& dr = std::get<ResponseFrame>(out);
+  EXPECT_EQ(dr.status, obx::serve::JobStatus::kShed);
+  EXPECT_TRUE(dr.deadline_missed);
+  EXPECT_EQ(dr.output, r.output);
+  ASSERT_EQ(reader.next(out), FrameReader::Status::kFrame);
+  const auto& de = std::get<ErrorFrame>(out);
+  EXPECT_EQ(de.code, ErrorCode::kUnknownProgram);
+  EXPECT_EQ(de.message, "no such program");
+}
+
+TEST(NetFrame, ByteAtATimeReassembly) {
+  const std::vector<std::uint8_t> bytes = encode(Frame{sample_submit()});
+  FrameReader reader;
+  Frame out;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    reader.feed(&bytes[i], 1);
+    ASSERT_EQ(reader.next(out), FrameReader::Status::kNeedMore)
+        << "frame completed early at byte " << i;
+  }
+  reader.feed(&bytes.back(), 1);
+  ASSERT_EQ(reader.next(out), FrameReader::Status::kFrame);
+  EXPECT_EQ(std::get<SubmitFrame>(out).program_id, "prefix-sums");
+}
+
+TEST(NetFrame, TruncatedHeaderIsNeedMoreNotError) {
+  const std::vector<std::uint8_t> bytes = encode(Frame{sample_submit()});
+  FrameReader reader;
+  reader.feed(bytes.data(), kFrameHeaderBytes - 1);
+  Frame out;
+  EXPECT_EQ(reader.next(out), FrameReader::Status::kNeedMore);
+  EXPECT_FALSE(reader.failed());
+}
+
+TEST(NetFrame, BadMagicPoisonsTheStream) {
+  std::vector<std::uint8_t> bytes = encode(Frame{sample_submit()});
+  bytes[0] ^= 0xff;
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  Frame out;
+  EXPECT_EQ(reader.next(out), FrameReader::Status::kError);
+  EXPECT_TRUE(reader.failed());
+  // Poisoned for good: even a subsequent valid frame is refused.
+  const std::vector<std::uint8_t> good = encode(Frame{sample_submit()});
+  reader.feed(good.data(), good.size());
+  EXPECT_EQ(reader.next(out), FrameReader::Status::kError);
+}
+
+TEST(NetFrame, BadVersionRejected) {
+  std::vector<std::uint8_t> bytes = encode(Frame{sample_submit()});
+  bytes[4] = 99;
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  Frame out;
+  EXPECT_EQ(reader.next(out), FrameReader::Status::kError);
+}
+
+TEST(NetFrame, OversizedLengthRejectedWithoutAllocating) {
+  std::vector<std::uint8_t> bytes = encode(Frame{sample_submit()});
+  const std::uint32_t huge = static_cast<std::uint32_t>(kMaxFramePayloadBytes) + 1;
+  bytes[8] = static_cast<std::uint8_t>(huge & 0xff);
+  bytes[9] = static_cast<std::uint8_t>((huge >> 8) & 0xff);
+  bytes[10] = static_cast<std::uint8_t>((huge >> 16) & 0xff);
+  bytes[11] = static_cast<std::uint8_t>((huge >> 24) & 0xff);
+  FrameReader reader;
+  reader.feed(bytes.data(), kFrameHeaderBytes);  // header alone must suffice
+  Frame out;
+  EXPECT_EQ(reader.next(out), FrameReader::Status::kError);
+}
+
+TEST(NetFrame, UnknownTypeRejected) {
+  std::vector<std::uint8_t> bytes = encode(Frame{sample_submit()});
+  bytes[5] = 200;
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  Frame out;
+  EXPECT_EQ(reader.next(out), FrameReader::Status::kError);
+}
+
+TEST(NetFrame, TrailingPayloadBytesRejected) {
+  SubmitFrame f = sample_submit();
+  std::vector<std::uint8_t> bytes = encode(Frame{f});
+  // Grow the payload by one byte and patch the header length to match: the
+  // declared length now exceeds what the submit payload parses to.
+  bytes.push_back(0);
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(bytes.size() - kFrameHeaderBytes);
+  bytes[8] = static_cast<std::uint8_t>(length & 0xff);
+  bytes[9] = static_cast<std::uint8_t>((length >> 8) & 0xff);
+  bytes[10] = static_cast<std::uint8_t>((length >> 16) & 0xff);
+  bytes[11] = static_cast<std::uint8_t>((length >> 24) & 0xff);
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  Frame out;
+  EXPECT_EQ(reader.next(out), FrameReader::Status::kError);
+}
+
+TEST(NetFrame, HostileTenantNamesSurviveRoundTrip) {
+  SubmitFrame f = sample_submit();
+  f.tenant = "evil\"name\\with\nnewlines\x01";
+  const std::vector<std::uint8_t> bytes = encode(Frame{f});
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  Frame out;
+  ASSERT_EQ(reader.next(out), FrameReader::Status::kFrame);
+  EXPECT_EQ(std::get<SubmitFrame>(out).tenant, f.tenant);
+}
+
+TEST(NetFrame, FuzzHarnessFindsNoViolations) {
+  obx::check::FrameFuzzOptions options;
+  options.seed = 20260808;
+  options.roundtrips = 150;
+  options.mutations = 300;
+  const obx::check::FrameFuzzReport report = obx::check::run_frame_fuzz(options);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.roundtrips, 150u);
+  EXPECT_EQ(report.mutations, 300u);
+  EXPECT_GT(report.mutations_rejected, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,365 @@
+// Multi-tenancy at the serve layer: token buckets, per-tenant quotas and
+// counters, priority-aware overflow, and hostile tenant names in the
+// Prometheus rendering.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "algos/algorithm.hpp"
+#include "common/rng.hpp"
+#include "serve/admission_queue.hpp"
+#include "serve/metrics.hpp"
+#include "serve/service.hpp"
+#include "serve/tenant.hpp"
+
+namespace {
+
+using namespace obx;
+using namespace obx::serve;
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// Token bucket (clock-injected, deterministic)
+// ---------------------------------------------------------------------------
+
+TEST(TokenBucket, BurstThenSustainedRate) {
+  const Clock::time_point t0 = Clock::now();
+  TokenBucket bucket(TenantQuota{/*rate_hz=*/10, /*burst=*/3}, t0);
+
+  // Burst capacity: exactly 3 immediate admissions.
+  EXPECT_TRUE(bucket.try_acquire(t0));
+  EXPECT_TRUE(bucket.try_acquire(t0));
+  EXPECT_TRUE(bucket.try_acquire(t0));
+  EXPECT_FALSE(bucket.try_acquire(t0));
+
+  // 100 ms at 10 Hz refills exactly one token.
+  EXPECT_TRUE(bucket.try_acquire(t0 + 100ms));
+  EXPECT_FALSE(bucket.try_acquire(t0 + 100ms));
+
+  // Refill caps at burst: a long idle spell is still only 3 tokens.
+  EXPECT_NEAR(bucket.tokens(t0 + 1h), 3.0, 1e-9);
+}
+
+TEST(TokenBucket, UnlimitedNeverThrottles) {
+  const Clock::time_point t0 = Clock::now();
+  TokenBucket bucket(TenantQuota{}, t0);  // rate 0 = unlimited
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(bucket.try_acquire(t0));
+}
+
+TEST(TokenBucket, RefundReturnsTheToken) {
+  const Clock::time_point t0 = Clock::now();
+  TokenBucket bucket(TenantQuota{/*rate_hz=*/1, /*burst=*/1}, t0);
+  EXPECT_TRUE(bucket.try_acquire(t0));
+  EXPECT_FALSE(bucket.try_acquire(t0));
+  bucket.refund();
+  EXPECT_TRUE(bucket.try_acquire(t0));
+}
+
+TEST(TenantTable, DefaultQuotaAppliesToUnknownTenants) {
+  const Clock::time_point t0 = Clock::now();
+  TenantTable table(TenantQuota{/*rate_hz=*/5, /*burst=*/1});
+  EXPECT_TRUE(table.admit("anyone", t0));
+  EXPECT_FALSE(table.admit("anyone", t0));   // bucket of burst 1 is empty
+  EXPECT_TRUE(table.admit("someone-else", t0));  // separate bucket
+
+  // An explicit quota overrides the default.
+  table.set_quota("vip", TenantQuota{/*rate_hz=*/1000, /*burst=*/100}, t0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(table.admit("vip", t0));
+  EXPECT_FALSE(table.admit("vip", t0));
+}
+
+TEST(TenantTable, NoDefaultMeansUnlimited) {
+  const Clock::time_point t0 = Clock::now();
+  TenantTable table;
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(table.admit("free", t0));
+  EXPECT_FALSE(table.quota_for("free").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus label escaping (hostile tenant names)
+// ---------------------------------------------------------------------------
+
+TEST(PrometheusEscape, EscapesExpositionMetaCharacters) {
+  EXPECT_EQ(escape_label_value("plain-tenant_1.2"), "plain-tenant_1.2");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+  // Other control bytes are flattened, never emitted raw.
+  EXPECT_EQ(escape_label_value(std::string("a\x01\x7f\tb")), "a___b");
+}
+
+TEST(PrometheusEscape, HostileTenantNameCannotCorruptScrape) {
+  Metrics metrics;
+  const std::string hostile =
+      "evil\"} 1\nobx_serve_tenant_completed_total{tenant=\"fake";
+  metrics.tenant(hostile).submitted.fetch_add(7);
+  metrics.tenant("normal").submitted.fetch_add(3);
+
+  const std::string text = render_prometheus(metrics.snapshot());
+  // The raw injection must not appear: no unescaped quote-brace sequence,
+  // and every line is either a comment or name{...} value / name value.
+  EXPECT_EQ(text.find("evil\"}"), std::string::npos);
+  EXPECT_NE(text.find("tenant=\"evil\\\"} 1\\nobx_serve"), std::string::npos);
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << "unparseable line: " << line;
+    // The value after the last space must be numeric.
+    EXPECT_NE(line.find_first_of("0123456789", space), std::string::npos)
+        << "line without numeric value: " << line;
+  }
+}
+
+TEST(PrometheusEscape, TenantsRenderSortedAndComplete) {
+  Metrics metrics;
+  metrics.tenant("beta").completed.fetch_add(2);
+  metrics.tenant("alpha").rejected.fetch_add(1);
+  const MetricsSnapshot snap = metrics.snapshot();
+  ASSERT_EQ(snap.tenants.size(), 2u);
+  EXPECT_EQ(snap.tenants[0].tenant, "alpha");
+  EXPECT_EQ(snap.tenants[1].tenant, "beta");
+  const std::string text = render_prometheus(snap);
+  EXPECT_NE(text.find("obx_serve_tenant_completed_total{tenant=\"beta\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("obx_serve_tenant_rejected_total{tenant=\"alpha\"} 1"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Priority-aware admission queue
+// ---------------------------------------------------------------------------
+
+Job make_job(std::uint64_t id, Priority priority) {
+  Job job;
+  job.id = id;
+  job.program_id = "p";
+  job.priority = priority;
+  job.enqueue_time = Clock::now();
+  return job;
+}
+
+TEST(PriorityShed, VictimIsOldestOfLeastImportantClass) {
+  AdmissionQueue queue(2, OverflowPolicy::kShedOldest);
+  ASSERT_EQ(queue.push(make_job(1, Priority::kHigh), OverflowPolicy::kShedOldest,
+                       nullptr),
+            AdmissionQueue::PushResult::kAccepted);
+  ASSERT_EQ(queue.push(make_job(2, Priority::kLow), OverflowPolicy::kShedOldest,
+                       nullptr),
+            AdmissionQueue::PushResult::kAccepted);
+
+  // Full queue, normal-priority newcomer: the low job is the victim even
+  // though the high one is older.
+  std::optional<Job> shed;
+  ASSERT_EQ(queue.push(make_job(3, Priority::kNormal),
+                       OverflowPolicy::kShedOldest, &shed),
+            AdmissionQueue::PushResult::kAccepted);
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->id, 2u);
+  EXPECT_EQ(shed->priority, Priority::kLow);
+}
+
+TEST(PriorityShed, NewcomerNeverEvictsHigherPriorityWork) {
+  AdmissionQueue queue(2, OverflowPolicy::kShedOldest);
+  ASSERT_EQ(queue.push(make_job(1, Priority::kHigh),
+                       OverflowPolicy::kShedOldest, nullptr),
+            AdmissionQueue::PushResult::kAccepted);
+  ASSERT_EQ(queue.push(make_job(2, Priority::kNormal),
+                       OverflowPolicy::kShedOldest, nullptr),
+            AdmissionQueue::PushResult::kAccepted);
+
+  // A low-priority newcomer outranks nothing in the queue: rejected, queue
+  // untouched.
+  std::optional<Job> shed;
+  Job low = make_job(3, Priority::kLow);
+  ASSERT_EQ(queue.push(std::move(low), OverflowPolicy::kShedOldest, &shed),
+            AdmissionQueue::PushResult::kRejected);
+  EXPECT_FALSE(shed.has_value());
+  EXPECT_EQ(queue.depth(), 2u);
+}
+
+TEST(PriorityShed, NonBlockingPushReportsWouldBlock) {
+  AdmissionQueue queue(1, OverflowPolicy::kBlock);
+  ASSERT_EQ(queue.push(make_job(1, Priority::kNormal), OverflowPolicy::kBlock,
+                       nullptr, /*allow_block=*/false),
+            AdmissionQueue::PushResult::kAccepted);
+  Job second = make_job(2, Priority::kNormal);
+  EXPECT_EQ(queue.push(std::move(second), OverflowPolicy::kBlock, nullptr,
+                       /*allow_block=*/false),
+            AdmissionQueue::PushResult::kWouldBlock);
+  EXPECT_EQ(queue.depth(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Service-level tenancy: quotas, per-tenant counters, overflow attribution
+// ---------------------------------------------------------------------------
+
+trace::Program tiny_program(std::size_t n) {
+  return algos::find("prefix-sums").make_program(n);
+}
+
+TEST(ServiceTenancy, QuotaRejectionsAreCountedPerTenant) {
+  ServiceOptions options;
+  options.queue_capacity = 64;
+  options.batcher.max_batch_lanes = 8;
+  options.batcher.max_batch_delay = 100us;
+  // 1 token burst, negligible refill: second submission must throttle.
+  options.tenant_quotas["starved"] = TenantQuota{/*rate_hz=*/0.001, /*burst=*/1};
+  BulkService service(options);
+  service.register_program("p", tiny_program(8));
+
+  Rng rng(1);
+  const auto input = [&] { return algos::find("prefix-sums").make_input(8, rng); };
+
+  SubmitOptions starved;
+  starved.tenant = "starved";
+  auto first = service.submit("p", input(), starved);
+  auto second = service.submit("p", input(), starved);
+  SubmitOptions fine;
+  fine.tenant = "unquotad";
+  auto third = service.submit("p", input(), fine);
+
+  EXPECT_EQ(first.get().status, JobStatus::kCompleted);
+  const JobResult throttled = second.get();
+  EXPECT_EQ(throttled.status, JobStatus::kRejected);
+  EXPECT_FALSE(throttled.error.empty());
+  EXPECT_EQ(third.get().status, JobStatus::kCompleted);
+  service.stop();
+
+  const MetricsSnapshot snap = service.snapshot();
+  EXPECT_EQ(snap.throttled, 1u);
+  bool found = false;
+  for (const TenantSnapshot& t : snap.tenants) {
+    if (t.tenant != "starved") continue;
+    found = true;
+    EXPECT_EQ(t.submitted, 2u);
+    EXPECT_EQ(t.completed, 1u);
+    EXPECT_EQ(t.rejected, 1u);
+    EXPECT_EQ(t.throttled, 1u);
+  }
+  EXPECT_TRUE(found) << "starved tenant missing from snapshot";
+}
+
+TEST(ServiceTenancy, OverflowPolicyAttributionPerTenant) {
+  ServiceOptions options;
+  options.queue_capacity = 1;
+  options.policy = OverflowPolicy::kReject;
+  // Huge batch delay so the queue stays occupied while we overflow it.
+  options.batcher.max_batch_lanes = 64;
+  options.batcher.max_batch_delay = 50ms;
+  options.executors = 1;
+  BulkService service(options);
+  service.register_program("p", tiny_program(8));
+
+  Rng rng(2);
+  const auto input = [&] { return algos::find("prefix-sums").make_input(8, rng); };
+
+  SubmitOptions a;
+  a.tenant = "tenant-a";
+  SubmitOptions b;
+  b.tenant = "tenant-b";
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(service.submit("p", input(), i % 2 ? a : b));
+  }
+  std::size_t rejected_total = 0;
+  for (auto& f : futures) {
+    if (f.get().status == JobStatus::kRejected) ++rejected_total;
+  }
+  service.stop();
+
+  const MetricsSnapshot snap = service.snapshot();
+  std::uint64_t attributed = 0;
+  for (const TenantSnapshot& t : snap.tenants) attributed += t.overflow_reject;
+  EXPECT_EQ(attributed, rejected_total)
+      << "every queue rejection must be attributed to the tenant that hit it";
+}
+
+TEST(ServiceTenancy, PriorityPolicyOverridesMapPerClass) {
+  ServiceOptions options;
+  options.queue_capacity = 128;
+  options.policy = OverflowPolicy::kBlock;
+  options.priority_policies[static_cast<std::size_t>(Priority::kLow)] =
+      OverflowPolicy::kReject;
+  EXPECT_EQ(options.effective_policy(Priority::kHigh), OverflowPolicy::kBlock);
+  EXPECT_EQ(options.effective_policy(Priority::kNormal), OverflowPolicy::kBlock);
+  EXPECT_EQ(options.effective_policy(Priority::kLow), OverflowPolicy::kReject);
+}
+
+TEST(ServiceTenancy, TrySubmitWouldBlockChargesNothing) {
+  // A capacity-1 queue is only ever *momentarily* full (the batcher pops
+  // eagerly), so a single-shot kWouldBlock expectation is a race.  Instead:
+  // spam an unlimited filler tenant to keep catching the queue full, and
+  // each time it is, probe the quota'd tenant.  Token arithmetic at the end
+  // proves the probe's kWouldBlock results consumed nothing.
+  ServiceOptions options;
+  options.queue_capacity = 1;
+  options.policy = OverflowPolicy::kBlock;
+  options.batcher.max_batch_lanes = 64;
+  options.batcher.max_batch_delay = 1ms;
+  options.executors = 1;
+  constexpr double kBurst = 64;
+  options.tenant_quotas["t"] = TenantQuota{/*rate_hz=*/0.001, kBurst};
+  BulkService service(options);
+  service.register_program("p", tiny_program(8));
+
+  Rng rng(3);
+  const auto input = [&] { return algos::find("prefix-sums").make_input(8, rng); };
+  SubmitOptions filler;
+  filler.tenant = "filler";
+  SubmitOptions probe;
+  probe.tenant = "t";
+
+  const auto discard = [](JobResult&&) {};
+  std::size_t probe_resolved = 0;
+  std::size_t probe_would_block = 0;
+  for (std::size_t attempt = 0;
+       attempt < 500000 && probe_would_block == 0 &&
+       probe_resolved + 1 < static_cast<std::size_t>(kBurst);
+       ++attempt) {
+    if (service.try_submit("p", input(), filler, discard) !=
+        BulkService::TrySubmit::kWouldBlock) {
+      continue;
+    }
+    // The queue was full a moment ago; probing now usually blocks too.  (A
+    // quota throttle would come back kResolved with a kRejected result —
+    // the snap.throttled == 0 assert below rules those out.)
+    if (service.try_submit("p", input(), probe, discard) ==
+        BulkService::TrySubmit::kWouldBlock) {
+      ++probe_would_block;
+    } else {
+      ++probe_resolved;  // the batcher won the race; a token is spent
+    }
+  }
+  ASSERT_GT(probe_would_block, 0u) << "never caught the queue full";
+
+  // If kWouldBlock refunded, exactly probe_resolved tokens are spent and
+  // kBurst - probe_resolved remain; drain these one at a time (queue never
+  // full) — a single throttle here means a would-block ate a token.
+  for (std::size_t i = probe_resolved; i < static_cast<std::size_t>(kBurst);
+       ++i) {
+    std::promise<JobResult> done;
+    auto future = done.get_future();
+    // The filler backlog may still hold the queue full for a moment; a
+    // kWouldBlock here charges nothing (that is the property under test),
+    // so retrying cannot skew the token arithmetic.
+    while (service.try_submit("p", input(), probe, [&](JobResult&& r) {
+             done.set_value(std::move(r));
+           }) == BulkService::TrySubmit::kWouldBlock) {
+      std::this_thread::yield();
+    }
+    EXPECT_EQ(future.get().status, JobStatus::kCompleted)
+        << "token " << i << " missing: kWouldBlock must not charge the quota";
+  }
+  service.stop();
+
+  const MetricsSnapshot snap = service.snapshot();
+  EXPECT_EQ(snap.throttled, 0u) << "kWouldBlock must not count as throttled";
+}
+
+}  // namespace

@@ -20,17 +20,30 @@
 //                    [--executors 1] [--policy block|reject|shed] [--queue-cap 2048]
 //                    [--deadline-us D] [--snapshot]   (batching service load test;
 //                    rate 0 = closed-loop)
+//   obx_cli serve    --listen HOST:PORT [--algos a,b] [--n N] [--queue-cap C]
+//                    [--policy block|reject|shed] [--executors E]
+//                    [--batch-lanes L] [--batch-delay-us D]
+//                    [--quota-rate R] [--quota-burst B] [--duration-s S]
+//                    (network front end over the batching service; runs for
+//                    --duration-s, or until stdin closes)
+//   obx_cli bench-net [--algos a,b] [--n N] [--jobs J] [--rate R] [--bursty]
+//                    [--tenants T] [--connections C] [--pipeline D]
+//                    [--seed S] [--scrape]
+//                    (loopback socket throughput vs the in-process service;
+//                    nonzero exit on any exactly-once violation)
 //   obx_cli fuzz     [--seed S] [--iters N] [--max-steps M] [--no-shrink]
-//                    [--no-faults] | [--replay FILE]
+//                    [--no-faults] [--no-net] | [--replay FILE]
 //                    (differential fuzz of the backend/arrangement/SIMD matrix
 //                    against the interpreter, plus serve fault-injection
-//                    campaigns; --replay re-checks a saved reproducer)
+//                    campaigns, protocol frame fuzz and a network fault
+//                    campaign; --replay re-checks a saved reproducer)
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "advisor/characterize.hpp"
@@ -40,11 +53,14 @@
 #include "bulk/timing_estimator.hpp"
 #include "check/fault.hpp"
 #include "check/fuzz.hpp"
+#include "check/net_fault.hpp"
 #include "common/cli.hpp"
 #include "common/format.hpp"
 #include "common/rng.hpp"
 #include "gpusim/virtual_gpu.hpp"
 #include "hmm/hmm_estimator.hpp"
+#include "net/load_gen.hpp"
+#include "net/server.hpp"
 #include "opt/optimizer.hpp"
 #include "plan/plan_cache.hpp"
 #include "plan/planner.hpp"
@@ -61,7 +77,8 @@ using namespace obx;
 int usage() {
   std::fprintf(stderr,
                "usage: obx_cli <list|run|plan|time|check|optimize|hmm|analyze|dump|"
-               "serve-bench|fuzz> [<algorithm>] [--n N] [--p P] [options]\n"
+               "serve-bench|serve|bench-net|fuzz> [<algorithm>] [--n N] [--p P] "
+               "[options]\n"
                "run 'obx_cli list' to see the algorithm library.\n");
   return 2;
 }
@@ -361,6 +378,193 @@ int cmd_serve_bench(const cli::Args& args) {
   return 0;
 }
 
+serve::ServiceOptions service_options_from(const cli::Args& args) {
+  serve::ServiceOptions options;
+  options.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-cap", 2048));
+  options.policy = serve::overflow_policy_from(args.get("policy", "block"));
+  options.batcher.max_batch_lanes =
+      static_cast<std::size_t>(args.get_int("batch-lanes", 512));
+  options.batcher.max_batch_delay =
+      std::chrono::microseconds(args.get_int("batch-delay-us", 1000));
+  options.executors = static_cast<unsigned>(args.get_int("executors", 2));
+  if (args.has("quota-rate")) {
+    serve::TenantQuota quota;
+    quota.rate_hz = args.get_double("quota-rate", 0);
+    quota.burst = args.get_double("quota-burst", 0);
+    options.default_quota = quota;
+  }
+  return options;
+}
+
+std::vector<serve::WorkloadItem> register_workload(
+    serve::BulkService& service, const std::vector<std::string>& algo_names,
+    std::size_t n) {
+  std::vector<serve::WorkloadItem> workload;
+  for (const std::string& name : algo_names) {
+    const algos::Algorithm& algo = algos::find(name);
+    service.register_program(name, algo.make_program(n));
+    workload.push_back(serve::WorkloadItem{
+        .program_id = name,
+        .make_input = [&algo, n](Rng& rng) { return algo.make_input(n, rng); }});
+  }
+  return workload;
+}
+
+// Stands up the network front end over the batching service and serves until
+// --duration-s elapses (or stdin closes, for interactive use).  Exits nonzero
+// if the wire ledger ends unbalanced.
+int cmd_serve(const cli::Args& args) {
+  const std::string listen = args.get("listen", "127.0.0.1:0");
+  const std::size_t colon = listen.rfind(':');
+  OBX_CHECK(colon != std::string::npos && colon + 1 < listen.size(),
+            "--listen expects HOST:PORT, got: " + listen);
+  net::ServerOptions server_options;
+  server_options.host = listen.substr(0, colon);
+  server_options.port =
+      static_cast<std::uint16_t>(std::stoi(listen.substr(colon + 1)));
+
+  serve::BulkService service(service_options_from(args));
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 1024));
+  const std::vector<std::string> algo_names =
+      split_csv(args.get("algos", "prefix-sums,horner"));
+  register_workload(service, algo_names, n);
+
+  net::Server server(service, server_options);
+  std::printf("listening on %s:%u — %zu programs (n=%zu), policy=%s\n",
+              server.host().c_str(), server.port(), algo_names.size(), n,
+              args.get("policy", "block").c_str());
+  std::fflush(stdout);
+
+  const std::int64_t duration_s = args.get_int("duration-s", 0);
+  if (duration_s > 0) {
+    std::this_thread::sleep_for(std::chrono::seconds(duration_s));
+  } else {
+    while (std::getchar() != EOF) {
+    }
+  }
+  server.stop();
+  service.stop();
+  const net::ServerStatsSnapshot stats = server.stats();
+  std::printf("%s", net::render_server_stats(stats).c_str());
+  return stats.exactly_once() ? 0 : 1;
+}
+
+// Loopback socket throughput vs the same workload driven in-process: the
+// wire adds framing + syscalls, so the gap between the two rows is the cost
+// of the network front end itself.  Nonzero exit on any lost or double
+// resolution on either path.
+int cmd_bench_net(const cli::Args& args) {
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 256));
+  const std::vector<std::string> algo_names =
+      split_csv(args.get("algos", "prefix-sums"));
+  const std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 4000));
+  const double rate = args.get_double("rate", 0);
+  const std::size_t tenant_count =
+      static_cast<std::size_t>(args.get_int("tenants", 3));
+  const unsigned connections =
+      static_cast<unsigned>(args.get_int("connections", 2));
+
+  std::printf("bench-net: %zu jobs, %zu tenants x %u connections, %s\n", jobs,
+              tenant_count, connections,
+              rate > 0 ? (format_fixed(rate, 0) + "/s arrivals").c_str()
+                       : "closed-loop");
+
+  analysis::Table table(
+      {"path", "jobs/s", "p50 us", "p95 us", "completed", "rejected", "shed"});
+  bool ok = true;
+
+  // Row 1: the same service driven in-process (no sockets, no framing).
+  double inproc_jobs_per_sec = 0;
+  {
+    serve::BulkService service(service_options_from(args));
+    const std::vector<serve::WorkloadItem> workload =
+        register_workload(service, algo_names, n);
+    serve::LoadGenOptions load;
+    load.jobs = jobs;
+    load.producers = static_cast<unsigned>(tenant_count) * connections;
+    load.arrival_rate_hz = rate;
+    load.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const serve::LoadGenReport report = serve::run_load(service, workload, load);
+    service.stop();
+    inproc_jobs_per_sec = report.jobs_per_sec;
+    table.add_row({"in-process", format_fixed(report.jobs_per_sec, 0),
+                   format_fixed(report.p50_latency_us, 0),
+                   format_fixed(report.p95_latency_us, 0),
+                   std::to_string(report.completed),
+                   std::to_string(report.rejected), std::to_string(report.shed)});
+  }
+
+  // Row 2: the same workload through net::Server on a loopback socket.
+  {
+    serve::BulkService service(service_options_from(args));
+    const std::vector<serve::WorkloadItem> workload =
+        register_workload(service, algo_names, n);
+    net::Server server(service, net::ServerOptions{});
+
+    static const serve::Priority kRotation[] = {serve::Priority::kHigh,
+                                                serve::Priority::kNormal,
+                                                serve::Priority::kLow};
+    std::vector<net::NetTenantSpec> tenants;
+    for (std::size_t t = 0; t < tenant_count; ++t) {
+      tenants.push_back(net::NetTenantSpec{
+          .name = "tenant-" + std::to_string(t),
+          .priority = kRotation[t % 3],
+          .weight = 1.0,
+          .connections = connections});
+    }
+    net::NetLoadOptions load;
+    load.jobs = jobs;
+    load.arrival_rate_hz = rate;
+    load.bursty = args.get_bool("bursty");
+    load.pipeline_depth = static_cast<std::size_t>(args.get_int("pipeline", 8));
+    load.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const net::NetLoadReport report = net::run_net_load(
+        server.host(), server.port(), workload, tenants, load);
+    server.stop();
+    service.stop();
+    const net::ServerStatsSnapshot stats = server.stats();
+    table.add_row({"loopback", format_fixed(report.jobs_per_sec, 0),
+                   format_fixed(report.tenants.empty()
+                                    ? 0.0
+                                    : report.tenants[0].p50_latency_us, 0),
+                   format_fixed(report.tenants.empty()
+                                    ? 0.0
+                                    : report.tenants[0].p95_latency_us, 0),
+                   std::to_string(report.completed),
+                   std::to_string(report.rejected), std::to_string(report.shed)});
+    if (!report.exactly_once()) {
+      std::printf("VIOLATION: load ledger unbalanced: submitted=%zu "
+                  "completed=%zu rejected=%zu shed=%zu failed=%zu transport=%zu\n",
+                  report.submitted, report.completed, report.rejected,
+                  report.shed, report.failed, report.transport_errors);
+      ok = false;
+    }
+    if (report.transport_errors != 0) {
+      std::printf("VIOLATION: %zu transport errors on loopback\n",
+                  report.transport_errors);
+      ok = false;
+    }
+    if (!stats.exactly_once()) {
+      std::printf("VIOLATION: server ledger unbalanced: admitted=%llu "
+                  "sent=%llu dropped=%llu\n",
+                  static_cast<unsigned long long>(stats.submits_admitted),
+                  static_cast<unsigned long long>(stats.responses_sent),
+                  static_cast<unsigned long long>(stats.responses_dropped));
+      ok = false;
+    }
+    if (inproc_jobs_per_sec > 0) {
+      std::printf("loopback/in-process throughput ratio: %.2f\n",
+                  report.jobs_per_sec / inproc_jobs_per_sec);
+    }
+    if (args.get_bool("scrape")) {
+      std::printf("--- metrics scrape ---\n%s", server.scrape_metrics().c_str());
+    }
+  }
+  table.print(std::cout);
+  return ok ? 0 : 1;
+}
+
 // Differential fuzzing (check::run_fuzz) plus serve fault-injection
 // campaigns (check::run_fault_campaign).  Deterministic in --seed; exits
 // nonzero on any divergence or lifecycle violation, printing a ready-to-save
@@ -450,7 +654,32 @@ int cmd_fuzz(const cli::Args& args) {
       faults_ok = faults_ok && r.exactly_once();
     }
   }
-  return (report.ok() && faults_ok) ? 0 : 1;
+
+  // Wire-level legs: the protocol codec under mutation, then the whole
+  // serving path behind a real socket under abusive peers.
+  bool net_ok = true;
+  if (!args.get_bool("no-net")) {
+    check::FrameFuzzOptions frame_options;
+    frame_options.seed = options.seed;
+    const check::FrameFuzzReport frames = check::run_frame_fuzz(frame_options);
+    std::printf("%s\n", frames.summary().c_str());
+    for (const std::string& v : frames.violations) {
+      std::printf("  frame violation: %s\n", v.c_str());
+    }
+    net_ok = frames.ok();
+
+    check::NetCampaignOptions net_options;
+    net_options.seed = options.seed;
+    net_options.plan.fail_every_batches = 4;
+    const check::NetCampaignReport wire =
+        check::run_net_fault_campaign(net_options);
+    std::printf("%s\n", wire.summary().c_str());
+    for (const std::string& v : wire.violations) {
+      std::printf("  net violation: %s\n", v.c_str());
+    }
+    net_ok = net_ok && wire.ok();
+  }
+  return (report.ok() && faults_ok && net_ok) ? 0 : 1;
 }
 
 int cmd_dump(const cli::Args& args) {
@@ -469,11 +698,13 @@ int main(int argc, char** argv) {
     const cli::Args args = cli::Args::parse(
         argc, argv,
         {"overlap", "count-compute", "optimize", "snapshot", "names",
-         "no-optimise", "no-compile", "no-shrink", "no-faults"},
+         "no-optimise", "no-compile", "no-shrink", "no-faults", "no-net",
+         "bursty", "scrape"},
         {"n", "p", "width", "latency", "group", "model", "arrangement", "workers",
          "seed", "sms", "algos", "jobs", "rate", "producers", "batch-lanes",
-         "batch-delays-us", "executors", "policy", "queue-cap", "deadline-us",
-         "iters", "max-steps", "replay"});
+         "batch-delays-us", "batch-delay-us", "executors", "policy", "queue-cap",
+         "deadline-us", "iters", "max-steps", "replay", "listen", "duration-s",
+         "quota-rate", "quota-burst", "tenants", "connections", "pipeline"});
     if (args.positional().empty()) return usage();
     const std::string& cmd = args.positional()[0];
     if (cmd == "list") return cmd_list(args);
@@ -486,6 +717,8 @@ int main(int argc, char** argv) {
     if (cmd == "dump") return cmd_dump(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "serve-bench") return cmd_serve_bench(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "bench-net") return cmd_bench_net(args);
     if (cmd == "fuzz") return cmd_fuzz(args);
     return usage();
   } catch (const std::exception& e) {
