@@ -47,7 +47,7 @@ std::optional<std::uint32_t> Client::submit_async(
   submit.input = std::move(input);
   const std::uint32_t id = submit.request_id;
   if (!send_frame(Frame{std::move(submit)})) return std::nullopt;
-  ++outstanding_;
+  awaiting_.insert(id);
   return id;
 }
 
@@ -57,7 +57,6 @@ Client::Result Client::wait(std::uint32_t request_id) {
     if (parked != parked_.end()) {
       Result r = std::move(parked->second);
       parked_.erase(parked);
-      if (outstanding_ > 0) --outstanding_;
       return r;
     }
     if (broken()) {
@@ -65,20 +64,33 @@ Client::Result Client::wait(std::uint32_t request_id) {
       // terminal result so every submit still resolves exactly once.
       Result r;
       r.transport_error = transport_error_;
-      if (outstanding_ > 0) --outstanding_;
+      awaiting_.erase(request_id);
       return r;
     }
     Frame frame;
     if (!read_frame(frame)) continue;  // loop re-checks broken()
     const std::uint32_t id = request_id_of(frame);
     if (auto* response = std::get_if<ResponseFrame>(&frame)) {
-      parked_[id] = result_from(std::move(*response));
+      park(id, result_from(std::move(*response)));
     } else if (auto* error = std::get_if<ErrorFrame>(&frame)) {
-      parked_[id] = result_from(std::move(*error));
+      park(id, result_from(std::move(*error)));
     } else {
       mark_broken("unexpected frame type from server");
     }
   }
+}
+
+void Client::park(std::uint32_t id, Result&& result) {
+  if (awaiting_.erase(id) == 0) {
+    // Either an id we never submitted or a duplicate answer for one already
+    // parked/waited.  Both violate the one-response-per-request contract;
+    // accepting them would let a misbehaving server grow parked_ without
+    // bound or silently overwrite a delivered result.
+    mark_broken("response for request id " + std::to_string(id) +
+                " that is not outstanding");
+    return;
+  }
+  parked_[id] = std::move(result);
 }
 
 Client::Result Client::submit(const std::string& program_id,
@@ -113,9 +125,9 @@ std::string Client::scrape_stats() {
     }
     const std::uint32_t rid = request_id_of(frame);
     if (auto* response = std::get_if<ResponseFrame>(&frame)) {
-      parked_[rid] = result_from(std::move(*response));
+      park(rid, result_from(std::move(*response)));
     } else if (auto* error = std::get_if<ErrorFrame>(&frame)) {
-      parked_[rid] = result_from(std::move(*error));
+      park(rid, result_from(std::move(*error)));
     } else {
       mark_broken("unexpected frame type from server");
       return {};

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -76,8 +77,9 @@ class Client {
   /// Fetches the server's Prometheus metrics text ("" on transport death).
   std::string scrape_stats();
 
-  /// Requests outstanding (submitted, not yet waited) count.
-  std::size_t outstanding() const { return outstanding_; }
+  /// Requests outstanding (submitted, not yet waited) count: ids still
+  /// awaiting a server frame plus results parked for a later wait().
+  std::size_t outstanding() const { return awaiting_.size() + parked_.size(); }
 
   void close() { socket_.close(); }
 
@@ -87,11 +89,18 @@ class Client {
   bool read_frame(Frame& out);
   void mark_broken(const std::string& why);
 
+  /// Parks a Response/Error frame for a later wait().  The id must be in
+  /// awaiting_ — a frame for an id we never sent (or already answered) is a
+  /// protocol violation and breaks the transport, so a hostile server can
+  /// neither grow parked_ without bound nor overwrite a parked result.
+  void park(std::uint32_t id, Result&& result);
+
   Socket socket_;
   FrameReader reader_;
   std::string transport_error_;
   std::uint32_t next_request_id_ = 1;
-  std::size_t outstanding_ = 0;
+  /// Ids submitted whose Response/Error frame has not arrived yet.
+  std::set<std::uint32_t> awaiting_;
   /// Responses that arrived before their wait().
   std::map<std::uint32_t, Result> parked_;
 };

@@ -129,7 +129,15 @@ class Server::Loop {
         short events = 0;
         if (conn.want_read()) events = static_cast<short>(events | POLLIN);
         if (conn.want_write()) events = static_cast<short>(events | POLLOUT);
-        if (events == 0) continue;
+        // A parked connection is not read, but its peer can still vanish.
+        // Register it anyway (POLLERR/POLLHUP are reported regardless of
+        // `events`; POLLRDHUP additionally catches an orderly FIN) so a
+        // disconnected parker is noticed instead of squatting a slot.
+        const bool watch_hangup = conn.parked && !conn.closing;
+#ifdef POLLRDHUP
+        if (watch_hangup) events = static_cast<short>(events | POLLRDHUP);
+#endif
+        if (events == 0 && !watch_hangup) continue;
         fds.push_back(pollfd{conn.socket.fd(), events, 0});
         polled.push_back(id);
       }
@@ -154,7 +162,11 @@ class Server::Loop {
         }
         const short revents = fds[cursor++].revents;
         Connection& conn = it->second;
-        if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        short gone = POLLERR | POLLHUP | POLLNVAL;
+#ifdef POLLRDHUP
+        gone = static_cast<short>(gone | POLLRDHUP);
+#endif
+        if (revents & gone) {
           // Peer is gone; pending output is undeliverable.
           close_connection(it);
           continue;
@@ -460,7 +472,15 @@ class Server::Loop {
   void reap_closed() {
     for (auto it = connections_.begin(); it != connections_.end();) {
       auto cur = it++;
-      const Connection& conn = cur->second;
+      Connection& conn = cur->second;
+      if (conn.closing && conn.parked) {
+        // A closing connection never retries its parked submit (retry_parked
+        // skips it), so the frame is dead weight: drop it here or the
+        // connection becomes an unreapable zombie that holds a
+        // max_connections slot forever.
+        conn.parked.reset();
+        --parked_count_;
+      }
       if (conn.closing && !conn.want_write() && conn.in_flight == 0 &&
           !conn.parked) {
         close_connection(cur);

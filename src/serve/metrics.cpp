@@ -73,10 +73,14 @@ TenantCounters& Metrics::tenant(const std::string& tenant) {
     std::shared_lock lock(tenants_mutex_);
     const auto it = tenants_.find(tenant);
     if (it != tenants_.end()) return *it->second;
+    if (tenants_.size() >= kMaxTenants) return overflow_;
   }
   std::unique_lock lock(tenants_mutex_);
+  const auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return *it->second;
+  if (tenants_.size() >= kMaxTenants) return overflow_;
   auto& slot = tenants_[tenant];
-  if (!slot) slot = std::make_unique<TenantCounters>();
+  slot = std::make_unique<TenantCounters>();
   return *slot;
 }
 
@@ -103,26 +107,37 @@ MetricsSnapshot Metrics::snapshot() const {
   s.mean_batch_occupancy = batch_occupancy.mean();
   s.max_batch_occupancy = static_cast<double>(batch_occupancy.max());
   s.mean_batch_sim_units = batch_sim_units.mean();
+  const auto snap_tenant = [](const std::string& name,
+                              const TenantCounters& counters) {
+    TenantSnapshot t;
+    t.tenant = name;
+    t.submitted = counters.submitted.load(std::memory_order_relaxed);
+    t.completed = counters.completed.load(std::memory_order_relaxed);
+    t.rejected = counters.rejected.load(std::memory_order_relaxed);
+    t.shed = counters.shed.load(std::memory_order_relaxed);
+    t.failed = counters.failed.load(std::memory_order_relaxed);
+    t.deadline_missed = counters.deadline_missed.load(std::memory_order_relaxed);
+    t.throttled = counters.throttled.load(std::memory_order_relaxed);
+    t.overflow_block = counters.overflow_block.load(std::memory_order_relaxed);
+    t.overflow_reject = counters.overflow_reject.load(std::memory_order_relaxed);
+    t.overflow_shed = counters.overflow_shed.load(std::memory_order_relaxed);
+    t.mean_queue_delay_us = counters.queue_delay_us.mean();
+    t.p95_queue_delay_us = static_cast<double>(counters.queue_delay_us.quantile(0.95));
+    return t;
+  };
   {
     std::shared_lock lock(tenants_mutex_);
-    s.tenants.reserve(tenants_.size());
+    s.tenants.reserve(tenants_.size() + 1);
     for (const auto& [name, counters] : tenants_) {  // std::map: sorted order
-      TenantSnapshot t;
-      t.tenant = name;
-      t.submitted = counters->submitted.load(std::memory_order_relaxed);
-      t.completed = counters->completed.load(std::memory_order_relaxed);
-      t.rejected = counters->rejected.load(std::memory_order_relaxed);
-      t.shed = counters->shed.load(std::memory_order_relaxed);
-      t.failed = counters->failed.load(std::memory_order_relaxed);
-      t.deadline_missed = counters->deadline_missed.load(std::memory_order_relaxed);
-      t.throttled = counters->throttled.load(std::memory_order_relaxed);
-      t.overflow_block = counters->overflow_block.load(std::memory_order_relaxed);
-      t.overflow_reject = counters->overflow_reject.load(std::memory_order_relaxed);
-      t.overflow_shed = counters->overflow_shed.load(std::memory_order_relaxed);
-      t.mean_queue_delay_us = counters->queue_delay_us.mean();
-      t.p95_queue_delay_us = static_cast<double>(counters->queue_delay_us.quantile(0.95));
-      s.tenants.push_back(std::move(t));
+      s.tenants.push_back(snap_tenant(name, *counters));
     }
+  }
+  // The shared past-the-cap row only renders once something landed in it, so
+  // the common uncapped case is unchanged.
+  TenantSnapshot spill = snap_tenant(kOverflowTenant, overflow_);
+  if (spill.submitted || spill.rejected || spill.shed || spill.failed ||
+      spill.throttled || spill.overflow_block) {
+    s.tenants.push_back(std::move(spill));
   }
   return s;
 }

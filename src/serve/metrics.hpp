@@ -98,7 +98,9 @@ struct MetricsSnapshot {
   double mean_batch_sim_units = 0;
   std::uint64_t flush_size = 0, flush_delay = 0, flush_deadline = 0, flush_drain = 0;
 
-  /// Per-tenant rows, sorted by tenant id (deterministic rendering).
+  /// Per-tenant rows, sorted by tenant id (deterministic rendering), plus a
+  /// trailing Metrics::kOverflowTenant aggregate when the cardinality cap
+  /// was hit.
   std::vector<TenantSnapshot> tenants;
 
   /// Multi-line human-readable dump (the "text snapshot" of the service).
@@ -126,8 +128,20 @@ class Metrics {
   Histogram batch_occupancy;    ///< lanes per executed batch
   Histogram batch_sim_units;    ///< simulated UMM time units per batch
 
+  /// Cardinality cap: tenant ids arrive on the wire unauthenticated, so an
+  /// attacker can mint unlimited distinct ids.  At most this many get their
+  /// own row; the rest share the [`kOverflowTenant`] aggregate so memory and
+  /// scrape size stay bounded.
+  static constexpr std::size_t kMaxTenants = 1024;
+  /// Label the shared overflow row renders under.  A real tenant using this
+  /// exact id simply merges into the aggregate — harmless, since the row is
+  /// monitoring-only and quota enforcement does not key off it.
+  static constexpr const char* kOverflowTenant = "__overflow__";
+
   /// The accounting row for `tenant`, created on first use.  The returned
-  /// reference is stable for the lifetime of the Metrics object.
+  /// reference is stable for the lifetime of the Metrics object.  Once
+  /// kMaxTenants distinct ids are tracked, unseen ids all map to the shared
+  /// overflow row.
   TenantCounters& tenant(const std::string& tenant);
 
   MetricsSnapshot snapshot() const;
@@ -135,6 +149,8 @@ class Metrics {
  private:
   mutable std::shared_mutex tenants_mutex_;
   std::map<std::string, std::unique_ptr<TenantCounters>> tenants_;
+  /// Aggregate row for tenants past the cap; rendered as kOverflowTenant.
+  TenantCounters overflow_;
 };
 
 /// Escapes a tenant id (or any string) for use as a Prometheus label value:

@@ -35,6 +35,12 @@ TokenBucket* TenantTable::bucket_locked(const std::string& tenant,
   const auto it = buckets_.find(tenant);
   if (it != buckets_.end()) return &it->second;
   if (!default_quota_.has_value()) return nullptr;  // unlimited
+  if (buckets_.size() >= kMaxBuckets) {
+    // Past the cardinality cap: unseen ids share one default-quota bucket
+    // instead of minting fresh state per id.
+    if (!overflow_.has_value()) overflow_.emplace(*default_quota_, now);
+    return &*overflow_;
+  }
   return &buckets_.try_emplace(tenant, *default_quota_, now).first->second;
 }
 
@@ -53,7 +59,12 @@ bool TenantTable::admit(const std::string& tenant, Clock::time_point now) {
 void TenantTable::refund(const std::string& tenant) {
   std::lock_guard lock(mutex_);
   const auto it = buckets_.find(tenant);
-  if (it != buckets_.end()) it->second.refund();
+  if (it != buckets_.end()) {
+    it->second.refund();
+  } else if (overflow_.has_value()) {
+    // A past-the-cap tenant was charged against the shared bucket.
+    overflow_->refund();
+  }
 }
 
 std::optional<TenantQuota> TenantTable::quota_for(const std::string& tenant) const {

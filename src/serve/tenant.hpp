@@ -59,8 +59,18 @@ class TokenBucket {
 
 /// Thread-safe tenant id → quota bucket registry.  Tenants without an
 /// explicit quota fall back to `default_quota` (when set) or run unlimited.
+///
+/// Cardinality is bounded: tenant ids are client-supplied and
+/// unauthenticated, so with a default quota set, only the first kMaxBuckets
+/// distinct ids get a private bucket — later unseen ids all draw from one
+/// shared overflow bucket (also at default_quota).  An id-minting storm is
+/// therefore throttled collectively instead of growing the table without
+/// bound.  Explicitly configured quotas (set_quota) always get their own
+/// bucket and count toward the cap.
 class TenantTable {
  public:
+  static constexpr std::size_t kMaxBuckets = 1024;
+
   explicit TenantTable(std::optional<TenantQuota> default_quota = std::nullopt)
       : default_quota_(default_quota) {}
 
@@ -82,6 +92,8 @@ class TenantTable {
   std::optional<TenantQuota> default_quota_;
   mutable std::mutex mutex_;
   std::map<std::string, TokenBucket> buckets_;
+  /// Shared default-quota bucket for tenants first seen after the cap.
+  std::optional<TokenBucket> overflow_;
 };
 
 }  // namespace obx::serve

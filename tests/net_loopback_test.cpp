@@ -276,4 +276,100 @@ TEST(NetLoopback, LoadGeneratorExactlyOnceAcrossTenants) {
   service.stop();
 }
 
+TEST(NetLoopback, ParkedSubmitterDisconnectDoesNotLeakConnectionSlot) {
+  // Attack from the review: fill the queue so a submit parks, then hang up.
+  // A parked connection is not read and retry skips closing ones, so without
+  // parked-frame discard each such peer would permanently squat one of the
+  // max_connections slots (and stop() would burn the whole drain timeout).
+  serve::ServiceOptions service_options;
+  service_options.queue_capacity = 1;           // backpressure binds instantly
+  service_options.policy = serve::OverflowPolicy::kBlock;
+  service_options.batcher.max_batch_lanes = 1;  // one job per batch
+  service_options.batcher.max_batch_delay = 100us;
+  service_options.executors = 1;
+  serve::BulkService service(service_options);
+  const algos::Algorithm& algo = algos::find("prefix-sums");
+  constexpr std::size_t kN = 1024;  // slow enough that the executor lags
+  service.register_program("slow", algo.make_program(kN));
+  net::ServerOptions server_options;
+  server_options.max_connections = 4;
+  net::Server server(service, server_options);
+
+  Rng rng(77);
+  // More abusive rounds than slots: any leak fills the table.
+  for (int round = 0; round < 6; ++round) {
+    net::Client client(server.host(), server.port());
+    ASSERT_TRUE(client.connected()) << client.error();
+    for (int i = 0; i < 16; ++i) {
+      client.submit_async("slow", algo.make_input(kN, rng));
+    }
+    client.close();  // burst + EOF arrive in one readable pass
+  }
+  // Every abusive connection must be reaped once its writes fail or its
+  // hangup is observed; a zombie keeps connections_active pinned above 0.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (server.stats().connections_active > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(server.stats().connections_active, 0u)
+      << "closing parked connections were never reaped";
+  EXPECT_GT(server.stats().would_block, 0u)
+      << "no submit ever parked; the scenario under test did not fire";
+
+  // The server still has all its slots: a fresh client is served normally.
+  net::Client fresh(server.host(), server.port());
+  ASSERT_TRUE(fresh.connected()) << fresh.error();
+  std::vector<Word> input = algo.make_input(kN, rng);
+  const bulk::BulkOutputs direct =
+      bulk::run_bulk(algo.make_program(kN), input, 1);
+  const net::Client::Result r = fresh.submit("slow", input);
+  ASSERT_TRUE(r.ok()) << r.transport_error << " " << r.error;
+  EXPECT_EQ(r.output, direct.flat);
+
+  // No parked zombie left behind: drain is immediate, not drain_timeout.
+  const auto stop_start = std::chrono::steady_clock::now();
+  server.stop();
+  EXPECT_LT(std::chrono::steady_clock::now() - stop_start, 3s)
+      << "stop() burned the drain timeout on a parked zombie";
+  service.stop();
+}
+
+TEST(NetClient, ResponseForUnknownRequestIdBreaksTransport) {
+  // A buggy or malicious server must not be able to grow the client's parked
+  // map with made-up request ids, nor overwrite a parked result with a
+  // duplicate: both are protocol violations that kill the transport.
+  std::string error;
+  net::ListenSocket listener =
+      net::ListenSocket::listen("127.0.0.1", 0, /*backlog=*/8, &error);
+  ASSERT_TRUE(listener.valid()) << error;
+
+  net::Client client(listener.host(), listener.port());
+  ASSERT_TRUE(client.connected()) << client.error();
+  net::Socket peer = listener.accept();
+  ASSERT_TRUE(peer.valid());
+
+  const auto id = client.submit_async("prefix-sums", {1, 2, 3});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(client.outstanding(), 1u);
+
+  net::ResponseFrame bogus;
+  bogus.request_id = *id + 1000;  // never submitted
+  const std::vector<std::uint8_t> bytes = net::encode(net::Frame{bogus});
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const net::IoResult w =
+        peer.write_some(bytes.data() + sent, bytes.size() - sent);
+    ASSERT_EQ(w.kind, net::IoResult::Kind::kOk);
+    sent += w.bytes;
+  }
+
+  const net::Client::Result r = client.wait(*id);
+  EXPECT_FALSE(r.transport_error.empty());
+  EXPECT_NE(r.transport_error.find("not outstanding"), std::string::npos)
+      << r.transport_error;
+  EXPECT_FALSE(client.connected());
+  EXPECT_EQ(client.outstanding(), 0u) << "bogus id leaked into parked state";
+}
+
 }  // namespace

@@ -132,6 +132,51 @@ TEST(PrometheusEscape, TenantsRenderSortedAndComplete) {
 }
 
 // ---------------------------------------------------------------------------
+// Tenant cardinality caps (ids are client-supplied and unauthenticated, so
+// an id-minting storm must not grow server state without bound)
+// ---------------------------------------------------------------------------
+
+TEST(TenantCardinality, MetricsCapsTrackedTenantsIntoOverflowRow) {
+  Metrics metrics;
+  for (std::size_t i = 0; i < Metrics::kMaxTenants + 5; ++i) {
+    metrics.tenant("t-" + std::to_string(i)).submitted.fetch_add(1);
+  }
+  const MetricsSnapshot snap = metrics.snapshot();
+  ASSERT_EQ(snap.tenants.size(), Metrics::kMaxTenants + 1);
+  const TenantSnapshot& spill = snap.tenants.back();
+  EXPECT_EQ(spill.tenant, Metrics::kOverflowTenant);
+  EXPECT_EQ(spill.submitted, 5u);
+
+  // Every later unseen id keeps landing in the same shared row.
+  metrics.tenant("yet-another").rejected.fetch_add(2);
+  EXPECT_EQ(metrics.snapshot().tenants.size(), Metrics::kMaxTenants + 1);
+  EXPECT_EQ(metrics.snapshot().tenants.back().rejected, 2u);
+
+  // Already-tracked tenants still resolve to their own row.
+  metrics.tenant("t-0").submitted.fetch_add(1);
+  EXPECT_EQ(metrics.snapshot().tenants.front().submitted, 2u);
+}
+
+TEST(TenantCardinality, TableCapsDefaultQuotaBuckets) {
+  const Clock::time_point t0 = Clock::now();
+  TenantTable table(TenantQuota{/*rate_hz=*/1000, /*burst=*/2});
+  for (std::size_t i = 0; i < TenantTable::kMaxBuckets; ++i) {
+    ASSERT_TRUE(table.admit("t-" + std::to_string(i), t0));
+  }
+  // Unseen ids past the cap draw from one shared default bucket, so a storm
+  // of fresh ids is throttled collectively (two tokens across all of them).
+  EXPECT_TRUE(table.admit("spill-a", t0));
+  EXPECT_TRUE(table.admit("spill-b", t0));
+  EXPECT_FALSE(table.admit("spill-c", t0));
+  // A rolled-back past-the-cap admission refunds the shared bucket.
+  table.refund("spill-a");
+  EXPECT_TRUE(table.admit("spill-d", t0));
+  EXPECT_FALSE(table.admit("spill-e", t0));
+  // Tenants that got a private bucket before the cap are unaffected.
+  EXPECT_TRUE(table.admit("t-0", t0));
+}
+
+// ---------------------------------------------------------------------------
 // Priority-aware admission queue
 // ---------------------------------------------------------------------------
 
