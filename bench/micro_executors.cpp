@@ -18,6 +18,7 @@
 #include "bulk/bulk.hpp"
 #include "bulk/host_executor.hpp"
 #include "bulk/streaming_executor.hpp"
+#include "bulk/thread_pool.hpp"
 #include "bulk/timing_estimator.hpp"
 #include "bulk/umm_executor.hpp"
 #include "common/rng.hpp"
@@ -102,6 +103,50 @@ void BM_Fig11Backend(benchmark::State& state) {
   state.SetLabel(to_string(backend));
 }
 BENCHMARK(BM_Fig11Backend)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_Fig11BackendScaling(benchmark::State& state) {
+  // Thread-per-core scaling on the acceptance workload: Fig. 11 prefix sums
+  // at n = 1024, p = 4096, compiled backend, with the lane tiles spread over
+  // the CorePool.  Arg = worker count (0 = all cores via
+  // default_worker_count()); workers = 1 is the inline baseline, so
+  // jobs/s(N) / jobs/s(1) is the scheduler's measured speedup.  Steal and
+  // park totals ride along as counters — a steal-heavy run with low speedup
+  // points at tile-grain or wakeup tuning, not memory bandwidth.
+  const std::size_t n = 1024;
+  const std::size_t p = 4096;
+  const unsigned workers = state.range(0) != 0
+                               ? static_cast<unsigned>(state.range(0))
+                               : bulk::default_worker_count();
+  const trace::Program program = algos::prefix_sums_program(n);
+  const std::vector<Word> inputs = make_inputs(n, p);
+  const bulk::HostBulkExecutor executor(
+      bulk::Layout::column_wise(p, n),
+      bulk::HostBulkExecutor::Options{.workers = workers,
+                                      .backend = exec::Backend::kCompiled});
+  bulk::SchedulerStats sched;
+  for (auto _ : state) {
+    auto run = executor.run(program, inputs);
+    sched += run.sched;
+    benchmark::DoNotOptimize(run.memory.data());
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["tasks"] =
+      benchmark::Counter(static_cast<double>(sched.tasks) / iters);
+  state.counters["steals"] =
+      benchmark::Counter(static_cast<double>(sched.steals) / iters);
+  state.counters["parks"] =
+      benchmark::Counter(static_cast<double>(sched.parks) / iters);
+  state.counters["jobs_per_s"] = benchmark::Counter(
+      static_cast<double>(p) * iters, benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p * program.profile().total()));
+  state.SetLabel("workers=" + std::to_string(workers));
+}
+BENCHMARK(BM_Fig11BackendScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SimdVsScalar(benchmark::State& state) {
   // Lane-vectorization headroom on an ALU-dense workload: TEA (32 rounds of

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/check.hpp"
+#include "bulk/core_pool.hpp"
 #include "bulk/thread_pool.hpp"
 #include "exec/compiled_program.hpp"
 #include "trace/step.hpp"
@@ -115,6 +116,9 @@ HostRunResult HostBulkExecutor::run(const trace::Program& program,
   HostRunResult result;
   result.memory.assign(layout_.total_words(), Word{0});
   const std::size_t p = layout_.lanes();
+  const unsigned workers =
+      options_.workers == 0 ? default_worker_count() : options_.workers;
+  CorePool& pool = CorePool::instance();
 
   // Chunks must not split a blocked layout's block (alignment below); the
   // first chunk also reports the per-input step counts.
@@ -135,32 +139,42 @@ HostRunResult HostBulkExecutor::run(const trace::Program& program,
     const std::size_t tile =
         exec::resolve_tile_lanes(options_.tile_lanes, compiled->register_count(),
                                  layout_, simd_width_words(isa));
+    // One pool task per lane tile (not per worker): the steal loop soaks up
+    // skewed tile costs, and grain == tile keeps the task boundaries exactly
+    // the L1-sized, W-multiple tiles the kernels already use.  For blocked
+    // layouts the tile divides the block (resolve_tile_lanes), so
+    // tile-aligned task boundaries never split a block.
     const auto t0 = std::chrono::steady_clock::now();
-    parallel_for_chunks(p, options_.workers, align,
-                        [&](std::size_t begin, std::size_t end) {
-                          exec::run_compiled_chunk(*compiled, layout_, inputs,
-                                                   program.input_words, result.memory,
-                                                   begin, end, tile, isa);
-                        });
+    result.sched += pool.parallel_for(
+        p, align == 1 ? 1 : tile, tile, workers,
+        [&](std::size_t begin, std::size_t end) {
+          exec::run_compiled_chunk(*compiled, layout_, inputs, program.input_words,
+                                   result.memory, begin, end, tile, isa);
+        });
     const auto t1 = std::chrono::steady_clock::now();
     result.seconds = std::chrono::duration<double>(t1 - t0).count();
     return result;
   }
   result.simd = active_simd_isa();  // what trace::bulk_alu will dispatch to
 
-  parallel_for_chunks(p, options_.workers, 1, [&](std::size_t begin, std::size_t end) {
-    for (Lane j = begin; j < end; ++j) {
-      layout_.scatter(inputs.subspan(j * program.input_words, program.input_words), j,
-                      result.memory);
-    }
-  });
+  result.sched += pool.parallel_for(
+      p, 1, chunk_grain(p, 1, workers), workers, [&](std::size_t begin, std::size_t end) {
+        for (Lane j = begin; j < end; ++j) {
+          layout_.scatter(inputs.subspan(j * program.input_words, program.input_words),
+                          j, result.memory);
+        }
+      });
 
+  // Coarse chunks (~4 per worker), not per-tile: every interpreted chunk
+  // re-drains the program stream, so the grain must amortise that cost.
+  // The chunk containing lane 0 reports the per-input step counts.
   const auto t0 = std::chrono::steady_clock::now();
-  parallel_for_chunks(p, options_.workers, align,
-                      [&](std::size_t begin, std::size_t end) {
-                        run_chunk(program, result.memory, begin, end,
-                                  begin == 0 ? &result.counts : nullptr);
-                      });
+  result.sched += pool.parallel_for(
+      p, align, chunk_grain(p, align, workers), workers,
+      [&](std::size_t begin, std::size_t end) {
+        run_chunk(program, result.memory, begin, end,
+                  begin == 0 ? &result.counts : nullptr);
+      });
   const auto t1 = std::chrono::steady_clock::now();
   result.seconds = std::chrono::duration<double>(t1 - t0).count();
   return result;

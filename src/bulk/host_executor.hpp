@@ -15,6 +15,7 @@
 #include "common/aligned.hpp"
 #include "common/simd_isa.hpp"
 #include "common/types.hpp"
+#include "bulk/core_pool.hpp"
 #include "bulk/layout.hpp"
 #include "exec/backend.hpp"
 #include "trace/program.hpp"
@@ -41,6 +42,10 @@ struct HostRunResult {
   /// SIMD tier the lockstep loop ran at (Options::simd if set — compiled
   /// backend only — else the process-wide active_simd_isa()).
   SimdIsa simd = SimdIsa::kScalar;
+  /// What the CorePool scheduler did for this run (scatter + lockstep
+  /// regions): tile tasks, cross-thread steals, submitter parks.  All zero
+  /// for workers <= 1 runs, which never touch the pool.
+  SchedulerStats sched;
 };
 
 class HostBulkExecutor {
@@ -50,7 +55,10 @@ class HostBulkExecutor {
   /// one-off plan.  New code should plan once (plan::Planner / PlanCache)
   /// and use the plan-driven constructor below.
   struct Options {
-    unsigned workers = 1;  ///< host threads; lanes are chunked across them
+    /// Parallelism target per bulk run: lane tiles are executed by up to
+    /// this many threads of the shared bulk::CorePool (the caller counts as
+    /// one).  1 = run inline on the caller; 0 = auto (default_worker_count).
+    unsigned workers = 1;
     /// Lockstep engine.  kAuto / kCompiled compile the step stream once per
     /// (program, process) and run fused lane-tiled kernels, falling back to
     /// the interpreter when the stream exceeds compile_budget_steps.

@@ -56,6 +56,7 @@ StreamingExecutor::Stats StreamingExecutor::run(
       exec_batch = batch;
     }
     const HostRunResult run = exec->run(program, inputs);
+    stats.sched += run.sched;
     exec->gather_outputs(program, run.memory, outputs);
     const auto consume_start = Clock::now();
     for (std::size_t j = 0; j < batch; ++j) {

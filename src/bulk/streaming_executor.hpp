@@ -15,6 +15,7 @@
 
 #include "common/simd_isa.hpp"
 #include "common/types.hpp"
+#include "bulk/core_pool.hpp"
 #include "bulk/layout.hpp"
 #include "exec/backend.hpp"
 #include "trace/program.hpp"
@@ -48,6 +49,7 @@ class StreamingExecutor {
     std::size_t lanes = 0;
     double execute_seconds = 0.0;   ///< engine time: layout, lockstep run, gather
     double callback_seconds = 0.0;  ///< time spent inside fill_input/consume_output
+    SchedulerStats sched;           ///< CorePool work summed over the batches
     double seconds() const { return execute_seconds + callback_seconds; }
   };
 

@@ -1,54 +1,17 @@
 #include "bulk/thread_pool.hpp"
 
-#include <algorithm>
-#include <exception>
-#include <thread>
-#include <vector>
-
 #include "common/check.hpp"
+#include "bulk/core_pool.hpp"
 
 namespace obx::bulk {
-
-unsigned default_worker_count() {
-  return std::max(1u, std::thread::hardware_concurrency());
-}
 
 void parallel_for_chunks(std::size_t count, unsigned workers, std::size_t align,
                          const std::function<void(std::size_t, std::size_t)>& body) {
   OBX_CHECK(align > 0, "alignment must be positive");
   OBX_CHECK(count % align == 0, "count must be a multiple of the alignment");
   if (count == 0) return;
-  const std::size_t blocks = count / align;
-  const unsigned used = static_cast<unsigned>(
-      std::min<std::size_t>(std::max(1u, workers), blocks));
-  if (used == 1) {
-    body(0, count);
-    return;
-  }
-
-  std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(used);
-  threads.reserve(used);
-  const std::size_t per_worker = blocks / used;
-  const std::size_t remainder = blocks % used;
-  std::size_t begin_block = 0;
-  for (unsigned t = 0; t < used; ++t) {
-    const std::size_t take = per_worker + (t < remainder ? 1 : 0);
-    const std::size_t begin = begin_block * align;
-    const std::size_t end = (begin_block + take) * align;
-    begin_block += take;
-    threads.emplace_back([&, t, begin, end] {
-      try {
-        body(begin, end);
-      } catch (...) {
-        errors[t] = std::current_exception();
-      }
-    });
-  }
-  for (auto& th : threads) th.join();
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  CorePool::instance().parallel_for(count, align, chunk_grain(count, align, workers),
+                                    workers, body);
 }
 
 }  // namespace obx::bulk

@@ -1,10 +1,14 @@
-// A small fork-join helper for partitioning lanes across host threads.
+// Fork-join helper for partitioning lanes across host threads — now a thin
+// shim over the process-wide bulk::CorePool (see core_pool.hpp).
 //
 // Bulk lanes are fully independent (one input per lane), so the parallel
-// decomposition is embarrassing: split [0, p) into contiguous chunks, run the
-// whole program per chunk.  On a single-core host this degrades to a plain
-// loop; the figures of the reproduction rely on simulated UMM time, not on
-// host parallelism (see DESIGN.md).
+// decomposition is embarrassing: split [0, p) into contiguous chunks, run
+// the whole program per chunk.  Historically each call spawned and joined
+// fresh std::threads; chunks now become lane-tile tasks on the persistent
+// work-stealing pool, so per-batch scheduling cost is one deque push per
+// tile instead of a thread spawn per worker.  Semantics are unchanged:
+// workers <= 1 runs inline on the caller, and the first exception thrown by
+// any chunk is rethrown on the caller after the region completes.
 #pragma once
 
 #include <cstddef>
@@ -12,13 +16,16 @@
 
 namespace obx::bulk {
 
-/// Largest sensible worker count on this host (hardware_concurrency, >= 1).
+/// Worker count the pool (and `workers = 0` knobs) default to: the CPUs in
+/// this process's affinity mask (cgroup/taskset aware; falls back to
+/// hardware_concurrency), overridable with OBX_WORKERS.  Latched once per
+/// process; always >= 1.
 unsigned default_worker_count();
 
-/// Invokes body(chunk_begin, chunk_end) on `workers` threads over [0, count),
-/// chunk boundaries aligned down to `align` (the layout block size, so chunks
-/// never split a block).  Runs inline when workers <= 1.  Exceptions from
-/// workers are rethrown on the caller.
+/// Invokes body(chunk_begin, chunk_end) across up to `workers` threads over
+/// [0, count), chunk boundaries aligned to `align` (the layout block size,
+/// so chunks never split a block).  Runs inline when workers <= 1.  The
+/// first exception from any chunk is rethrown on the caller.
 void parallel_for_chunks(std::size_t count, unsigned workers, std::size_t align,
                          const std::function<void(std::size_t, std::size_t)>& body);
 

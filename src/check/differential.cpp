@@ -134,6 +134,24 @@ std::vector<ExecConfig> config_matrix(std::size_t p, std::size_t program_steps) 
     configs.push_back(i);
   }
 
+  // Steal-scheduler stress: oversubscribe the CorePool (8-way) with one-lane
+  // tiles so nearly every task crosses the work-stealing deques, plus the
+  // interpreted engine at the same width.  Any ordering- or
+  // ownership-sensitivity in the steal loop shows up as a memory-image
+  // divergence from the oracle.
+  if (p >= 4) {
+    ExecConfig steal;
+    steal.backend = exec::Backend::kCompiled;
+    steal.simd = tiers.back();
+    steal.workers = 8;
+    steal.tile_lanes = 1;
+    configs.push_back(steal);
+    ExecConfig isteal;
+    isteal.backend = exec::Backend::kInterpreted;
+    isteal.workers = 8;
+    configs.push_back(isteal);
+  }
+
   // Compile-budget straddles (fresh cache slots, see run_config): one step
   // under budget must fall back to the interpreter bit-identically; exactly
   // at budget must compile.

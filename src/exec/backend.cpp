@@ -151,7 +151,14 @@ void run_compiled_chunk(const CompiledProgram& compiled, const bulk::Layout& lay
   OBX_CHECK(compiled.memory_words() == layout.words_per_input(),
             "compiled program sized for a different layout");
   const std::size_t reg_count = std::max<std::size_t>(compiled.register_count(), 1);
-  aligned_vector<Word> regs(reg_count * tile_lanes);
+  // Grow-only thread-local register scratch: with the CorePool submitting
+  // one task per tile, this entry point runs once per tile on whichever
+  // thread stole it — a heap allocation here would dominate small tiles.
+  // Only the first reg_count * tile_lanes words are used (and re-zeroed per
+  // tile below), so a large earlier program cannot leak state into this one.
+  thread_local aligned_vector<Word> regs;
+  const std::size_t regs_needed = reg_count * tile_lanes;
+  if (regs.size() < regs_needed) regs.resize(regs_needed);
   const SegmentFn segment_fn = segment_fn_for(isa);
 
   Tile t;
@@ -167,7 +174,7 @@ void run_compiled_chunk(const CompiledProgram& compiled, const bulk::Layout& lay
     t.base = base;
     t.len = std::min(tile_lanes, lane_end - base);
     scatter_tile(t, inputs, input_words);
-    std::fill(regs.begin(), regs.end(), Word{0});
+    std::fill_n(regs.data(), regs_needed, Word{0});
     for (const CompiledProgram::Segment& seg : compiled.segments()) {
       segment_fn(t, seg);
     }

@@ -49,8 +49,12 @@ std::size_t resolve_tile_lanes(std::size_t requested, std::size_t reg_count,
 /// Executes `compiled` over lanes [lane_begin, lane_end), tile by tile,
 /// scattering each tile's inputs in place.  `memory` must be pre-zeroed;
 /// inputs are lane-major flat (lane j at inputs[j * input_words ...]).
-/// For blocked layouts [lane_begin, lane_end) must be block-aligned and
-/// `tile_lanes` must divide the block (see resolve_tile_lanes).  `isa`
+/// For blocked layouts `tile_lanes` must divide the block and lane_begin
+/// must be a tile_lanes multiple (see resolve_tile_lanes) — tile addressing
+/// splits lane_begin into a block index and an in-block offset, so any
+/// tile-aligned range works, including ranges starting mid-block (how the
+/// CorePool submits one task per tile).  Thread-safe across disjoint lane
+/// ranges; keeps a grow-only thread_local register scratch.  `isa`
 /// selects the lane-vectorized kernel set (lanes are packed
 /// `simd_width_words(isa)` per vector, ragged tails handled scalar); tiers
 /// this binary lacks degrade to the widest one it has.  Any tier is

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "bulk/bulk.hpp"
+#include "bulk/core_pool.hpp"
 #include "bulk/thread_pool.hpp"
 #include "bulk/timing_estimator.hpp"
 
@@ -51,6 +52,9 @@ std::uint64_t plan_fingerprint(const ExecutionPlan& plan) {
   mix(static_cast<std::uint64_t>(plan.backend()));
   mix(static_cast<std::uint64_t>(pv.simd));
   mix(pv.simd_width);
+  mix(pv.resolved_workers);
+  mix(pv.pool_workers);
+  mix(pv.pool_pinned ? 1 : 0);
   mix(pv.resolved_tile_lanes);
   mix(static_cast<std::uint64_t>(pv.row_units));
   mix(static_cast<std::uint64_t>(pv.col_units));
@@ -139,6 +143,13 @@ std::shared_ptr<const ExecutionPlan> Planner::build(trace::Program program) cons
   pv.resolved_tile_lanes =
       exec::resolve_tile_lanes(options_.tile_lanes, reg_count,
                                plan->layout(options_.reference_lanes), pv.simd_width);
+
+  // 5. Workers — resolve the knob against the shared CorePool's topology
+  //    (0 = one lane-consumer per pool worker) and record both sides: how
+  //    many threads a run will target, and the pool shape backing it.
+  pv.resolved_workers = plan->workers_;
+  pv.pool_workers = bulk::default_worker_count();
+  pv.pool_pinned = bulk::CorePool::pinning_enabled();
 
   plan->fingerprint_ = plan_fingerprint(*plan);
   return plan;

@@ -1,5 +1,7 @@
 #include "serve/metrics.hpp"
 
+#include "bulk/core_pool.hpp"
+
 #include <bit>
 #include <mutex>
 #include <sstream>
@@ -139,6 +141,16 @@ MetricsSnapshot Metrics::snapshot() const {
       spill.throttled || spill.overflow_block) {
     s.tenants.push_back(std::move(spill));
   }
+  // Scheduler visibility: the pool is process-wide, so these counters cover
+  // every executor sharing it (reading them never spawns the workers).
+  const bulk::CorePool::CountersSnapshot sched = bulk::CorePool::instance().counters();
+  s.sched_workers = sched.worker_busy_ns.size();
+  s.sched_pinned = sched.pinned;
+  s.sched_tasks = sched.tasks;
+  s.sched_steals = sched.steals;
+  s.sched_parks = sched.parks;
+  s.sched_unparks = sched.unparks;
+  s.sched_worker_busy_ns = sched.worker_busy_ns;
   return s;
 }
 
@@ -156,7 +168,11 @@ std::string MetricsSnapshot::to_string() const {
      << " p95=" << p95_batch_latency_us << "\n"
      << "  flushes     size=" << flush_size << " delay=" << flush_delay
      << " deadline=" << flush_deadline << " drain=" << flush_drain << "\n"
-     << "  simulated   units/batch mean=" << mean_batch_sim_units << "\n";
+     << "  simulated   units/batch mean=" << mean_batch_sim_units << "\n"
+     << "  scheduler   workers=" << sched_workers
+     << (sched_pinned ? " pinned" : " unpinned") << " tasks=" << sched_tasks
+     << " steals=" << sched_steals << " parks=" << sched_parks
+     << " unparks=" << sched_unparks << "\n";
   for (const TenantSnapshot& t : tenants) {
     os << "  tenant " << t.tenant << ": submitted=" << t.submitted
        << " completed=" << t.completed << " rejected=" << t.rejected
@@ -236,6 +252,19 @@ std::string render_prometheus(const MetricsSnapshot& s) {
   counter(os, "obx_serve_flush_delay_total", s.flush_delay);
   counter(os, "obx_serve_flush_deadline_total", s.flush_deadline);
   counter(os, "obx_serve_flush_drain_total", s.flush_drain);
+  gauge(os, "obx_serve_sched_workers", static_cast<double>(s.sched_workers));
+  gauge(os, "obx_serve_sched_pinned", s.sched_pinned ? 1.0 : 0.0);
+  counter(os, "obx_serve_sched_tasks_total", s.sched_tasks);
+  counter(os, "obx_serve_sched_steals_total", s.sched_steals);
+  counter(os, "obx_serve_sched_parks_total", s.sched_parks);
+  counter(os, "obx_serve_sched_unparks_total", s.sched_unparks);
+  if (!s.sched_worker_busy_ns.empty()) {
+    os << "# TYPE obx_serve_sched_worker_busy_ns_total counter\n";
+    for (std::size_t i = 0; i < s.sched_worker_busy_ns.size(); ++i) {
+      os << "obx_serve_sched_worker_busy_ns_total{worker=\"" << i << "\"} "
+         << s.sched_worker_busy_ns[i] << "\n";
+    }
+  }
   if (!s.tenants.empty()) {
     tenant_counter(os, "obx_serve_tenant_submitted_total", s.tenants,
                    &TenantSnapshot::submitted);

@@ -103,6 +103,19 @@ struct MetricsSnapshot {
   /// was hit.
   std::vector<TenantSnapshot> tenants;
 
+  /// Shared bulk::CorePool scheduler counters (process-wide and monotonic:
+  /// every pool consumer in this process contributes, not just the service).
+  /// An imbalance signature — steals growing much faster than tasks, or
+  /// parks dwarfing unparks — means batches are too small or tile costs too
+  /// skewed for the configured worker count.
+  std::uint64_t sched_workers = 0;   ///< pool worker threads
+  bool sched_pinned = false;         ///< workers pinned one-per-core
+  std::uint64_t sched_tasks = 0;     ///< lane-tile tasks executed
+  std::uint64_t sched_steals = 0;    ///< tasks run off another thread's deque
+  std::uint64_t sched_parks = 0;     ///< worker went to sleep
+  std::uint64_t sched_unparks = 0;   ///< wakeups signalled by submitters
+  std::vector<std::uint64_t> sched_worker_busy_ns;  ///< per worker, in tasks
+
   /// Multi-line human-readable dump (the "text snapshot" of the service).
   std::string to_string() const;
 };

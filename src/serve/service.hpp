@@ -59,12 +59,17 @@ struct ServiceOptions {
   /// Quota applied to tenants without an explicit entry; unset = unlimited.
   std::optional<TenantQuota> default_quota;
   BatcherOptions batcher;
-  /// Executor pool size: batches in flight concurrently.
+  /// Executor pool size: batches in flight concurrently.  These threads
+  /// only pipeline batches (gather inputs, resolve futures); the lane work
+  /// itself runs on the shared bulk::CorePool, so executors ×
+  /// workers_per_batch cannot oversubscribe the host — every batch's tiles
+  /// drain through the same per-core workers.
   unsigned executors = 2;
-  /// Host threads inside one batch's StreamingExecutor.  Defaults to 1:
-  /// the pool already supplies cross-batch parallelism, and executors ×
-  /// workers_per_batch should not oversubscribe the host.
-  unsigned workers_per_batch = 1;
+  /// Parallelism target inside one batch's StreamingExecutor, passed to the
+  /// shared CorePool per run.  0 (default) = one consumer per pool worker;
+  /// 1 = run batches inline on their executor thread (the pre-pool
+  /// behaviour).
+  unsigned workers_per_batch = 0;
   /// Machine model + optimisation policy for per-program characterisation
   /// (reference_lanes is overridden with batcher.max_batch_lanes).
   PrepareOptions prepare;
