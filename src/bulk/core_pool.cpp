@@ -139,19 +139,30 @@ class WsDeque {
 };
 
 /// One fork-join submission, living on the submitter's stack for its whole
-/// region (parallel_for does not return until unfinished hits 0, so tasks
+/// region (parallel_for does not return until finished() is true, so tasks
 /// and body stay valid for every thief).
+///
+/// Destruction protocol: unfinished hitting 0 is NOT the destruction
+/// barrier — the thread that performs the final decrement still has to
+/// notify the condvar, i.e. it keeps touching the region after the count
+/// reaches zero.  Its very last access is the release store to finished_,
+/// and the submitter must observe finished() before returning (and thereby
+/// destroying the stack-allocated mutex/condvar).
 struct Region {
   const std::function<void(std::size_t, std::size_t)>* body = nullptr;
   std::vector<TileTask> tiles;
   std::atomic<std::size_t> unfinished{0};
   std::atomic<std::uint64_t> steals{0};
   std::atomic<bool> failed{false};
+  std::atomic<bool> finished_{false};
   std::mutex mutex;  // guards error; also the done-signal rendezvous
   std::condition_variable done;
   std::exception_ptr error;
 
   bool completed() const { return unfinished.load(std::memory_order_acquire) == 0; }
+  /// True once the final completer is done with its last access; only after
+  /// this may the submitter destroy the region.
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
 };
 
 inline void cpu_relax() {
@@ -357,9 +368,15 @@ struct CorePool::Impl {
     tasks_executed.fetch_add(1, std::memory_order_relaxed);
     if (r->unfinished.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last tile: rendezvous through the mutex so a submitter that checked
-      // completed() and decided to sleep cannot miss this notify.
-      std::lock_guard<std::mutex> lock(r->mutex);
-      r->done.notify_all();
+      // completed() and decided to sleep cannot miss this notify.  The
+      // submitter does not return until finished() is true, so the region
+      // (mutex + condvar) stays alive through the notify; the finished_
+      // store is our very last access and releases it for destruction.
+      {
+        std::lock_guard<std::mutex> lock(r->mutex);
+        r->done.notify_all();
+      }
+      r->finished_.store(true, std::memory_order_release);
     }
   }
 
@@ -427,6 +444,9 @@ struct CorePool::Impl {
     const std::uint64_t epoch = park_epoch;
     lock.unlock();
     sleepers.fetch_add(1, std::memory_order_seq_cst);
+    // Pairs with the fence in wake_workers(): orders the sleepers increment
+    // before the any_work() scan in the seq_cst total order.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     // Re-check after announcing ourselves: a submitter that pushed before
     // seeing sleepers > 0 left its tasks visible here.
     if (any_work() || shutdown.load(std::memory_order_seq_cst)) {
@@ -444,6 +464,13 @@ struct CorePool::Impl {
 
   void wake_workers(unsigned want) {
     if (want == 0) return;
+    // Dekker handshake with park(): the task pushes above us are relaxed
+    // bottom_ stores behind a release fence, which the parker's acquire
+    // loads in any_work() can miss while we simultaneously miss its
+    // sleepers increment (store-buffer litmus).  This fence pairs with the
+    // seq_cst fetch_add in park() so one side must see the other: either
+    // we observe sleepers > 0, or the parker observes our tasks.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     if (sleepers.load(std::memory_order_seq_cst) == 0) return;
     {
       std::lock_guard<std::mutex> lock(park_mutex);
@@ -552,15 +579,18 @@ SchedulerStats CorePool::parallel_for(
   // Participate: drain our own deque.  Tiles that were stolen finish on the
   // thief; we spin briefly for them, then (external submitters only) park on
   // the region condvar.  A worker submitter never parks — its condvar wait
-  // could deadlock the pool — it yields until the thief finishes.
+  // could deadlock the pool — it yields until the thief finishes.  The exit
+  // condition is finished(), not completed(): the final completer still
+  // locks and notifies the condvar after the count hits zero, so returning
+  // on completed() alone could destroy the stack-allocated mutex under it.
   std::size_t spins = 0;
-  while (!region.completed()) {
+  while (!region.finished()) {
     if (TileTask* t = home->pop()) {
       impl.run_task(t, self, /*stolen=*/false);
       spins = 0;
       continue;
     }
-    if (region.completed()) break;
+    if (region.finished()) break;
     if (++spins < impl.config.spin_iterations) {
       cpu_relax();
       continue;
@@ -569,11 +599,18 @@ SchedulerStats CorePool::parallel_for(
       std::this_thread::yield();
       continue;
     }
-    std::unique_lock<std::mutex> lock(region.mutex);
-    if (!region.completed()) {
-      ++stats.parks;
-      region.done.wait(lock, [&] { return region.completed(); });
+    {
+      std::unique_lock<std::mutex> lock(region.mutex);
+      if (!region.completed()) {
+        ++stats.parks;
+        // Predicate stays completed(): finished_ is set only after the
+        // notify, so waiting on it could sleep through the one wakeup.
+        region.done.wait(lock, [&] { return region.completed(); });
+      }
     }
+    // completed() precedes finished() by a few completer instructions
+    // (notify + unlock + store); wait them out before the region unwinds.
+    while (!region.finished()) cpu_relax();
     break;
   }
 

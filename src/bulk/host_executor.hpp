@@ -43,8 +43,10 @@ struct HostRunResult {
   /// backend only — else the process-wide active_simd_isa()).
   SimdIsa simd = SimdIsa::kScalar;
   /// What the CorePool scheduler did for this run (scatter + lockstep
-  /// regions): tile tasks, cross-thread steals, submitter parks.  All zero
-  /// for workers <= 1 runs, which never touch the pool.
+  /// regions): tile tasks, cross-thread steals, submitter parks.  For
+  /// workers <= 1 runs each region executes inline on the caller and counts
+  /// as one task (so tasks is the region count), while steals and parks
+  /// stay zero — the pool's worker threads are never touched.
   SchedulerStats sched;
 };
 
