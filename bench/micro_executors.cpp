@@ -13,6 +13,7 @@
 #include <malloc.h>
 #endif
 
+#include "algos/bitonic_sort.hpp"
 #include "algos/prefix_sums.hpp"
 #include "algos/tea_cipher.hpp"
 #include "bulk/bulk.hpp"
@@ -245,6 +246,36 @@ void BM_TimingEstimator(benchmark::State& state) {
                           static_cast<std::int64_t>(program.memory_steps()));
 }
 BENCHMARK(BM_TimingEstimator)->Arg(1 << 10)->Arg(1 << 22);
+
+// Simulated units of every plannable arrangement for the bitonic sorting
+// network under the conflict-heavy shared-tier machine — the planner's
+// search space, one row per arrangement.  The units land as counters so the
+// CI artifact tracks the conflict-free arrangement's win over time; the
+// measured loop is the simulate_units call the search itself pays.
+void BM_ArrangementSweep(benchmark::State& state) {
+  const std::size_t n = 64;
+  const std::size_t p = 1 << 10;
+  const trace::Program program = algos::bitonic_sort_program(n);
+  const umm::MachineConfig cfg = umm::conflict_heavy_example();
+
+  const std::pair<bulk::Arrangement, std::size_t> sweep[] = {
+      {bulk::Arrangement::kColumnWise, 0},
+      {bulk::Arrangement::kRowWise, 0},
+      {bulk::Arrangement::kBlocked, cfg.width},
+      {bulk::Arrangement::kConflictFree, umm::conflict_free_stride(cfg.shared)}};
+  const auto& [arr, param] = sweep[static_cast<std::size_t>(state.range(0))];
+  const bulk::Layout layout = bulk::make_layout(program, p, arr, param);
+
+  TimeUnits units = 0;
+  for (auto _ : state) {
+    units = bulk::simulate_units(program, layout, umm::Model::kUmm, cfg);
+    benchmark::DoNotOptimize(units);
+  }
+  state.SetLabel(layout.name());
+  state.counters["sim_units"] =
+      benchmark::Counter(static_cast<double>(units));
+}
+BENCHMARK(BM_ArrangementSweep)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
 
 void BM_StridedStepCost(benchmark::State& state) {
   const umm::MachineConfig cfg{.width = 32, .latency = 100};

@@ -27,13 +27,17 @@ struct BulkOutputs {
 };
 
 /// Executes `program` for p inputs (lane-major flat) on the host, using the
-/// given arrangement, and returns the per-lane outputs.
+/// given arrangement, and returns the per-lane outputs.  `arrangement_param`
+/// is forwarded to make_layout (block size / pad stride).
 BulkOutputs run_bulk(const trace::Program& program, std::span<const Word> inputs,
                      std::size_t p, Arrangement arrangement = Arrangement::kColumnWise,
-                     unsigned workers = 1);
+                     unsigned workers = 1, std::size_t arrangement_param = 0);
 
-/// Builds the layout for a program/arrangement pair.
+/// Builds the layout for a program/arrangement pair.  `param` is the
+/// arrangement parameter: the block size for kBlocked (required) or the pad
+/// stride for kConflictFree (0 = stride 1, plain column addressing); ignored
+/// by row-/column-wise.
 Layout make_layout(const trace::Program& program, std::size_t p, Arrangement arrangement,
-                   std::size_t block = 0);
+                   std::size_t param = 0);
 
 }  // namespace obx::bulk

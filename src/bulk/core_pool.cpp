@@ -526,7 +526,6 @@ SchedulerStats CorePool::parallel_for(
     std::size_t count, std::size_t align, std::size_t grain, unsigned max_workers,
     const std::function<void(std::size_t, std::size_t)>& body) {
   OBX_CHECK(align > 0, "alignment must be positive");
-  OBX_CHECK(count % align == 0, "count must be a multiple of the alignment");
   SchedulerStats stats;
   if (count == 0) return stats;
 

@@ -92,9 +92,11 @@ class CorePool {
   bool pinning() const;  ///< resolved pin policy for this pool
 
   /// Runs body(tile_begin, tile_end) over [0, count) cut into tiles of
-  /// `grain` (rounded up to a multiple of `align`; tile boundaries are
-  /// always align-multiples, so blocked layouts never split a block when
-  /// align divides the block).  Up to max_workers threads execute tiles
+  /// `grain` (rounded up to a multiple of `align`; interior tile boundaries
+  /// are always align-multiples, so blocked layouts never split a block when
+  /// align divides the block — a trailing partial tile is allowed, covering
+  /// the ragged tail of a padded blocked layout).  Up to max_workers threads
+  /// execute tiles
   /// concurrently — the calling thread plus woken pool workers; the knob is
   /// a parallelism target, not a hard cap (an already-awake worker may help
   /// any region).  max_workers <= 1, count <= grain, or a single tile run

@@ -59,6 +59,11 @@ void HostBulkExecutor::run_chunk(const trace::Program& program, std::span<Word> 
             }
             break;
           }
+          case Arrangement::kConflictFree: {
+            const Word* src = mem + (s.addr * p + lane_begin) * block;
+            for (std::size_t i = 0; i < chunk; ++i) dst[i] = src[i * block];
+            break;
+          }
         }
         ++local.loads;
         break;
@@ -83,6 +88,11 @@ void HostBulkExecutor::run_chunk(const trace::Program& program, std::span<Word> 
               const Lane j = lane_begin + i;
               mem[(j / block) * (n * block) + s.addr * block + (j % block)] = src[i];
             }
+            break;
+          }
+          case Arrangement::kConflictFree: {
+            Word* dst = mem + (s.addr * p + lane_begin) * block;
+            for (std::size_t i = 0; i < chunk; ++i) dst[i * block] = src[i];
             break;
           }
         }

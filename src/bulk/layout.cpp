@@ -10,6 +10,8 @@ std::string to_string(Arrangement a) {
       return "column-wise";
     case Arrangement::kBlocked:
       return "blocked";
+    case Arrangement::kConflictFree:
+      return "conflict-free";
   }
   return "?";
 }
@@ -19,7 +21,7 @@ Layout::Layout(Arrangement arrangement, std::size_t lanes, std::size_t words_per
     : arrangement_(arrangement), p_(lanes), n_(words_per_input), block_(block) {
   OBX_CHECK(lanes > 0, "layout needs at least one lane");
   OBX_CHECK(words_per_input > 0, "layout needs at least one word per input");
-  OBX_CHECK(block > 0 && lanes % block == 0, "block must divide the lane count");
+  OBX_CHECK(block > 0, "arrangement parameter must be positive");
 }
 
 Layout Layout::row_wise(std::size_t lanes, std::size_t words_per_input) {
@@ -34,9 +36,17 @@ Layout Layout::blocked(std::size_t lanes, std::size_t words_per_input, std::size
   return Layout(Arrangement::kBlocked, lanes, words_per_input, block);
 }
 
+Layout Layout::conflict_free(std::size_t lanes, std::size_t words_per_input,
+                             std::size_t stride) {
+  return Layout(Arrangement::kConflictFree, lanes, words_per_input, stride);
+}
+
 std::string Layout::name() const {
   if (arrangement_ == Arrangement::kBlocked) {
     return "blocked(" + std::to_string(block_) + ")";
+  }
+  if (arrangement_ == Arrangement::kConflictFree) {
+    return "conflict-free(" + std::to_string(block_) + ")";
   }
   return to_string(arrangement_);
 }

@@ -11,9 +11,18 @@
 //   blocked:     a hybrid for the layout ablation — lanes grouped in blocks
 //                of B, lane-interleaved inside a block: b_j[i] at
 //                (j/B)·(n·B) + i·B + (j mod B).  B = 1 degenerates to
-//                row-wise; B = p degenerates to column-wise.
+//                row-wise; B = p degenerates to column-wise.  When B does
+//                not divide p the last block is padded to B lanes (the
+//                address map stays injective; p·n ≤ total_words).
+//   conflict-free: column-wise padded by a stride s — b_j[i] at
+//                (i·p + j)·s — so consecutive lanes land on consecutive
+//                *banks* of a shared-memory tier whose rows hold s words
+//                (s = umm::conflict_free_stride of the tier, following the
+//                Sitchinava padded constructions).  s = 1 degenerates to
+//                column-wise; the cost is an s× footprint and s address
+//                groups per warp on the global tier.
 //
-// All three share a property the timing fast path exploits: within one step,
+// All four share a property the timing fast path exploits: within one step,
 // the addresses of a full warp form an arithmetic progression whose residue
 // class (mod w) is the same for every warp of the step, so a step's cost
 // depends only on that residue (see umm::StridedStepCost).
@@ -28,7 +37,7 @@
 
 namespace obx::bulk {
 
-enum class Arrangement : std::uint8_t { kRowWise, kColumnWise, kBlocked };
+enum class Arrangement : std::uint8_t { kRowWise, kColumnWise, kBlocked, kConflictFree };
 
 std::string to_string(Arrangement a);
 
@@ -36,8 +45,12 @@ class Layout {
  public:
   static Layout row_wise(std::size_t lanes, std::size_t words_per_input);
   static Layout column_wise(std::size_t lanes, std::size_t words_per_input);
-  /// block must divide lanes.
+  /// Lanes are padded up to a multiple of block (total_words grows).
   static Layout blocked(std::size_t lanes, std::size_t words_per_input, std::size_t block);
+  /// Column-wise padded by `stride` words per element; stride 1 is exactly
+  /// column-wise addressing (but keeps the kConflictFree code paths).
+  static Layout conflict_free(std::size_t lanes, std::size_t words_per_input,
+                              std::size_t stride);
 
   /// Global address of canonical word `a` of input `lane`.
   Addr global(Addr a, Lane lane) const {
@@ -49,20 +62,41 @@ class Layout {
         return a * p_ + lane;
       case Arrangement::kBlocked:
         return (lane / block_) * (n_ * block_) + a * block_ + (lane % block_);
+      case Arrangement::kConflictFree:
+        return (a * p_ + lane) * block_;
     }
     return kInvalidAddr;
   }
 
   std::size_t lanes() const { return p_; }
   std::size_t words_per_input() const { return n_; }
-  std::size_t total_words() const { return p_ * n_; }
+  std::size_t total_words() const {
+    switch (arrangement_) {
+      case Arrangement::kBlocked:
+        // Pad the last block: ceil(p/B) blocks of n·B words each.
+        return ((p_ + block_ - 1) / block_) * (n_ * block_);
+      case Arrangement::kConflictFree:
+        return p_ * n_ * block_;
+      default:
+        return p_ * n_;
+    }
+  }
+  /// The arrangement parameter: block size (blocked) or pad stride
+  /// (conflict-free); lanes for row-wise, 1 for column-wise.
   std::size_t block() const { return block_; }
   Arrangement arrangement() const { return arrangement_; }
   std::string name() const;
 
   /// Lane-to-lane address distance inside a warp (constant per arrangement).
   std::uint64_t lane_stride() const {
-    return arrangement_ == Arrangement::kRowWise ? n_ : 1;
+    switch (arrangement_) {
+      case Arrangement::kRowWise:
+        return n_;
+      case Arrangement::kConflictFree:
+        return block_;
+      default:
+        return 1;
+    }
   }
 
   /// A representative base address for canonical word `a` whose residue
@@ -75,12 +109,15 @@ class Layout {
         return a * p_;
       case Arrangement::kBlocked:
         return a * block_;
+      case Arrangement::kConflictFree:
+        return a * p_ * block_;
     }
     return 0;
   }
 
   /// True when the constant-residue property holds for warps of width w
-  /// (always for row-/column-wise; blocked requires w | block).
+  /// (always for row-/column-/conflict-free-wise; blocked requires
+  /// w | block).
   bool uniform_residue(std::uint32_t width) const {
     return arrangement_ != Arrangement::kBlocked || block_ % width == 0;
   }

@@ -52,7 +52,9 @@ StreamingExecutor::Stats StreamingExecutor::run(
 
     const auto exec_start = Clock::now();
     if (!exec.has_value() || exec_batch != batch) {
-      exec.emplace(make_layout(program, batch, options_.arrangement), exec_options);
+      exec.emplace(make_layout(program, batch, options_.arrangement,
+                               options_.arrangement_param),
+                   exec_options);
       exec_batch = batch;
     }
     const HostRunResult run = exec->run(program, inputs);

@@ -35,6 +35,9 @@ class StreamingExecutor {
     std::size_t max_resident_lanes = 4096;  ///< peak memory = this · n words
     unsigned workers = 1;                   ///< host threads per batch
     Arrangement arrangement = Arrangement::kColumnWise;
+    /// Arrangement parameter: block size (kBlocked) or pad stride
+    /// (kConflictFree); 0 = auto (see bulk::make_layout).
+    std::size_t arrangement_param = 0;
     /// Lockstep engine for each batch (see HostBulkExecutor::Options).
     exec::Backend backend = exec::Backend::kAuto;
     std::size_t tile_lanes = 0;

@@ -1,8 +1,10 @@
 #include "bulk/timing_estimator.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/check.hpp"
+#include "bulk/umm_executor.hpp"
 #include "trace/step.hpp"
 
 namespace obx::bulk {
@@ -19,10 +21,31 @@ TimingEstimator::TimingEstimator(umm::Model model, umm::MachineConfig config, La
                 config_.effective_group() == config_.width,
             "the strided fast path supports blocked layouts only at the "
             "paper's group size (group_words == width); use UmmBulkExecutor");
+  if (config_.shared.enabled()) {
+    // Blocked layouts are not one arithmetic progression: block-to-block
+    // jumps break the residue cycle modulo the bank-row modulus.
+    OBX_CHECK(layout_.arrangement() != Arrangement::kBlocked,
+              "the shared-tier fast path does not support blocked layouts; "
+              "use UmmBulkExecutor");
+    shared_cost_.emplace(config_.shared, config_.width, layout_.lanes(),
+                         layout_.lane_stride());
+  }
+}
+
+bool TimingEstimator::supports(const umm::MachineConfig& config, const Layout& layout) {
+  if (!layout.uniform_residue(config.width)) return false;
+  if (layout.arrangement() == Arrangement::kBlocked &&
+      (config.effective_group() != config.width || config.shared.enabled())) {
+    return false;
+  }
+  return true;
 }
 
 TimeUnits TimingEstimator::step_time(Addr canonical) const {
-  return step_cost_.step_time(layout_.stride_base(canonical));
+  const Addr base = layout_.stride_base(canonical);
+  TimeUnits t = step_cost_.step_time(base);
+  if (t > 0 && shared_cost_.has_value()) t += shared_cost_->step_time(base);
+  return t;
 }
 
 TimingResult TimingEstimator::run(const trace::Program& program) const {
@@ -30,14 +53,23 @@ TimingResult TimingEstimator::run(const trace::Program& program) const {
   TimingResult r;
   TimeUnits serialized = 0;
   TimeUnits compute_units = 0;
+  TimeUnits shared_units = 0;
   auto gen = program.stream();
   for (const trace::Step& s : gen) {
     if (s.is_memory()) {
       OBX_CHECK(s.addr < program.memory_words, "access beyond program memory");
-      const umm::StepStages st = step_cost_.stages(layout_.stride_base(s.addr));
+      const Addr base = layout_.stride_base(s.addr);
+      const umm::StepStages st = step_cost_.stages(base);
       r.stages_total += st.stages;
       r.warps_dispatched += st.warps;
       serialized += st.stages + config_.latency - 1;
+      if (shared_cost_.has_value()) {
+        const umm::SharedStepRounds sr = shared_cost_->rounds(base);
+        r.shared_rounds_total += sr.rounds;
+        if (sr.rounds > 0) {
+          shared_units += sr.rounds + config_.shared.latency - 1;
+        }
+      }
       ++r.access_steps;
     } else {
       ++r.compute_steps;
@@ -46,14 +78,28 @@ TimingResult TimingEstimator::run(const trace::Program& program) const {
   }
   if (config_.overlap_latency) {
     // Pipeline stays full across steps: bandwidth bound vs dependency chain.
+    // Shared-tier replays never overlap (each is a dependent re-issue of the
+    // same warp), so they add serialized in both policies.
     const TimeUnits bandwidth =
         r.stages_total == 0 ? 0 : r.stages_total + config_.latency - 1;
     const TimeUnits chain = static_cast<TimeUnits>(config_.latency) * r.access_steps;
-    r.time_units = std::max(bandwidth, chain) + compute_units;
+    r.time_units = std::max(bandwidth, chain) + compute_units + shared_units;
   } else {
-    r.time_units = serialized + compute_units;
+    r.time_units = serialized + compute_units + shared_units;
   }
   return r;
+}
+
+TimeUnits simulate_units(const trace::Program& program, const Layout& layout,
+                         umm::Model model, const umm::MachineConfig& config) {
+  if (TimingEstimator::supports(config, layout)) {
+    return TimingEstimator(model, config, layout).run(program).time_units;
+  }
+  // Exact fallback: a cycle-accurate run on all-zero inputs.  The programs
+  // are oblivious, so the address trace — and therefore the charged time —
+  // is the same for every input.
+  const std::vector<Word> zeros(layout.lanes() * program.input_words, Word{0});
+  return UmmBulkExecutor(model, config, layout).run(program, zeros).time_units;
 }
 
 }  // namespace obx::bulk

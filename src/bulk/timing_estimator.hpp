@@ -9,11 +9,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "common/types.hpp"
 #include "bulk/layout.hpp"
 #include "trace/program.hpp"
 #include "umm/cost_model.hpp"
+#include "umm/dmm.hpp"
 #include "umm/machine_config.hpp"
 
 namespace obx::bulk {
@@ -24,24 +26,42 @@ struct TimingResult {
   std::uint64_t compute_steps = 0;
   std::uint64_t stages_total = 0;
   std::uint64_t warps_dispatched = 0;
+  /// Σ bank-conflict rounds on the shared (DMM) tier; 0 when disabled.
+  std::uint64_t shared_rounds_total = 0;
 };
 
 class TimingEstimator {
  public:
   /// Requires layout.uniform_residue(config.width) — true for row-/column-
   /// wise always, for blocked layouts when the width divides the block.
+  /// With the shared tier enabled, blocked layouts are refused too (their
+  /// addresses are not one arithmetic progression modulo the bank-row
+  /// modulus); simulate_units() below falls back to the exact executor.
   TimingEstimator(umm::Model model, umm::MachineConfig config, Layout layout);
+
+  /// True when the fast path accepts this (config, layout) pair.
+  static bool supports(const umm::MachineConfig& config, const Layout& layout);
 
   /// Streams the program once, charging each step's closed-form cost.
   TimingResult run(const trace::Program& program) const;
 
-  /// Cost of a single access step at the given canonical address.
+  /// Cost of a single access step at the given canonical address (both
+  /// tiers combined when the shared tier is enabled).
   TimeUnits step_time(Addr canonical) const;
 
  private:
   umm::MachineConfig config_;
   Layout layout_;
   umm::StridedStepCost step_cost_;
+  std::optional<umm::BankedStepCost> shared_cost_;
 };
+
+/// Simulated time units of `program` over `layout` on the given machine:
+/// the TimingEstimator fast path when it applies, else an exact
+/// UmmBulkExecutor run on all-zero inputs — valid because the programs are
+/// oblivious, so their address trace (hence timing) is input-independent.
+/// This is what the Planner's arrangement search charges each candidate.
+TimeUnits simulate_units(const trace::Program& program, const Layout& layout,
+                         umm::Model model, const umm::MachineConfig& config);
 
 }  // namespace obx::bulk

@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "bulk/bulk.hpp"
 #include "bulk/host_executor.hpp"
+#include "plan/planner.hpp"
 #include "trace/interpreter.hpp"
 
 namespace obx::check {
@@ -50,19 +51,23 @@ std::vector<std::size_t> blocked_blocks(std::size_t p) {
 
 bulk::Layout layout_for(const trace::Program& program, std::size_t p,
                         const ExecConfig& config) {
-  if (config.arrangement == Arrangement::kBlocked) {
-    return bulk::make_layout(program, p, Arrangement::kBlocked, config.block);
-  }
-  return bulk::make_layout(program, p, config.arrangement);
+  return bulk::make_layout(program, p, config.arrangement, config.block);
 }
 
 }  // namespace
 
 std::string ExecConfig::name() const {
   std::ostringstream os;
+  if (via_planner) {
+    os << "planner" << (tune ? "/tuned" : "/searched");
+    if (workers != 1) os << "/workers=" << workers;
+    return os.str();
+  }
   os << to_string(backend) << "/";
   if (arrangement == Arrangement::kBlocked) {
     os << "blocked(" << block << ")";
+  } else if (arrangement == Arrangement::kConflictFree) {
+    os << "cf(" << block << ")";
   } else {
     os << (arrangement == Arrangement::kRowWise ? "row" : "col");
   }
@@ -95,10 +100,14 @@ std::vector<ExecConfig> config_matrix(std::size_t p, std::size_t program_steps) 
     std::size_t block;
   };
   std::vector<Arr> arrangements{{Arrangement::kRowWise, 0},
-                                {Arrangement::kColumnWise, 0}};
+                                {Arrangement::kColumnWise, 0},
+                                {Arrangement::kConflictFree, 2},
+                                {Arrangement::kConflictFree, 4}};
   for (const std::size_t b : blocked_blocks(p)) {
     arrangements.push_back({Arrangement::kBlocked, b});
   }
+  // Ragged blocked: a block that does not divide p pads the last block.
+  if (p >= 3) arrangements.push_back({Arrangement::kBlocked, p - 1});
 
   for (const Arr& arr : arrangements) {
     ExecConfig interp;
@@ -152,6 +161,19 @@ std::vector<ExecConfig> config_matrix(std::size_t p, std::size_t program_steps) 
     configs.push_back(isteal);
   }
 
+  // The full planning path: the arrangement search (and, in the second
+  // config, the measuring auto-tuner) picks the layout; whatever it picks
+  // must still match the oracle bit for bit.
+  {
+    ExecConfig searched;
+    searched.via_planner = true;
+    configs.push_back(searched);
+    ExecConfig tuned;
+    tuned.via_planner = true;
+    tuned.tune = true;
+    configs.push_back(tuned);
+  }
+
   // Compile-budget straddles (fresh cache slots, see run_config): one step
   // under budget must fall back to the interpreter bit-identically; exactly
   // at budget must compile.
@@ -196,6 +218,44 @@ std::optional<Divergence> run_config(const trace::Program& program,
     d.detail = std::move(detail);
     return d;
   };
+
+  if (config.via_planner) {
+    plan::PlanOptions po;
+    po.reference_lanes = p;
+    po.workers = config.workers;
+    po.tune.measure = config.tune;
+    po.tune.trials = 1;
+    // The oracle is the unoptimised program's full memory image; keep the
+    // optimiser out so scratch words stay comparable.
+    po.optimise = false;
+    std::shared_ptr<const plan::ExecutionPlan> plan;
+    bulk::HostRunResult run;
+    try {
+      plan = plan::Planner(po).build(program);
+      run = bulk::HostBulkExecutor(plan->layout(p), plan->host_options())
+                .run(plan->program(), inputs);
+    } catch (const std::exception& e) {
+      return fail(std::string("threw: ") + e.what());
+    }
+    const bulk::Layout layout = plan->layout(p);
+    const std::size_t n = program.memory_words;
+    for (std::size_t j = 0; j < p; ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const Word got = run.memory[layout.global(static_cast<Addr>(i), j)];
+        const Word expected = oracle[j * n + i];
+        if (got != expected) {
+          Divergence d;
+          d.config = config.name();
+          d.lane = j;
+          d.word = i;
+          d.expected = expected;
+          d.got = got;
+          return d;
+        }
+      }
+    }
+    return std::nullopt;
+  }
 
   // Budget-variant configs run against a private exec-cache slot: the
   // process-wide slot memoises the first successful compile, which would

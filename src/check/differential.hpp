@@ -36,7 +36,9 @@ namespace obx::check {
 struct ExecConfig {
   exec::Backend backend = exec::Backend::kInterpreted;
   bulk::Arrangement arrangement = bulk::Arrangement::kColumnWise;
-  std::size_t block = 0;  ///< blocked arrangement only (must divide p)
+  /// Arrangement parameter: block size (kBlocked; a non-divisor of p pads
+  /// the last block) or pad stride (kConflictFree).
+  std::size_t block = 0;
   SimdIsa simd = SimdIsa::kScalar;
   std::size_t tile_lanes = 0;  ///< 0 = auto
   /// Compile budget.  0 = default.  Nonzero budgets run against a fresh
@@ -47,6 +49,12 @@ struct ExecConfig {
   /// budget-straddle configs to prove the fallback actually happened).
   std::optional<exec::Backend> expect_backend;
   unsigned workers = 1;
+  /// Route the run through plan::Planner (arrangement search) instead of a
+  /// directly-constructed executor; `tune` additionally turns the measuring
+  /// auto-tuner on.  Whatever arrangement the search picks must still be
+  /// bit-identical to the oracle.
+  bool via_planner = false;
+  bool tune = false;
 
   std::string name() const;
 };

@@ -11,13 +11,59 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <vector>
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
 namespace obx {
 
 inline constexpr std::size_t kSimdAlignBytes = 64;
+
+/// Allocations at least this large get the transparent-huge-page hint when
+/// OBX_THP is on: a figure-scale arranged memory image (p·n words) spans
+/// thousands of 4K pages, and 2M mappings cut the TLB miss rate of the
+/// lane-stride sweeps.  2M = one x86-64 huge page.
+inline constexpr std::size_t kHugePageHintBytes = std::size_t{2} << 20;
+
+/// OBX_THP=1/on: hint large allocations to transparent huge pages (latched
+/// on first use).  Off by default — THP compaction stalls are real, so the
+/// toggle is opt-in.
+inline bool huge_page_hint_enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("OBX_THP");
+    if (v == nullptr) return false;
+    return std::strcmp(v, "0") != 0 && std::strcmp(v, "off") != 0 &&
+           std::strcmp(v, "false") != 0 && std::strcmp(v, "no") != 0;
+  }();
+  return enabled;
+}
+
+/// Best-effort madvise(MADV_HUGEPAGE) over the page-aligned interior of
+/// [p, p+bytes).  No-op off Linux, below the size threshold, or with the
+/// toggle off; failures are ignored (the kernel may lack THP entirely).
+inline void hint_huge_pages(void* p, std::size_t bytes) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  if (bytes < kHugePageHintBytes || !huge_page_hint_enabled()) return;
+  const std::uintptr_t page = static_cast<std::uintptr_t>(::sysconf(_SC_PAGESIZE));
+  const std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t begin = (addr + page - 1) & ~(page - 1);
+  const std::uintptr_t end = (addr + bytes) & ~(page - 1);
+  if (end > begin) {
+    (void)::madvise(reinterpret_cast<void*>(begin), end - begin, MADV_HUGEPAGE);
+  }
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
 
 template <class T>
 class AlignedAllocator {
@@ -29,8 +75,10 @@ class AlignedAllocator {
   AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
 
   T* allocate(std::size_t n) {
-    return static_cast<T*>(
+    T* p = static_cast<T*>(
         ::operator new(n * sizeof(T), std::align_val_t{kSimdAlignBytes}));
+    hint_huge_pages(p, n * sizeof(T));
+    return p;
   }
   void deallocate(T* p, std::size_t) noexcept {
     ::operator delete(p, std::align_val_t{kSimdAlignBytes});

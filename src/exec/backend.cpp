@@ -61,6 +61,34 @@ void scatter_tile(const Tile& t, std::span<const Word> inputs, std::size_t iw) {
       }
       break;
     }
+    case Arrangement::kConflictFree: {
+      // Same two-level transpose, but destinations are `stride` words apart
+      // (the pad stride of the conflict-free layout).
+      constexpr std::size_t kSub = 256;
+      constexpr std::size_t kLine = 8;
+      const std::size_t stride = t.block;
+      for (std::size_t jb = 0; jb < t.len; jb += kSub) {
+        const std::size_t je = std::min(jb + kSub, t.len);
+        std::size_t i0 = 0;
+        for (; i0 + kLine <= iw; i0 += kLine) {
+          Word* dst[kLine];
+          for (std::size_t k = 0; k < kLine; ++k) {
+            dst[k] = mem_ref(t, static_cast<Addr>(i0 + k)).ptr;
+          }
+          for (std::size_t j = jb; j < je; ++j) {
+            const Word* src = src_base + (t.base + j) * iw + i0;
+            for (std::size_t k = 0; k < kLine; ++k) dst[k][j * stride] = src[k];
+          }
+        }
+        for (; i0 < iw; ++i0) {
+          const MemRef m = mem_ref(t, static_cast<Addr>(i0));
+          for (std::size_t j = jb; j < je; ++j) {
+            m.ptr[j * stride] = src_base[(t.base + j) * iw + i0];
+          }
+        }
+      }
+      break;
+    }
   }
 }
 

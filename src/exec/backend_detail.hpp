@@ -54,8 +54,25 @@ OBX_ALWAYS_INLINE MemRef mem_ref(const Tile& t, Addr a) {
       return {t.mem + (t.base / t.block) * (t.n * t.block) + std::size_t{a} * t.block +
                   t.base % t.block,
               1};
+    case bulk::Arrangement::kConflictFree:
+      // Padded column layout: t.block carries the pad stride.
+      return {t.mem + (std::size_t{a} * t.p + t.base) * t.block, t.block};
   }
   return {};
+}
+
+/// Lane-to-lane word distance of the tile's arrangement — the stride every
+/// MemRef of this tile shares (1 for column-wise/blocked, n for row-wise,
+/// the pad stride for conflict-free).
+OBX_ALWAYS_INLINE std::size_t lane_word_stride(const Tile& t) {
+  switch (t.arr) {
+    case bulk::Arrangement::kRowWise:
+      return t.n;
+    case bulk::Arrangement::kConflictFree:
+      return t.block;
+    default:
+      return 1;
+  }
 }
 
 // Per-ISA segment bodies.  Each is defined in exactly one translation unit,

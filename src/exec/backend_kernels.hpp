@@ -33,7 +33,8 @@ using trace::Step;
 using trace::StepKind;
 
 /// Arranged-memory access at tile lane j: UNIT is the stride-1 fast path
-/// (column-wise / blocked), the strided path serves row-wise.
+/// (column-wise / blocked), the strided path serves row-wise and
+/// conflict-free layouts (see lane_word_stride).
 template <std::size_t V, bool UNIT>
 static OBX_ALWAYS_INLINE Vec<V> vload(const MemRef& m, std::size_t j) {
   if constexpr (UNIT) return Vec<V>::load(m.ptr + j);
@@ -339,7 +340,7 @@ static OBX_ALWAYS_INLINE void triple_group_step(std::size_t stride, Word* acc, W
 template <Op OP, bool UNIT, int GW, bool COMMIT, std::size_t W>
 static void k_triple_group(const Tile& t, Word* acc, Word* ldr, Word* const* in,
                            Word* const* out, bool s0l, bool s1l) {
-  const std::size_t stride = UNIT ? 1 : t.n;
+  const std::size_t stride = UNIT ? 1 : lane_word_stride(t);
   std::size_t j = 0;
   for (; j + W <= t.len; j += W) {
     triple_group_step<OP, UNIT, GW, COMMIT, W>(stride, acc, ldr, in, out, s0l, s1l, j);
@@ -357,7 +358,7 @@ static void k_triple_run(const Tile& t, const FusedOp& f, const Step* body) {
   const bool s0l = (f.flags & opt::kTripleS0Loaded) != 0;
   const bool s1l = (f.flags & opt::kTripleS1Loaded) != 0;
   const bool want_ld = (f.flags & opt::kElideAuxCommit) == 0;
-  const bool unit = t.arr != bulk::Arrangement::kRowWise;
+  const bool unit = lane_word_stride(t) == 1;
   const std::size_t runs = f.run_len;
   dispatch_op(f.op, [&](auto opc) {
     constexpr Op OP = decltype(opc)::value;

@@ -42,6 +42,9 @@ std::uint64_t PlanOptions::fingerprint() const {
   d.mix(machine.group_words);
   d.mix_bool(machine.count_compute);
   d.mix_bool(machine.overlap_latency);
+  d.mix(machine.shared.banks);
+  d.mix(machine.shared.bank_words);
+  d.mix(machine.shared.latency);
   d.mix(reference_lanes);
   d.mix_bool(optimise);
   d.mix(optimise_step_limit);
@@ -53,15 +56,29 @@ std::uint64_t PlanOptions::fingerprint() const {
   d.mix(arrangement.has_value()
             ? static_cast<std::uint64_t>(*arrangement) + 1
             : 0);
+  d.mix(arrangement_param);
+  // The tuner knobs are decisions; the injected clock is an observation
+  // channel and stays out.
+  d.mix_bool(tune.measure);
+  d.mix(tune.trials);
+  d.mix(tune.lanes);
   return d.h;
 }
 
 void PlanOptions::validate() const {
   machine.validate();
   OBX_CHECK(reference_lanes > 0, "reference lane count must be positive");
-  OBX_CHECK(!arrangement.has_value() || *arrangement != bulk::Arrangement::kBlocked,
-            "plans choose between row- and column-wise arrangements; blocked "
-            "layouts need an explicit block size and stay executor-level");
+  OBX_CHECK(tune.trials > 0, "tuner trial count must be positive");
+}
+
+std::string ArrangementCandidate::name() const {
+  if (arrangement == bulk::Arrangement::kBlocked) {
+    return "blocked(" + std::to_string(param) + ")";
+  }
+  if (arrangement == bulk::Arrangement::kConflictFree) {
+    return "conflict-free(" + std::to_string(param) + ")";
+  }
+  return bulk::to_string(arrangement);
 }
 
 TimeUnits ExecutionPlan::units_for_lanes(std::size_t lanes) const {
@@ -69,11 +86,9 @@ TimeUnits ExecutionPlan::units_for_lanes(std::size_t lanes) const {
   std::lock_guard lock(units_mutex_);
   const auto it = units_by_lanes_.find(lanes);
   if (it != units_by_lanes_.end()) return it->second;
-  const TimeUnits units =
-      bulk::TimingEstimator(umm::Model::kUmm, options_.machine,
-                            bulk::make_layout(program_, lanes, arrangement_))
-          .run(program_)
-          .time_units;
+  const TimeUnits units = bulk::simulate_units(
+      program_, bulk::make_layout(program_, lanes, arrangement_, arrangement_param_),
+      umm::Model::kUmm, options_.machine);
   units_by_lanes_.emplace(lanes, units);
   return units;
 }
@@ -88,7 +103,7 @@ std::size_t ExecutionPlan::resident_lanes_for_budget(std::size_t budget_words,
 }
 
 bulk::Layout ExecutionPlan::layout(std::size_t lanes) const {
-  return bulk::make_layout(program_, lanes, arrangement_);
+  return bulk::make_layout(program_, lanes, arrangement_, arrangement_param_);
 }
 
 bulk::HostBulkExecutor::Options ExecutionPlan::host_options() const {
@@ -106,6 +121,7 @@ bulk::StreamingExecutor::Options ExecutionPlan::streaming_options(
       .max_resident_lanes = max_resident_lanes,
       .workers = workers_,
       .arrangement = arrangement_,
+      .arrangement_param = arrangement_param_,
       .backend = backend_,
       .tile_lanes = options_.tile_lanes,
       .compile_budget_steps = options_.compile_budget_steps,
@@ -124,6 +140,10 @@ std::string ExecutionPlan::describe() const {
   os << "  machine     : umm w=" << options_.machine.width
      << " l=" << options_.machine.latency
      << " group=" << options_.machine.effective_group();
+  if (options_.machine.shared.enabled()) {
+    os << " shared=" << options_.machine.shared.banks << "x"
+       << options_.machine.shared.bank_words << " ls=" << options_.machine.shared.latency;
+  }
   if (options_.machine.overlap_latency) os << " overlap";
   if (options_.machine.count_compute) os << " count-compute";
   os << "\n";
@@ -163,14 +183,27 @@ std::string ExecutionPlan::describe() const {
   os << "  backend     : " << exec::to_string(backend_) << "\n";
   os << "  simd        : " << to_string(pv.simd) << " (w=" << pv.simd_width << ")\n";
 
-  os << "  arrangement : " << bulk::to_string(arrangement_);
-  if (pv.arrangement_forced) {
-    os << " (forced)";
-  } else {
-    os << " (row=" << to_u64(pv.row_units) << " column=" << to_u64(pv.col_units)
-       << " units @ " << pv.reference_lanes << " lanes)";
+  std::string arr_name = bulk::to_string(arrangement_);
+  if (arrangement_ == bulk::Arrangement::kBlocked ||
+      arrangement_ == bulk::Arrangement::kConflictFree) {
+    arr_name += "(" + std::to_string(arrangement_param_) + ")";
   }
-  os << "\n";
+  os << "  arrangement : " << arr_name;
+  if (pv.arrangement_forced) {
+    os << " (forced)\n";
+  } else {
+    os << (pv.tuned ? " (tuned over " : " (searched ") << pv.candidates.size()
+       << " candidates, margin=" << to_u64(pv.margin_units) << " units @ "
+       << pv.reference_lanes << " lanes)\n";
+    for (const ArrangementCandidate& c : pv.candidates) {
+      std::string label = c.name();
+      if (label.size() < 17) label.resize(17, ' ');
+      os << "    candidate : " << label << " sim=" << to_u64(c.sim_units) << " units";
+      if (c.measured_ns != 0) os << " measured=" << c.measured_ns << "ns";
+      if (c.chosen) os << " *";
+      os << "\n";
+    }
+  }
 
   os << "  tile lanes  : " << pv.resolved_tile_lanes
      << (options_.tile_lanes == 0 ? " (auto" : " (requested")

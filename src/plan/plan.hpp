@@ -13,8 +13,10 @@
 //     disabled, the program is too long to capture, or no pass won),
 //   - the shared exec::CompiledProgram artifact (also memoised through the
 //     program's exec_cache slot, so executors pick it up for free),
-//   - the chosen bulk::Arrangement (simulated row vs column at a reference
-//     occupancy, unless forced),
+//   - the chosen bulk::Arrangement (a search over row / column / blocked /
+//     conflict-free: simulated DMM+UMM units as the prior at a reference
+//     occupancy, optional bounded micro-measurements as the posterior —
+//     unless forced),
 //   - the lane-tile knob, resolved backend, and worker count,
 //   - a memoised per-occupancy simulated-UMM-units estimate, and
 //   - a provenance record of which passes and decisions fired.
@@ -33,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -92,18 +95,58 @@ struct PlanOptions {
   /// machine-independent).
   unsigned workers = 0;
 
-  /// Force an arrangement instead of simulating row vs column.  Only
-  /// kRowWise / kColumnWise are plannable.
+  /// Force an arrangement instead of searching.  All four arrangements are
+  /// plannable; kBlocked / kConflictFree take their parameter from
+  /// arrangement_param.
   std::optional<bulk::Arrangement> arrangement;
+
+  /// Parameter of a forced kBlocked (block size) or kConflictFree (pad
+  /// stride) arrangement; 0 = auto (machine width for blocked, the shared
+  /// tier's conflict-free stride for conflict-free).  Ignored by
+  /// row-/column-wise.
+  std::size_t arrangement_param = 0;
+
+  /// The measuring arrangement auto-tuner: when the search is not forced,
+  /// real micro-measurements of each candidate refine the simulated prior.
+  struct TuneOptions {
+    /// Run each candidate arrangement for real (bounded trials on all-zero
+    /// inputs — valid because the programs are oblivious) and let the best
+    /// measured time pick the winner; the simulated units stay recorded as
+    /// the prior.  Off by default: simulation alone decides.
+    bool measure = false;
+    std::size_t trials = 3;  ///< micro-measurement runs per candidate (min is kept)
+    std::size_t lanes = 0;   ///< occupancy measured at; 0 = reference_lanes
+    /// Injected monotonic nanosecond clock for deterministic tests; null =
+    /// std::chrono::steady_clock.  NOT part of the fingerprint (a clock is
+    /// an observation channel, not a decision knob).
+    std::function<std::uint64_t()> clock{};
+  };
+  TuneOptions tune{};
 
   /// Deterministic 64-bit digest of every knob above (machine included).
   /// Same options => same fingerprint, on any host.  Part of the PlanCache
-  /// key and of ExecutionPlan::fingerprint().
+  /// key and of ExecutionPlan::fingerprint() — which is how tuned decisions
+  /// are memoised in PlanCache per (program, machine, occupancy, tune).
   std::uint64_t fingerprint() const;
 
-  /// Throws std::logic_error on invalid machine shape, zero reference
-  /// occupancy, or a forced kBlocked arrangement.
+  /// Throws std::logic_error on an invalid machine shape or zero reference
+  /// occupancy.
   void validate() const;
+};
+
+/// One entry of the Planner's arrangement search: an arrangement (with its
+/// parameter), its simulated DMM+UMM units at the reference occupancy (the
+/// prior), and — when the tuner measured — its best wall-clock time (the
+/// posterior).
+struct ArrangementCandidate {
+  bulk::Arrangement arrangement = bulk::Arrangement::kColumnWise;
+  std::size_t param = 0;          ///< block size / pad stride; 0 for row/column
+  TimeUnits sim_units = 0;        ///< simulated units (prior)
+  std::uint64_t measured_ns = 0;  ///< best measured trial; 0 = not measured
+  bool chosen = false;
+
+  /// "column-wise", "blocked(32)", "conflict-free(4)", ... — the layout name.
+  std::string name() const;
 };
 
 /// What the Planner actually did — kept alongside the decisions so tools
@@ -123,8 +166,20 @@ struct PlanProvenance {
   std::size_t compiled_fused_ops = 0;
 
   bool arrangement_forced = false;
-  /// Simulated units at reference_lanes backing the arrangement choice
-  /// (row/column are both populated only when the choice was simulated).
+  /// The searched candidates, in search order (column, row, blocked,
+  /// conflict-free), exactly one marked chosen.  A forced arrangement
+  /// records a single candidate.
+  std::vector<ArrangementCandidate> candidates;
+  /// Winner's margin over the best rejected candidate: simulated units
+  /// normally, measured nanoseconds when the tuner decided (0 when forced
+  /// or when candidates tie).
+  TimeUnits margin_units = 0;
+  /// True when the measuring tuner (not the simulated prior) picked the
+  /// winner.
+  bool tuned = false;
+  /// Simulated units at reference_lanes backing the arrangement choice —
+  /// the row/column entries of the candidate list, kept flat for
+  /// compatibility (both populated only when the choice was searched).
   TimeUnits row_units = 0;
   TimeUnits col_units = 0;
   std::size_t reference_lanes = 0;
@@ -170,6 +225,10 @@ class ExecutionPlan {
   const trace::Program& program() const { return program_; }
 
   bulk::Arrangement arrangement() const { return arrangement_; }
+
+  /// Resolved arrangement parameter: the block size (kBlocked) or pad
+  /// stride (kConflictFree); 0 for row-/column-wise.
+  std::size_t arrangement_param() const { return arrangement_param_; }
 
   /// Resolved engine: kCompiled when a compiled artifact exists, otherwise
   /// kInterpreted.  Never kAuto — the plan already decided.
@@ -231,6 +290,7 @@ class ExecutionPlan {
   PlanOptions options_;
   PlanProvenance provenance_;
   bulk::Arrangement arrangement_ = bulk::Arrangement::kColumnWise;
+  std::size_t arrangement_param_ = 0;
   exec::Backend backend_ = exec::Backend::kInterpreted;
   unsigned workers_ = 1;
   std::shared_ptr<const exec::CompiledProgram> compiled_;

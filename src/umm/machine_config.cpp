@@ -7,6 +7,7 @@ namespace obx::umm {
 void MachineConfig::validate() const {
   OBX_CHECK(width > 0, "machine width w must be positive");
   OBX_CHECK(latency > 0, "memory latency l must be positive");
+  shared.validate();
 }
 
 MachineConfig gtx_titan_like() {
@@ -18,6 +19,19 @@ MachineConfig gtx_titan_like() {
 
 MachineConfig figure_example() {
   return MachineConfig{.width = 4, .latency = 5, .count_compute = false};
+}
+
+MachineConfig conflict_heavy_example() {
+  // group_words = 128 models 32-byte-per-word transactions on a 32-lane warp
+  // (one wide transaction covers several warps of stride-4 addresses), so the
+  // global tier barely distinguishes stride 1 from stride 4.  bank_words = 4
+  // models 4-word elements on 1-word bank rows: the stride-1 column layout
+  // replays every shared access 4×, the stride-4 conflict-free layout not at
+  // all.  Net effect: kConflictFree wins by ~2× per access step.
+  MachineConfig cfg{.width = 32, .latency = 8, .count_compute = false,
+                    .group_words = 128};
+  cfg.shared = SharedTier{.banks = 32, .bank_words = 4, .latency = 2};
+  return cfg;
 }
 
 }  // namespace obx::umm

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/types.hpp"
+#include "umm/dmm.hpp"
 
 namespace obx::umm {
 
@@ -47,10 +48,17 @@ struct MachineConfig {
   /// Ω(pt/w + lt) lower bound to within a factor of ~2.
   bool overlap_latency = false;
 
+  /// Shared-memory (DMM) tier extension: when shared.banks > 0 every access
+  /// step is additionally staged through a banked on-chip memory and charged
+  /// its serialized bank-conflict rounds (+ l_s - 1 pipeline fill).  The
+  /// default (banks = 0) disables the tier — the paper's pure UMM.
+  SharedTier shared{};
+
   /// Effective address-group size: group_words, or width when unset.
   std::uint32_t effective_group() const { return group_words == 0 ? width : group_words; }
 
-  /// Throws std::logic_error if width or latency is zero.
+  /// Throws std::logic_error if width or latency is zero (or the shared tier
+  /// is enabled with zero bank_words / latency).
   void validate() const;
 };
 
@@ -60,5 +68,12 @@ MachineConfig gtx_titan_like();
 
 /// The textbook illustration config of the paper's Figures 1-4: w=4, l=5.
 MachineConfig figure_example();
+
+/// A conflict-heavy machine where the shared tier dominates: wide global
+/// transactions (group_words = 128 > width) make coalescing cheap, while
+/// 4-word bank rows make every stride-1 warp replay 4×.  Under this config
+/// the conflict-free arrangement strictly beats column-wise — the showcase
+/// for the Planner's arrangement search (see plan_tuner_test).
+MachineConfig conflict_heavy_example();
 
 }  // namespace obx::umm

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "umm/dmm.hpp"
 #include "umm/warp.hpp"
 
 namespace obx::umm {
@@ -16,23 +17,35 @@ TimeUnits AccessTimer::charge_step(std::span<const Addr> addrs) {
   const std::uint32_t w = config_.width;
   std::uint64_t total_stages = 0;
   std::uint64_t warps = 0;
+  std::uint64_t shared_rounds = 0;
   for (std::size_t base = 0; base < addrs.size(); base += w) {
     const std::size_t count = std::min<std::size_t>(w, addrs.size() - base);
-    const std::uint64_t k = warp_stages(model_, addrs.subspan(base, count), config_);
+    const std::span<const Addr> warp = addrs.subspan(base, count);
+    const std::uint64_t k = warp_stages(model_, warp, config_);
     if (k > 0) {
       total_stages += k;
       ++warps;
+      if (config_.shared.enabled()) {
+        shared_rounds += shared_warp_rounds(warp, config_.shared);
+      }
     }
   }
-  return charge_precomputed(total_stages, warps);
+  return charge_precomputed(total_stages, warps, shared_rounds);
 }
 
-TimeUnits AccessTimer::charge_precomputed(std::uint64_t total_stages, std::uint64_t warps) {
+TimeUnits AccessTimer::charge_precomputed(std::uint64_t total_stages, std::uint64_t warps,
+                                          std::uint64_t shared_rounds) {
   if (total_stages == 0) return 0;
   ++stats_.access_steps;
   stats_.warps_dispatched += warps;
   stats_.stages_total += total_stages;
-  const TimeUnits t = total_stages + config_.latency - 1;
+  TimeUnits t = total_stages + config_.latency - 1;
+  if (shared_rounds > 0) {
+    stats_.shared_rounds_total += shared_rounds;
+    const TimeUnits shared_t = shared_rounds + config_.shared.latency - 1;
+    shared_units_ += shared_t;
+    t += shared_t;
+  }
   pipeline_.advance(t);
   return t;
 }
@@ -51,7 +64,7 @@ TimeUnits AccessTimer::time_units() const {
       stats_.stages_total == 0 ? 0 : stats_.stages_total + config_.latency - 1;
   const TimeUnits chain =
       static_cast<TimeUnits>(config_.latency) * stats_.access_steps;
-  return std::max(bandwidth, chain) + compute_units_;
+  return std::max(bandwidth, chain) + compute_units_ + shared_units_;
 }
 
 }  // namespace obx::umm

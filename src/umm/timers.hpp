@@ -23,6 +23,9 @@ struct TimerStats {
   std::uint64_t compute_steps = 0;  ///< register-only steps
   std::uint64_t warps_dispatched = 0;
   std::uint64_t stages_total = 0;   ///< Σ per-warp stage counts
+  /// Σ per-warp bank-conflict rounds on the shared (DMM) tier; stays zero
+  /// when config.shared is disabled.
+  std::uint64_t shared_rounds_total = 0;
 };
 
 class AccessTimer {
@@ -35,8 +38,12 @@ class AccessTimer {
   TimeUnits charge_step(std::span<const Addr> addrs);
 
   /// Charges one access step whose per-warp stage counts were computed
-  /// elsewhere (the closed-form fast path of cost_model.hpp).
-  TimeUnits charge_precomputed(std::uint64_t total_stages, std::uint64_t warps);
+  /// elsewhere (the closed-form fast path of cost_model.hpp / dmm.hpp).
+  /// shared_rounds is the step's total bank-conflict rounds on the shared
+  /// tier (0 when the tier is disabled); it adds a serialized
+  /// rounds + l_s - 1 term on top of the global charge.
+  TimeUnits charge_precomputed(std::uint64_t total_stages, std::uint64_t warps,
+                               std::uint64_t shared_rounds = 0);
 
   /// Charges a register-only step (zero unless config.count_compute is set).
   TimeUnits charge_compute();
@@ -45,7 +52,8 @@ class AccessTimer {
   /// per-step batch times.  Overlap policy: max(total stages + l - 1,
   /// l * access steps) — the pipeline never drains between steps, bounded
   /// below by each thread's dependency chain.  Compute charges add on top in
-  /// both policies.
+  /// both policies, as do shared-tier conflict rounds (replays never
+  /// overlap: each is a dependent re-issue of the same warp).
   TimeUnits time_units() const;
 
   const TimerStats& stats() const { return stats_; }
@@ -58,6 +66,7 @@ class AccessTimer {
   AccessPipeline pipeline_;
   TimerStats stats_;
   TimeUnits compute_units_ = 0;
+  TimeUnits shared_units_ = 0;  ///< Σ per-step (rounds + l_s - 1)
 };
 
 }  // namespace obx::umm

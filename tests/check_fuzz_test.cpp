@@ -97,7 +97,8 @@ TEST(FuzzGenerator, EdgeWordPoolHasTheNastyPatterns) {
 TEST(FuzzMatrix, CoversEveryAxis) {
   const auto matrix = check::config_matrix(12, 100);
   bool interpreted = false, compiled = false;
-  bool row = false, col = false, blocked = false;
+  bool row = false, col = false, blocked = false, ragged = false;
+  bool conflict_free = false, planner_searched = false, planner_tuned = false;
   bool tile1 = false, tile3 = false, workers2 = false, scalar = false;
   bool straddle_under = false, straddle_exact = false;
   std::set<std::string> names;
@@ -110,8 +111,14 @@ TEST(FuzzMatrix, CoversEveryAxis) {
     if (c.arrangement == bulk::Arrangement::kBlocked) {
       blocked = true;
       EXPECT_NE(c.block, 0u);
-      EXPECT_EQ(12u % c.block, 0u) << "block must divide p";
+      ragged |= 12u % c.block != 0;  // padded last block
     }
+    if (c.arrangement == bulk::Arrangement::kConflictFree) {
+      conflict_free = true;
+      EXPECT_NE(c.block, 0u);  // pad stride
+    }
+    planner_searched |= c.via_planner && !c.tune;
+    planner_tuned |= c.via_planner && c.tune;
     tile1 |= c.tile_lanes == 1;
     tile3 |= c.tile_lanes == 3;
     workers2 |= c.workers == 2;
@@ -128,6 +135,10 @@ TEST(FuzzMatrix, CoversEveryAxis) {
   EXPECT_TRUE(row);
   EXPECT_TRUE(col);
   EXPECT_TRUE(blocked);
+  EXPECT_TRUE(ragged) << "a non-divisor block must exercise the padded tail";
+  EXPECT_TRUE(conflict_free);
+  EXPECT_TRUE(planner_searched) << "arrangement-search path must be in the matrix";
+  EXPECT_TRUE(planner_tuned) << "auto-tuner path must be in the matrix";
   EXPECT_TRUE(tile1);
   EXPECT_TRUE(tile3);
   EXPECT_TRUE(workers2);

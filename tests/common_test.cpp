@@ -224,4 +224,17 @@ TEST(Aligned, ComparesWithPlainVector) {
   EXPECT_TRUE(a == aligned_vector<Word>(b.begin(), b.end()));
 }
 
+TEST(Aligned, HugePageHintIsBestEffort) {
+  // The hint must be harmless whatever the platform, the OBX_THP setting, or
+  // the allocation size: above-threshold allocations still work and stay
+  // 64-byte aligned, and hinting an arbitrary buffer directly never throws.
+  aligned_vector<Word> big((kHugePageHintBytes / sizeof(Word)) + 7, Word{1});
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big.data()) % kSimdAlignBytes, 0u);
+  EXPECT_EQ(big.back(), Word{1});
+  hint_huge_pages(big.data(), big.size() * sizeof(Word));
+  hint_huge_pages(big.data(), 16);  // below threshold: no-op
+  // Latched toggle is consistent across calls.
+  EXPECT_EQ(huge_page_hint_enabled(), huge_page_hint_enabled());
+}
+
 }  // namespace

@@ -47,6 +47,36 @@ TEST(Layout, GlobalIsABijection) {
   }
 }
 
+TEST(Layout, ConflictFreeAddressMap) {
+  // Column-wise with every word padded to stride s: b_j[a] at (a*p + j)*s.
+  const Layout layout = Layout::conflict_free(4, 6, 3);
+  EXPECT_EQ(layout.global(0, 0), 0u);
+  EXPECT_EQ(layout.global(0, 3), 9u);
+  EXPECT_EQ(layout.global(1, 0), 12u);
+  EXPECT_EQ(layout.global(5, 3), 69u);
+  EXPECT_EQ(layout.total_words(), 4u * 6 * 3);
+  EXPECT_EQ(layout.lane_stride(), 3u);
+  EXPECT_EQ(layout.stride_base(2), 2u * 4 * 3);
+  EXPECT_TRUE(layout.uniform_residue(32));
+
+  // Injective (not a bijection: the pad words are holes).
+  std::set<Addr> seen;
+  for (Lane j = 0; j < 4; ++j) {
+    for (Addr a = 0; a < 6; ++a) {
+      const Addr g = layout.global(a, j);
+      EXPECT_LT(g, layout.total_words());
+      EXPECT_TRUE(seen.insert(g).second);
+    }
+  }
+
+  // s = 1 degenerates to column-wise.
+  const Layout col = Layout::column_wise(4, 6);
+  const Layout cf1 = Layout::conflict_free(4, 6, 1);
+  for (Lane j = 0; j < 4; ++j) {
+    for (Addr a = 0; a < 6; ++a) EXPECT_EQ(cf1.global(a, j), col.global(a, j));
+  }
+}
+
 TEST(Layout, BlockedDegeneratesToNeighbours) {
   // block = 1: every lane is its own contiguous block ≡ row-wise;
   // block = p: one block interleaving all lanes ≡ column-wise.
@@ -81,7 +111,8 @@ TEST(Layout, UniformResidue) {
 
 TEST(Layout, ScatterGatherRoundTrip) {
   for (const Layout& layout :
-       {Layout::row_wise(4, 6), Layout::column_wise(4, 6), Layout::blocked(4, 6, 2)}) {
+       {Layout::row_wise(4, 6), Layout::column_wise(4, 6), Layout::blocked(4, 6, 2),
+        Layout::conflict_free(4, 6, 4), Layout::blocked(4, 6, 3)}) {
     std::vector<Word> memory(layout.total_words(), 0);
     for (Lane j = 0; j < 4; ++j) {
       std::vector<Word> input(6);
@@ -109,14 +140,27 @@ TEST(Layout, GatherSubRange) {
 TEST(Layout, Validation) {
   EXPECT_THROW(Layout::row_wise(0, 5), std::logic_error);
   EXPECT_THROW(Layout::column_wise(4, 0), std::logic_error);
-  EXPECT_THROW(Layout::blocked(8, 5, 3), std::logic_error);  // 3 does not divide 8
   EXPECT_THROW(Layout::blocked(8, 5, 0), std::logic_error);
+  EXPECT_THROW(Layout::conflict_free(8, 5, 0), std::logic_error);
+  // Blocked no longer requires block | lanes: the last block is padded.
+  const Layout ragged = Layout::blocked(8, 5, 3);
+  EXPECT_EQ(ragged.total_words(), 3u * 5 * 3);  // ceil(8/3) = 3 blocks
+  std::vector<bool> seen(ragged.total_words(), false);
+  for (Lane j = 0; j < 8; ++j) {
+    for (Addr a = 0; a < 5; ++a) {
+      const std::size_t g = ragged.global(a, j);
+      ASSERT_LT(g, ragged.total_words());
+      EXPECT_FALSE(seen[g]);  // injective despite the padding
+      seen[g] = true;
+    }
+  }
 }
 
 TEST(Layout, Names) {
   EXPECT_EQ(Layout::row_wise(4, 4).name(), "row-wise");
   EXPECT_EQ(Layout::column_wise(4, 4).name(), "column-wise");
   EXPECT_EQ(Layout::blocked(4, 4, 2).name(), "blocked(2)");
+  EXPECT_EQ(Layout::conflict_free(4, 4, 3).name(), "conflict-free(3)");
 }
 
 }  // namespace

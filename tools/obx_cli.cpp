@@ -2,14 +2,21 @@
 // from the command line.
 //
 //   obx_cli list     [--names]
-//   obx_cli run      <algorithm> --n 64 --p 256 [--arrangement row|col]
-//                    [--workers K] [--seed S]
+//   obx_cli run      <algorithm> --n 64 --p 256 [--arrangement row|col|blocked|cf]
+//                    [--arrangement-param B] [--workers K] [--seed S]
 //   obx_cli plan     <algorithm> [--n N] [--p P] [--width 32] [--latency 200]
 //                    [--group G] [--overlap] [--count-compute]
-//                    [--arrangement row|col] [--no-optimise] [--no-compile]
-//                    (print the cached ExecutionPlan: decisions + provenance)
+//                    [--banks 32] [--bank-words W] [--shared-latency L]
+//                    [--arrangement row|col|blocked|cf] [--arrangement-param B]
+//                    [--tune] [--tune-trials T] [--tune-lanes P]
+//                    [--no-optimise] [--no-compile]
+//                    (print the cached ExecutionPlan: decisions + provenance;
+//                    --banks enables the shared/DMM tier, --tune refines the
+//                    arrangement search with real micro-measurements)
 //   obx_cli time     <algorithm> --n 64 --p 4096 [--width 32] [--latency 200]
 //                    [--group G] [--overlap] [--model umm|dmm]
+//                    [--banks 32] [--bank-words W] [--shared-latency L]
+//                    (simulated units for all four arrangements)
 //   obx_cli check    <algorithm> --n 64
 //   obx_cli optimize <algorithm> --n 64
 //   obx_cli hmm      <algorithm> --n 64 --p 4096 [--sms 14]
@@ -91,9 +98,19 @@ const algos::Algorithm& algo_from(const cli::Args& args) {
 bulk::Arrangement arrangement_from(const cli::Args& args) {
   const std::string a = args.get("arrangement", "col");
   if (a == "row" || a == "row-wise") return bulk::Arrangement::kRowWise;
+  if (a == "blocked" || a == "block") return bulk::Arrangement::kBlocked;
+  if (a == "cf" || a == "conflict-free") return bulk::Arrangement::kConflictFree;
   OBX_CHECK(a == "col" || a == "column" || a == "column-wise",
             "unknown arrangement: " + a);
   return bulk::Arrangement::kColumnWise;
+}
+
+/// Shared-tier knobs: --banks enables the DMM tier (0 = off, the default);
+/// --bank-words and --shared-latency refine it.
+void apply_shared_tier(const cli::Args& args, umm::MachineConfig& cfg) {
+  cfg.shared.banks = static_cast<std::uint32_t>(args.get_int("banks", 0));
+  cfg.shared.bank_words = static_cast<std::uint32_t>(args.get_int("bank-words", 1));
+  cfg.shared.latency = static_cast<std::uint32_t>(args.get_int("shared-latency", 1));
 }
 
 int cmd_list(const cli::Args& args) {
@@ -127,9 +144,12 @@ int cmd_run(const cli::Args& args) {
     const auto one = algo.make_input(n, rng);
     inputs.insert(inputs.end(), one.begin(), one.end());
   }
+  const bulk::Arrangement arr = arrangement_from(args);
+  const std::size_t arr_param = static_cast<std::size_t>(args.get_int(
+      "arrangement-param", arr == bulk::Arrangement::kBlocked ? 32 : 0));
   const auto t0 = std::chrono::steady_clock::now();
   const bulk::BulkOutputs out =
-      bulk::run_bulk(program, inputs, p, arrangement_from(args), workers);
+      bulk::run_bulk(program, inputs, p, arr, workers, arr_param);
   const auto t1 = std::chrono::steady_clock::now();
 
   // Verify every lane against the native reference.
@@ -168,10 +188,16 @@ int cmd_plan(const cli::Args& args) {
   options.machine.group_words = static_cast<std::uint32_t>(args.get_int("group", 0));
   options.machine.overlap_latency = args.get_bool("overlap");
   options.machine.count_compute = args.get_bool("count-compute");
+  apply_shared_tier(args, options.machine);
   options.reference_lanes = static_cast<std::size_t>(args.get_int("p", 256));
   if (args.get_bool("no-optimise")) options.optimise = false;
   if (args.get_bool("no-compile")) options.compile = false;
   if (args.has("arrangement")) options.arrangement = arrangement_from(args);
+  options.arrangement_param =
+      static_cast<std::size_t>(args.get_int("arrangement-param", 0));
+  options.tune.measure = args.get_bool("tune");
+  options.tune.trials = static_cast<std::size_t>(args.get_int("tune-trials", 3));
+  options.tune.lanes = static_cast<std::size_t>(args.get_int("tune-lanes", 0));
 
   const std::string id = algo.name + "/n=" + std::to_string(n);
   const std::shared_ptr<const plan::ExecutionPlan> plan =
@@ -190,17 +216,24 @@ int cmd_time(const cli::Args& args) {
   cfg.group_words = static_cast<std::uint32_t>(args.get_int("group", 0));
   cfg.overlap_latency = args.get_bool("overlap");
   cfg.count_compute = args.get_bool("count-compute");
+  apply_shared_tier(args, cfg);
   const std::string model_name = args.get("model", "umm");
   const umm::Model model = model_name == "dmm" ? umm::Model::kDmm : umm::Model::kUmm;
 
   const trace::Program program = algo.make_program(n);
   const gpusim::VirtualGpu gpu(gpusim::gtx_titan());
   analysis::Table table({"arrangement", "time units", "seconds @837MHz"});
-  for (const auto arr : {bulk::Arrangement::kRowWise, bulk::Arrangement::kColumnWise}) {
-    const auto r = bulk::TimingEstimator(model, cfg, bulk::make_layout(program, p, arr))
-                       .run(program);
-    table.add_row({to_string(arr), std::to_string(r.time_units),
-                   format_seconds(gpu.seconds_from_units(r.time_units))});
+  const std::size_t cf_stride = umm::conflict_free_stride(cfg.shared);
+  const std::pair<bulk::Arrangement, std::size_t> sweeps[] = {
+      {bulk::Arrangement::kRowWise, 0},
+      {bulk::Arrangement::kColumnWise, 0},
+      {bulk::Arrangement::kBlocked, cfg.width},
+      {bulk::Arrangement::kConflictFree, cf_stride}};
+  for (const auto& [arr, param] : sweeps) {
+    const bulk::Layout layout = bulk::make_layout(program, p, arr, param);
+    const TimeUnits units = bulk::simulate_units(program, layout, model, cfg);
+    table.add_row({layout.name(), std::to_string(units),
+                   format_seconds(gpu.seconds_from_units(units))});
   }
   std::printf("%s on the %s, p=%zu, w=%u, l=%u%s%s:\n", program.name.c_str(),
               model == umm::Model::kUmm ? "UMM" : "DMM", p, cfg.width, cfg.latency,
@@ -699,8 +732,10 @@ int main(int argc, char** argv) {
         argc, argv,
         {"overlap", "count-compute", "optimize", "snapshot", "names",
          "no-optimise", "no-compile", "no-shrink", "no-faults", "no-net",
-         "bursty", "scrape"},
-        {"n", "p", "width", "latency", "group", "model", "arrangement", "workers",
+         "bursty", "scrape", "tune"},
+        {"n", "p", "width", "latency", "group", "banks", "bank-words",
+         "shared-latency", "arrangement-param", "tune-trials", "tune-lanes",
+         "model", "arrangement", "workers",
          "seed", "sms", "algos", "jobs", "rate", "producers", "batch-lanes",
          "batch-delays-us", "batch-delay-us", "executors", "policy", "queue-cap",
          "deadline-us", "iters", "max-steps", "replay", "listen", "duration-s",
