@@ -7,6 +7,7 @@
 #include "bulk/core_pool.hpp"
 #include "bulk/thread_pool.hpp"
 #include "exec/compiled_program.hpp"
+#include "exec/jit/jit_program.hpp"
 #include "trace/step.hpp"
 
 namespace obx::bulk {
@@ -142,9 +143,18 @@ HostRunResult HostBulkExecutor::run(const trace::Program& program,
   }
 
   if (compiled != nullptr) {
-    result.backend = exec::Backend::kCompiled;
-    result.counts = compiled->counts();
     const SimdIsa isa = options_.simd.value_or(active_simd_isa());
+    // kAuto and kJit prefer emitted zero-dispatch code; any emission failure
+    // (platform, OBX_JIT=0, arena refusal) degrades to the compiled switch
+    // backend.  kCompiled never emits, so the switch engine stays directly
+    // reachable for benchmarks and differential tests.
+    std::shared_ptr<const exec::JitProgram> jitted;
+    if (options_.backend != exec::Backend::kCompiled) {
+      jitted = exec::JitProgram::get_or_emit(program, compiled, isa);
+    }
+    result.backend =
+        jitted != nullptr ? exec::Backend::kJit : exec::Backend::kCompiled;
+    result.counts = compiled->counts();
     result.simd = isa;
     const std::size_t tile =
         exec::resolve_tile_lanes(options_.tile_lanes, compiled->register_count(),
@@ -158,8 +168,13 @@ HostRunResult HostBulkExecutor::run(const trace::Program& program,
     result.sched += pool.parallel_for(
         p, align == 1 ? 1 : tile, tile, workers,
         [&](std::size_t begin, std::size_t end) {
-          exec::run_compiled_chunk(*compiled, layout_, inputs, program.input_words,
-                                   result.memory, begin, end, tile, isa);
+          if (jitted != nullptr) {
+            exec::run_jit_chunk(*jitted, layout_, inputs, program.input_words,
+                                result.memory, begin, end, tile);
+          } else {
+            exec::run_compiled_chunk(*compiled, layout_, inputs, program.input_words,
+                                     result.memory, begin, end, tile, isa);
+          }
         });
     const auto t1 = std::chrono::steady_clock::now();
     result.seconds = std::chrono::duration<double>(t1 - t0).count();

@@ -9,12 +9,9 @@
 
 namespace obx::exec {
 
-namespace {
+namespace detail {
 
 using bulk::Arrangement;
-using detail::MemRef;
-using detail::Tile;
-using detail::mem_ref;
 
 /// Scatters this tile's inputs into arranged memory.  Column-wise/blocked is
 /// a cache-blocked transpose (sub-tiles of lanes keep the source lines
@@ -92,6 +89,13 @@ void scatter_tile(const Tile& t, std::span<const Word> inputs, std::size_t iw) {
   }
 }
 
+}  // namespace detail
+
+namespace {
+
+using bulk::Arrangement;
+using detail::Tile;
+
 using SegmentFn = void (*)(const Tile&, const CompiledProgram::Segment&);
 
 /// Maps the requested SIMD tier to its segment body, degrading to the widest
@@ -129,6 +133,7 @@ std::string to_string(Backend backend) {
     case Backend::kAuto: return "auto";
     case Backend::kInterpreted: return "interpreted";
     case Backend::kCompiled: return "compiled";
+    case Backend::kJit: return "jit";
   }
   return "?";
 }
@@ -201,7 +206,7 @@ void run_compiled_chunk(const CompiledProgram& compiled, const bulk::Layout& lay
   for (std::size_t base = lane_begin; base < lane_end; base += tile_lanes) {
     t.base = base;
     t.len = std::min(tile_lanes, lane_end - base);
-    scatter_tile(t, inputs, input_words);
+    detail::scatter_tile(t, inputs, input_words);
     std::fill_n(regs.data(), regs_needed, Word{0});
     for (const CompiledProgram::Segment& seg : compiled.segments()) {
       segment_fn(t, seg);

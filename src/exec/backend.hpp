@@ -22,11 +22,16 @@
 
 namespace obx::exec {
 
-/// Which lockstep engine HostBulkExecutor uses.  kAuto compiles when the
-/// program fits the compile budget and falls back to the interpreter
-/// otherwise; kCompiled also falls back (with the fallback recorded in the
-/// run result) rather than failing.
-enum class Backend : std::uint8_t { kAuto, kInterpreted, kCompiled };
+/// Which lockstep engine HostBulkExecutor uses.  kAuto prefers the
+/// copy-and-patch JIT (zero per-superinstruction dispatch; see
+/// exec/jit/jit_program.hpp), degrading to the compiled switch backend when
+/// emission is unavailable (non-x86-64/non-Linux, OBX_JIT=0, arena failure)
+/// and to the interpreter when the program exceeds the compile budget.
+/// kJit and kCompiled ride the same ladder from their own rung — both fall
+/// back (with the fallback recorded in the run result) rather than failing.
+/// kJit is last so the numeric values of the pre-JIT backends — which plan
+/// fingerprints fold in — are unchanged.
+enum class Backend : std::uint8_t { kAuto, kInterpreted, kCompiled, kJit };
 
 std::string to_string(Backend backend);
 

@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 
 #include "exec/backend_detail.hpp"
+#include "exec/jit/kernel_table.hpp"
 #include "exec/simd.hpp"
 #include "opt/fusion.hpp"
 #include "trace/alu_ops.hpp"
@@ -47,20 +49,26 @@ static OBX_ALWAYS_INLINE void vstore(const MemRef& m, std::size_t j, Vec<V> x) {
   else x.store(m.ptr + j * m.stride, m.stride);
 }
 
-/// Lockstep ALU over register columns: the shared inner loop of kAlu and the
-/// ALU steps of kRegRun.
+/// Lockstep ALU over register columns with the opcode already resolved: the
+/// shared inner loop of kAlu and the ALU steps of kRegRun, and the body the
+/// JIT's op-specialized entries bind directly (no dispatch_op at run time).
+template <Op OP, std::size_t W>
+static OBX_ALWAYS_INLINE void alu_sweep_op(Word* d, const Word* a, const Word* b,
+                                           const Word* c, std::size_t len) {
+  std::size_t j = 0;
+  for (; j + W <= len; j += W) {
+    vapply<OP, W>(Vec<W>::load(a + j), Vec<W>::load(b + j), Vec<W>::load(c + j),
+                  Vec<W>::load(d + j))
+        .store(d + j);
+  }
+  for (; j < len; ++j) d[j] = trace::apply_one<OP>(a[j], b[j], c[j], d[j]);
+}
+
 template <std::size_t W>
 static OBX_ALWAYS_INLINE void alu_sweep(Op op, Word* d, const Word* a, const Word* b,
                                         const Word* c, std::size_t len) {
   dispatch_op(op, [&](auto opc) {
-    constexpr Op OP = decltype(opc)::value;
-    std::size_t j = 0;
-    for (; j + W <= len; j += W) {
-      vapply<OP, W>(Vec<W>::load(a + j), Vec<W>::load(b + j), Vec<W>::load(c + j),
-                    Vec<W>::load(d + j))
-          .store(d + j);
-    }
-    for (; j < len; ++j) d[j] = trace::apply_one<OP>(a[j], b[j], c[j], d[j]);
+    alu_sweep_op<decltype(opc)::value, W>(d, a, b, c, len);
   });
 }
 
@@ -106,10 +114,15 @@ static void k_imm(const Tile& t, const FusedOp& f) {
   for (; j < t.len; ++j) d[j] = f.imm;
 }
 
+template <Op OP, std::size_t W>
+static void k_alu_op(const Tile& t, const FusedOp& f) {
+  alu_sweep_op<OP, W>(reg(t, f.dst), reg(t, f.src0), reg(t, f.src1), reg(t, f.src2),
+                      t.len);
+}
+
 template <std::size_t W>
 static void k_alu(const Tile& t, const FusedOp& f) {
-  alu_sweep<W>(f.op, reg(t, f.dst), reg(t, f.src0), reg(t, f.src1), reg(t, f.src2),
-               t.len);
+  dispatch_op(f.op, [&](auto opc) { k_alu_op<decltype(opc)::value, W>(t, f); });
 }
 
 // ---------------------------------------------------------------------------
@@ -132,8 +145,8 @@ static OBX_ALWAYS_INLINE void imm_alu_step(Word* ir, Word* d, const Word* a,
   vapply<OP, V>(av, bv, cv, dv).store(d + j);
 }
 
-template <std::size_t W>
-static void k_imm_alu(const Tile& t, const FusedOp& f) {
+template <Op OP, std::size_t W>
+static void k_imm_alu_op(const Tile& t, const FusedOp& f) {
   Word* ir = reg(t, f.aux);
   Word* d = reg(t, f.dst);
   const Word* a = reg(t, f.src0);
@@ -144,16 +157,18 @@ static void k_imm_alu(const Tile& t, const FusedOp& f) {
   const bool s1f = f.src1 == f.aux;
   const bool s2f = f.src2 == f.aux;
   const bool ddf = f.dst == f.aux;
-  dispatch_op(f.op, [&](auto opc) {
-    constexpr Op OP = decltype(opc)::value;
-    const Vec<W> ivw = Vec<W>::splat(f.imm);
-    const Vec<1> iv1 = Vec<1>::splat(f.imm);
-    std::size_t j = 0;
-    for (; j + W <= t.len; j += W)
-      imm_alu_step<OP, W>(ir, d, a, b, c, ivw, commit, s0f, s1f, s2f, ddf, j);
-    for (; j < t.len; ++j)
-      imm_alu_step<OP, 1>(ir, d, a, b, c, iv1, commit, s0f, s1f, s2f, ddf, j);
-  });
+  const Vec<W> ivw = Vec<W>::splat(f.imm);
+  const Vec<1> iv1 = Vec<1>::splat(f.imm);
+  std::size_t j = 0;
+  for (; j + W <= t.len; j += W)
+    imm_alu_step<OP, W>(ir, d, a, b, c, ivw, commit, s0f, s1f, s2f, ddf, j);
+  for (; j < t.len; ++j)
+    imm_alu_step<OP, 1>(ir, d, a, b, c, iv1, commit, s0f, s1f, s2f, ddf, j);
+}
+
+template <std::size_t W>
+static void k_imm_alu(const Tile& t, const FusedOp& f) {
+  dispatch_op(f.op, [&](auto opc) { k_imm_alu_op<decltype(opc)::value, W>(t, f); });
 }
 
 template <Op OP, bool UNIT, std::size_t V>
@@ -189,14 +204,16 @@ static void k_load_alu_body(const Tile& t, const FusedOp& f, const MemRef m) {
     load_alu_step<OP, UNIT, 1>(m, lr, d, a, b, c, commit, s0f, s1f, s2f, ddf, j);
 }
 
+template <Op OP, std::size_t W>
+static void k_load_alu_op(const Tile& t, const FusedOp& f) {
+  const MemRef m = mem_ref(t, f.addr);
+  if (m.stride == 1) k_load_alu_body<OP, true, W>(t, f, m);
+  else k_load_alu_body<OP, false, W>(t, f, m);
+}
+
 template <std::size_t W>
 static void k_load_alu(const Tile& t, const FusedOp& f) {
-  const MemRef m = mem_ref(t, f.addr);
-  dispatch_op(f.op, [&](auto opc) {
-    constexpr Op OP = decltype(opc)::value;
-    if (m.stride == 1) k_load_alu_body<OP, true, W>(t, f, m);
-    else k_load_alu_body<OP, false, W>(t, f, m);
-  });
+  dispatch_op(f.op, [&](auto opc) { k_load_alu_op<decltype(opc)::value, W>(t, f); });
 }
 
 template <Op OP, bool UNIT, std::size_t V>
@@ -223,14 +240,16 @@ static void k_alu_store_body(const Tile& t, const FusedOp& f, const MemRef m) {
   for (; j < t.len; ++j) alu_store_step<OP, UNIT, 1>(m, d, a, b, c, s, sfwd, j);
 }
 
+template <Op OP, std::size_t W>
+static void k_alu_store_op(const Tile& t, const FusedOp& f) {
+  const MemRef m = mem_ref(t, f.addr2);
+  if (m.stride == 1) k_alu_store_body<OP, true, W>(t, f, m);
+  else k_alu_store_body<OP, false, W>(t, f, m);
+}
+
 template <std::size_t W>
 static void k_alu_store(const Tile& t, const FusedOp& f) {
-  const MemRef m = mem_ref(t, f.addr2);
-  dispatch_op(f.op, [&](auto opc) {
-    constexpr Op OP = decltype(opc)::value;
-    if (m.stride == 1) k_alu_store_body<OP, true, W>(t, f, m);
-    else k_alu_store_body<OP, false, W>(t, f, m);
-  });
+  dispatch_op(f.op, [&](auto opc) { k_alu_store_op<decltype(opc)::value, W>(t, f); });
 }
 
 template <Op OP, bool UNIT, std::size_t V>
@@ -279,15 +298,18 @@ static void k_load_alu_store_body(const Tile& t, const FusedOp& f, const MemRef 
   }
 }
 
-template <std::size_t W>
-static void k_load_alu_store(const Tile& t, const FusedOp& f) {
+template <Op OP, std::size_t W>
+static void k_load_alu_store_op(const Tile& t, const FusedOp& f) {
   const MemRef in = mem_ref(t, f.addr);
   const MemRef out = mem_ref(t, f.addr2);
-  dispatch_op(f.op, [&](auto opc) {
-    constexpr Op OP = decltype(opc)::value;
-    if (in.stride == 1) k_load_alu_store_body<OP, true, W>(t, f, in, out);
-    else k_load_alu_store_body<OP, false, W>(t, f, in, out);
-  });
+  if (in.stride == 1) k_load_alu_store_body<OP, true, W>(t, f, in, out);
+  else k_load_alu_store_body<OP, false, W>(t, f, in, out);
+}
+
+template <std::size_t W>
+static void k_load_alu_store(const Tile& t, const FusedOp& f) {
+  dispatch_op(f.op,
+              [&](auto opc) { k_load_alu_store_op<decltype(opc)::value, W>(t, f); });
 }
 
 // ---------------------------------------------------------------------------
@@ -350,8 +372,8 @@ static void k_triple_group(const Tile& t, Word* acc, Word* ldr, Word* const* in,
   }
 }
 
-template <std::size_t W>
-static void k_triple_run(const Tile& t, const FusedOp& f, const Step* body) {
+template <Op OP, std::size_t W>
+static void k_triple_run_op(const Tile& t, const FusedOp& f, const Step* body) {
   constexpr int kGw = 8;
   Word* acc = reg(t, f.dst);
   Word* ldr = reg(t, f.aux);
@@ -360,39 +382,42 @@ static void k_triple_run(const Tile& t, const FusedOp& f, const Step* body) {
   const bool want_ld = (f.flags & opt::kElideAuxCommit) == 0;
   const bool unit = lane_word_stride(t) == 1;
   const std::size_t runs = f.run_len;
-  dispatch_op(f.op, [&](auto opc) {
-    constexpr Op OP = decltype(opc)::value;
-    Word* in[kGw];
-    Word* out[kGw];
-    std::size_t k = 0;
-    for (; k + kGw <= runs; k += kGw) {
-      for (int w = 0; w < kGw; ++w) {
-        const std::size_t base = (k + static_cast<std::size_t>(w)) * 3;
-        in[w] = mem_ref(t, body[base].addr).ptr;
-        out[w] = mem_ref(t, body[base + 2].addr).ptr;
-      }
-      const bool commit = want_ld && k + kGw == runs;
-      if (unit) {
-        if (commit) k_triple_group<OP, true, kGw, true, W>(t, acc, ldr, in, out, s0l, s1l);
-        else k_triple_group<OP, true, kGw, false, W>(t, acc, ldr, in, out, s0l, s1l);
-      } else {
-        if (commit) k_triple_group<OP, false, kGw, true, W>(t, acc, ldr, in, out, s0l, s1l);
-        else k_triple_group<OP, false, kGw, false, W>(t, acc, ldr, in, out, s0l, s1l);
-      }
+  Word* in[kGw];
+  Word* out[kGw];
+  std::size_t k = 0;
+  for (; k + kGw <= runs; k += kGw) {
+    for (int w = 0; w < kGw; ++w) {
+      const std::size_t base = (k + static_cast<std::size_t>(w)) * 3;
+      in[w] = mem_ref(t, body[base].addr).ptr;
+      out[w] = mem_ref(t, body[base + 2].addr).ptr;
     }
-    for (; k < runs; ++k) {
-      in[0] = mem_ref(t, body[k * 3].addr).ptr;
-      out[0] = mem_ref(t, body[k * 3 + 2].addr).ptr;
-      const bool commit = want_ld && k + 1 == runs;
-      if (unit) {
-        if (commit) k_triple_group<OP, true, 1, true, W>(t, acc, ldr, in, out, s0l, s1l);
-        else k_triple_group<OP, true, 1, false, W>(t, acc, ldr, in, out, s0l, s1l);
-      } else {
-        if (commit) k_triple_group<OP, false, 1, true, W>(t, acc, ldr, in, out, s0l, s1l);
-        else k_triple_group<OP, false, 1, false, W>(t, acc, ldr, in, out, s0l, s1l);
-      }
+    const bool commit = want_ld && k + kGw == runs;
+    if (unit) {
+      if (commit) k_triple_group<OP, true, kGw, true, W>(t, acc, ldr, in, out, s0l, s1l);
+      else k_triple_group<OP, true, kGw, false, W>(t, acc, ldr, in, out, s0l, s1l);
+    } else {
+      if (commit) k_triple_group<OP, false, kGw, true, W>(t, acc, ldr, in, out, s0l, s1l);
+      else k_triple_group<OP, false, kGw, false, W>(t, acc, ldr, in, out, s0l, s1l);
     }
-  });
+  }
+  for (; k < runs; ++k) {
+    in[0] = mem_ref(t, body[k * 3].addr).ptr;
+    out[0] = mem_ref(t, body[k * 3 + 2].addr).ptr;
+    const bool commit = want_ld && k + 1 == runs;
+    if (unit) {
+      if (commit) k_triple_group<OP, true, 1, true, W>(t, acc, ldr, in, out, s0l, s1l);
+      else k_triple_group<OP, true, 1, false, W>(t, acc, ldr, in, out, s0l, s1l);
+    } else {
+      if (commit) k_triple_group<OP, false, 1, true, W>(t, acc, ldr, in, out, s0l, s1l);
+      else k_triple_group<OP, false, 1, false, W>(t, acc, ldr, in, out, s0l, s1l);
+    }
+  }
+}
+
+template <std::size_t W>
+static void k_triple_run(const Tile& t, const FusedOp& f, const Step* body) {
+  dispatch_op(f.op,
+              [&](auto opc) { k_triple_run_op<decltype(opc)::value, W>(t, f, body); });
 }
 
 // ---------------------------------------------------------------------------
@@ -414,6 +439,79 @@ static void exec_segment_w(const Tile& t, const CompiledProgram::Segment& seg) {
       case FusedKind::kTripleRun: k_triple_run<W>(t, f, runs + f.run_begin); break;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// JIT entry points: every kernel above re-exported under the one uniform
+// signature emitted code calls (jit::KernelFn), with the opcode already bound
+// as a template argument — so a patched call site carries no dispatch at all,
+// neither the segment switch nor dispatch_op's opcode switch.  Unused
+// parameters (the run-step pointer for non-run kernels) are simply ignored;
+// the emitter always materialises all three arguments.
+
+template <std::size_t W>
+static void j_load(const Tile* t, const FusedOp* f, const Step*) {
+  k_load<W>(*t, *f);
+}
+template <std::size_t W>
+static void j_store(const Tile* t, const FusedOp* f, const Step*) {
+  k_store<W>(*t, *f);
+}
+template <std::size_t W>
+static void j_imm(const Tile* t, const FusedOp* f, const Step*) {
+  k_imm<W>(*t, *f);
+}
+template <std::size_t W>
+static void j_reg_run(const Tile* t, const FusedOp* f, const Step* body) {
+  k_reg_run<W>(*t, *f, body);
+}
+template <std::size_t W, Op OP>
+static void j_alu(const Tile* t, const FusedOp* f, const Step*) {
+  k_alu_op<OP, W>(*t, *f);
+}
+template <std::size_t W, Op OP>
+static void j_imm_alu(const Tile* t, const FusedOp* f, const Step*) {
+  k_imm_alu_op<OP, W>(*t, *f);
+}
+template <std::size_t W, Op OP>
+static void j_load_alu(const Tile* t, const FusedOp* f, const Step*) {
+  k_load_alu_op<OP, W>(*t, *f);
+}
+template <std::size_t W, Op OP>
+static void j_alu_store(const Tile* t, const FusedOp* f, const Step*) {
+  k_alu_store_op<OP, W>(*t, *f);
+}
+template <std::size_t W, Op OP>
+static void j_load_alu_store(const Tile* t, const FusedOp* f, const Step*) {
+  k_load_alu_store_op<OP, W>(*t, *f);
+}
+template <std::size_t W, Op OP>
+static void j_triple_run(const Tile* t, const FusedOp* f, const Step* body) {
+  k_triple_run_op<OP, W>(*t, *f, body);
+}
+
+/// Builds this TU's kernel table: one opcode-specialized entry per (fused
+/// kind, op) at this TU's width and target flags.  `static`, like everything
+/// here, so no other TU's table can alias these symbols.
+template <std::size_t W, std::size_t... I>
+static jit::KernelTable make_kernel_table(std::index_sequence<I...>) {
+  jit::KernelTable tb;
+  tb.load = &j_load<W>;
+  tb.store = &j_store<W>;
+  tb.imm = &j_imm<W>;
+  tb.reg_run = &j_reg_run<W>;
+  ((tb.alu[I] = &j_alu<W, static_cast<Op>(I)>), ...);
+  ((tb.imm_alu[I] = &j_imm_alu<W, static_cast<Op>(I)>), ...);
+  ((tb.load_alu[I] = &j_load_alu<W, static_cast<Op>(I)>), ...);
+  ((tb.alu_store[I] = &j_alu_store<W, static_cast<Op>(I)>), ...);
+  ((tb.load_alu_store[I] = &j_load_alu_store<W, static_cast<Op>(I)>), ...);
+  ((tb.triple_run[I] = &j_triple_run<W, static_cast<Op>(I)>), ...);
+  return tb;
+}
+
+template <std::size_t W>
+static jit::KernelTable make_kernel_table() {
+  return make_kernel_table<W>(std::make_index_sequence<jit::kOpCount>{});
 }
 
 }  // namespace kernels

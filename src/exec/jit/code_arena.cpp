@@ -1,0 +1,87 @@
+#include "exec/jit/code_arena.hpp"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace obx::exec::jit {
+
+#if defined(__linux__)
+
+bool CodeArena::allocate(std::size_t bytes, const void* near) {
+  if (base_ != nullptr || bytes == 0) return false;
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  const std::size_t rounded = (bytes + page - 1) / page * page;
+  void* mem = MAP_FAILED;
+  // Ask for a range a little below `near` (binary text for the JIT): close
+  // enough that rel32 calls back into pre-compiled code reach, far enough
+  // that the gap absorbs the text/data mappings right around the hint.  The
+  // probe walks a window of candidate addresses so every arena in the
+  // process lands in reach (a plain advisory hint would satisfy only the
+  // first: once its page is taken the kernel ignores the hint and the next
+  // arena lands in the default far area, flipping its calls to imm64 — and
+  // making identically-built plans describe different code sizes).  A
+  // candidate is accepted only at exactly the requested address: on kernels
+  // with MAP_FIXED_NOREPLACE a taken range fails cleanly, on older ones the
+  // address comparison discards the fallback placement.  If the whole
+  // window is taken the arena degrades to "anywhere" and the emitter to
+  // imm64 calls — slower thunks, same semantics.
+  if (near != nullptr) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(near);
+    constexpr std::uintptr_t kBackOff = std::uintptr_t{256} << 20;  // 256 MiB
+    const std::uintptr_t stride = rounded;
+#if defined(MAP_FIXED_NOREPLACE)
+    constexpr int extra_flags = MAP_FIXED_NOREPLACE;
+#else
+    constexpr int extra_flags = 0;
+#endif
+    for (int k = 0; k < 64 && addr > kBackOff * 2; ++k) {
+      const std::uintptr_t want =
+          (addr - kBackOff) / page * page + static_cast<std::uintptr_t>(k) * stride;
+      if (want + rounded > addr) break;  // ran into the hinted object itself
+      void* const hint = reinterpret_cast<void*>(want);
+      void* const got = ::mmap(hint, rounded, PROT_READ | PROT_WRITE,
+                               MAP_PRIVATE | MAP_ANONYMOUS | extra_flags, -1, 0);
+      if (got == MAP_FAILED) continue;
+      if (got == hint) {
+        mem = got;
+        break;
+      }
+      ::munmap(got, rounded);
+    }
+  }
+  if (mem == MAP_FAILED) {
+    mem = ::mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  }
+  if (mem == MAP_FAILED) return false;
+  base_ = static_cast<std::uint8_t*>(mem);
+  size_ = rounded;
+  return true;
+}
+
+bool CodeArena::seal() {
+  if (base_ == nullptr || sealed_) return false;
+  if (::mprotect(base_, size_, PROT_READ | PROT_EXEC) != 0) return false;
+  // A no-op on x86-64 (coherent I-cache) but required on architectures that
+  // are not — and free either way.
+  __builtin___clear_cache(reinterpret_cast<char*>(base_),
+                          reinterpret_cast<char*>(base_ + size_));
+  sealed_ = true;
+  return true;
+}
+
+CodeArena::~CodeArena() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+}
+
+#else  // !__linux__: no executable mappings; emission reports failure.
+
+bool CodeArena::allocate(std::size_t, const void*) { return false; }
+bool CodeArena::seal() { return false; }
+CodeArena::~CodeArena() = default;
+
+#endif
+
+}  // namespace obx::exec::jit

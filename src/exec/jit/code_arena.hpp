@@ -1,0 +1,48 @@
+// W^X executable-code arena for the copy-and-patch JIT.
+//
+// One arena per emitted JitProgram: mmap(2)ed read-write while the emitter
+// copies and patches code into it, then flipped read+execute with mprotect(2)
+// — the span is never writable and executable at the same time — and the
+// instruction cache flushed before the first call.  The mapping lives as long
+// as the arena (and so as long as the JitProgram that owns the entry points
+// into it); unmapped on destruction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace obx::exec::jit {
+
+class CodeArena {
+ public:
+  CodeArena() = default;
+  ~CodeArena();
+  CodeArena(const CodeArena&) = delete;
+  CodeArena& operator=(const CodeArena&) = delete;
+
+  /// Maps at least `bytes` of read-write anonymous memory (page-rounded).
+  /// False on platforms without mmap or when the mapping fails; an arena can
+  /// be allocated at most once.  `near` is an optional placement hint: the
+  /// arena asks the kernel for an address in that neighbourhood (without
+  /// MAP_FIXED, so a taken range degrades to "anywhere" rather than failing
+  /// or clobbering).  The emitter hints with a kernel's own address so the
+  /// pre-compiled kernels land within rel32 `call` reach of the emitted
+  /// code whenever the address space allows it.
+  bool allocate(std::size_t bytes, const void* near = nullptr);
+
+  /// Flips the mapping to read+execute and flushes the instruction cache.
+  /// After sealing the code is immutable for the arena's lifetime.
+  bool seal();
+
+  std::uint8_t* data() { return base_; }
+  const std::uint8_t* data() const { return base_; }
+  std::size_t size() const { return size_; }
+  bool sealed() const { return sealed_; }
+
+ private:
+  std::uint8_t* base_ = nullptr;
+  std::size_t size_ = 0;
+  bool sealed_ = false;
+};
+
+}  // namespace obx::exec::jit

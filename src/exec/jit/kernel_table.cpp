@@ -1,0 +1,48 @@
+#include "exec/jit/kernel_table.hpp"
+
+namespace obx::exec::jit {
+
+KernelFn KernelTable::select(const opt::FusedOp& f) const {
+  const auto op = static_cast<std::size_t>(f.op);
+  if (op >= kOpCount) return nullptr;
+  switch (f.kind) {
+    case opt::FusedKind::kLoad: return load;
+    case opt::FusedKind::kStore: return store;
+    case opt::FusedKind::kImm: return imm;
+    case opt::FusedKind::kAlu: return alu[op];
+    case opt::FusedKind::kImmAlu: return imm_alu[op];
+    case opt::FusedKind::kLoadAlu: return load_alu[op];
+    case opt::FusedKind::kAluStore: return alu_store[op];
+    case opt::FusedKind::kLoadAluStore: return load_alu_store[op];
+    case opt::FusedKind::kRegRun: return reg_run;
+    case opt::FusedKind::kTripleRun: return triple_run[op];
+  }
+  return nullptr;
+}
+
+const KernelTable* kernel_table_for(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return kernel_table_w1();
+    case SimdIsa::kSse2:
+    case SimdIsa::kNeon:
+      return kernel_table_w2();
+    case SimdIsa::kAvx2:
+#if defined(OBX_SIMD_HAVE_AVX2)
+      return kernel_table_avx2();
+#else
+      return kernel_table_w2();
+#endif
+    case SimdIsa::kAvx512:
+#if defined(OBX_SIMD_HAVE_AVX512)
+      return kernel_table_avx512();
+#elif defined(OBX_SIMD_HAVE_AVX2)
+      return kernel_table_avx2();
+#else
+      return kernel_table_w2();
+#endif
+  }
+  return kernel_table_w1();
+}
+
+}  // namespace obx::exec::jit

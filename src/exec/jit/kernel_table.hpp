@@ -1,0 +1,74 @@
+// Per-ISA tables of opcode-specialized kernel entry points for the
+// copy-and-patch JIT.
+//
+// The JIT does not generate kernel bodies: the pre-compiled, width-specialized
+// kernels of backend_kernels.hpp *are* the templates, compiled per-ISA exactly
+// as the switch backend's TUs are (w1/w2/avx2/avx512, each under its own
+// target flags).  What the emitter needs is a stable native entry point per
+// (fused kind, opcode) so a segment can become a straight-line sequence of
+// patched calls with zero dispatch — and that is this table: every kernel
+// re-exported under one uniform C-compatible signature with the opcode bound
+// at compile time.
+//
+// Each per-ISA accessor is defined in that ISA's translation unit
+// (backend_w1/w2/avx2/avx512.cpp), so the entries carry that TU's target
+// flags and — like the segment bodies — no wide-vector code can be
+// linker-folded into a baseline caller.
+#pragma once
+
+#include <cstddef>
+
+#include "common/simd_isa.hpp"
+#include "opt/fusion.hpp"
+#include "trace/step.hpp"
+
+namespace obx::exec::detail {
+struct Tile;
+}
+
+namespace obx::exec::jit {
+
+/// The one calling convention every JIT kernel entry shares.  Emitted code
+/// materialises all three arguments for every call; entries that need fewer
+/// ignore the rest.  The third argument is the op's run-step body
+/// (run_steps.data() + run_begin) — meaningful for kRegRun / kTripleRun only.
+using KernelFn = void (*)(const detail::Tile*, const opt::FusedOp*,
+                          const trace::Step*);
+
+inline constexpr std::size_t kOpCount = static_cast<std::size_t>(trace::Op::kMov) + 1;
+
+struct KernelTable {
+  KernelFn load = nullptr;
+  KernelFn store = nullptr;
+  KernelFn imm = nullptr;
+  KernelFn reg_run = nullptr;
+  KernelFn alu[kOpCount] = {};
+  KernelFn imm_alu[kOpCount] = {};
+  KernelFn load_alu[kOpCount] = {};
+  KernelFn alu_store[kOpCount] = {};
+  KernelFn load_alu_store[kOpCount] = {};
+  KernelFn triple_run[kOpCount] = {};
+
+  /// The entry the emitter patches in for one fused op; null only for an
+  /// out-of-range opcode, which a well-formed CompiledProgram never holds
+  /// (the emitter treats null as an emission failure, not a crash).
+  KernelFn select(const opt::FusedOp& f) const;
+};
+
+// Defined one per ISA translation unit; each builds its table lazily on
+// first use (function-local static, thread-safe).
+const KernelTable* kernel_table_w1();
+const KernelTable* kernel_table_w2();
+#if defined(OBX_SIMD_HAVE_AVX2)
+const KernelTable* kernel_table_avx2();
+#endif
+#if defined(OBX_SIMD_HAVE_AVX512)
+const KernelTable* kernel_table_avx512();
+#endif
+
+/// Maps a SIMD tier to its kernel table, degrading to the widest set this
+/// binary contains — the same ladder as the switch backend's segment_fn_for,
+/// so JIT and switch always agree on which kernel bodies run for a tier.
+const KernelTable* kernel_table_for(SimdIsa isa);
+
+}  // namespace obx::exec::jit

@@ -11,6 +11,7 @@
 #include "bulk/core_pool.hpp"
 #include "bulk/thread_pool.hpp"
 #include "bulk/timing_estimator.hpp"
+#include "exec/jit/jit_program.hpp"
 #include "umm/dmm.hpp"
 
 namespace obx::plan {
@@ -74,6 +75,9 @@ std::uint64_t plan_fingerprint(const ExecutionPlan& plan) {
   mix(pv.compiled ? 1 : 0);
   mix(pv.compiled_segments);
   mix(pv.compiled_fused_ops);
+  mix(pv.jitted ? 1 : 0);
+  mix(pv.jit_code_bytes);
+  mix(pv.jit_patches);
   mix(static_cast<std::uint64_t>(plan.arrangement()));
   mix(static_cast<std::uint64_t>(plan.backend()));
   mix(static_cast<std::uint64_t>(pv.simd));
@@ -144,8 +148,24 @@ std::shared_ptr<const ExecutionPlan> Planner::build(trace::Program program) cons
       pv.compiled_fused_ops = plan->compiled_->fused_ops();
     }
   }
-  plan->backend_ = plan->compiled_ != nullptr ? exec::Backend::kCompiled
-                                              : exec::Backend::kInterpreted;
+
+  // 2b. Emit — copy-and-patch per-segment native code over the compiled
+  //     artifact, memoised in the same exec_cache slot.  kCompiled keeps the
+  //     switch engine directly requestable; any emission failure is a
+  //     recorded fallback to it.
+  if (plan->compiled_ != nullptr && options_.backend != exec::Backend::kCompiled) {
+    pv.jit_attempted = true;
+    plan->jitted_ = exec::JitProgram::get_or_emit(plan->program_, plan->compiled_,
+                                                  active_simd_isa());
+    if (plan->jitted_ != nullptr) {
+      pv.jitted = true;
+      pv.jit_code_bytes = plan->jitted_->code_bytes();
+      pv.jit_patches = plan->jitted_->patch_count();
+    }
+  }
+  plan->backend_ = plan->jitted_ != nullptr     ? exec::Backend::kJit
+                   : plan->compiled_ != nullptr ? exec::Backend::kCompiled
+                                                : exec::Backend::kInterpreted;
 
   // 3. Arrange — forced, or a search over {column, row, blocked,
   //    conflict-free}: simulated DMM+UMM units at the reference occupancy

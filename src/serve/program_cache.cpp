@@ -13,6 +13,7 @@ plan::PlanOptions PrepareOptions::plan_options() const {
   po.compile = compile;
   po.compile_budget_steps = compile_budget_steps;
   po.workers = workers;
+  po.tune = tune;
   return po;
 }
 

@@ -47,6 +47,14 @@ struct PrepareOptions {
   /// workers_per_batch here; the pool supplies cross-batch parallelism).
   unsigned workers = 1;
 
+  /// The measuring arrangement auto-tuner (plan::PlanOptions::TuneOptions):
+  /// when tune.measure is set, registration refines the simulated
+  /// arrangement prior with bounded real micro-measurements of each
+  /// candidate — registration gets slower by trials x candidates runs, every
+  /// batch afterwards runs on the measured winner.  tune.lanes defaults to
+  /// reference_lanes (the occupancy the service is tuned for).
+  plan::PlanOptions::TuneOptions tune{};
+
   /// Deprecated alias for `optimise` (the pre-plan mixed en/em spelling that
   /// clashed with `optimise_step_limit`).  When set it overrides `optimise`;
   /// kept so downstream code compiles.  Will be removed.

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# obx_client loopback smoke: stand up `obx_cli serve` on an ephemeral port,
+# then drive it with the standalone client — one ping round-trip, then a
+# small multi-tenant load with a metrics scrape.  Both client invocations
+# must exit 0 (completed ping; balanced load ledger, zero transport errors).
+#
+#   check_client_loopback.sh <obx_cli> <obx_client>
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 <obx_cli> <obx_client>" >&2
+  exit 2
+fi
+
+cli="$1"
+client="$2"
+
+log="$(mktemp)"
+server_pid=""
+cleanup() {
+  [[ -n "$server_pid" ]] && kill "$server_pid" 2>/dev/null || true
+  [[ -n "$server_pid" ]] && wait "$server_pid" 2>/dev/null || true
+  rm -f "$log"
+}
+trap cleanup EXIT
+
+"$cli" serve --listen 127.0.0.1:0 --algos prefix-sums,horner --n 64 \
+  --duration-s 60 > "$log" &
+server_pid=$!
+
+# Ephemeral port: the server prints the bound port on its first line.
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log" | head -1)"
+  [[ -n "$port" ]] && break
+  sleep 0.1
+done
+if [[ -z "$port" ]]; then
+  echo "server never reported its port; log:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+
+"$client" --connect "127.0.0.1:$port" --ping --algos prefix-sums --n 64
+"$client" --connect "127.0.0.1:$port" --algos prefix-sums,horner --n 64 \
+  --jobs 300 --tenants 2 --connections 2 --scrape
+
+echo "client loopback smoke OK"

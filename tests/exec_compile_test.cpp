@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "exec/backend.hpp"
 #include "exec/compiled_program.hpp"
+#include "exec/jit/jit_program.hpp"
 #include "opt/fusion.hpp"
 #include "trace/interpreter.hpp"
 
@@ -68,7 +69,10 @@ TEST(CompileCache, StreamDrainedAtMostOncePerProcess) {
         bulk::HostBulkExecutor::Options{.workers = workers, .tile_lanes = 16});
     const auto run1 = exec.run(program, inputs);
     const auto run2 = exec.run(copy, inputs);
-    EXPECT_EQ(run1.backend, exec::Backend::kCompiled);
+    // kAuto runs the JIT where emission is available and the compiled
+    // switch everywhere else — either way the program compiled.
+    EXPECT_EQ(run1.backend, exec::jit_available() ? exec::Backend::kJit
+                                                  : exec::Backend::kCompiled);
     EXPECT_EQ(run1.memory, run2.memory);
   }
   EXPECT_EQ(invocations->load(), 1);

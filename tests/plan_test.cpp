@@ -16,6 +16,7 @@
 #include "bulk/streaming_executor.hpp"
 #include "common/rng.hpp"
 #include "exec/backend.hpp"
+#include "exec/jit/jit_program.hpp"
 #include "plan/plan_cache.hpp"
 #include "plan/planner.hpp"
 #include "serve/program_cache.hpp"
@@ -179,7 +180,11 @@ TEST(PlannerTest, ForcedArrangementSkipsSimulationChoice) {
 TEST(PlannerTest, ResolvedBackendIsNeverAuto) {
   const algos::Algorithm& algo = algos::find("prefix-sums");
   const auto compiled = plan::build_plan(algo.make_program(64), plan::PlanOptions{});
-  EXPECT_EQ(compiled->backend(), exec::Backend::kCompiled);
+  // kAuto resolves to the JIT rung where emission is available, else the
+  // compiled switch — never to kAuto itself.
+  EXPECT_EQ(compiled->backend(), exec::jit_available() ? exec::Backend::kJit
+                                                       : exec::Backend::kCompiled);
+  EXPECT_EQ(compiled->jitted() != nullptr, exec::jit_available());
   ASSERT_NE(compiled->compiled(), nullptr);
   EXPECT_GT(compiled->provenance().compiled_segments, 0u);
   EXPECT_GT(compiled->provenance().compiled_fused_ops, 0u);
@@ -254,7 +259,9 @@ TEST(PlanCacheTest, HitReturnsIdenticalPlanAndCompiledArtifactWithoutRedrain) {
 
   const auto first = cache.get_or_build("counting", program);
   ASSERT_NE(first, nullptr);
-  EXPECT_EQ(first->backend(), exec::Backend::kCompiled);
+  const exec::Backend expect_backend =
+      exec::jit_available() ? exec::Backend::kJit : exec::Backend::kCompiled;
+  EXPECT_EQ(first->backend(), expect_backend);
   const int drains_after_build = invocations->load();
   EXPECT_GT(drains_after_build, 0);
 
@@ -269,7 +276,7 @@ TEST(PlanCacheTest, HitReturnsIdenticalPlanAndCompiledArtifactWithoutRedrain) {
   const bulk::HostBulkExecutor exec(*first, 4);
   std::vector<Word> inputs(4 * kCountingWords, Word{2});
   const auto result = exec.run(first->program(), inputs);
-  EXPECT_EQ(result.backend, exec::Backend::kCompiled);
+  EXPECT_EQ(result.backend, expect_backend);
   EXPECT_EQ(invocations->load(), drains_after_build);
 }
 
