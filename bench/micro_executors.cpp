@@ -13,6 +13,7 @@
 #include <malloc.h>
 #endif
 
+#include "algos/algorithm.hpp"
 #include "algos/bitonic_sort.hpp"
 #include "algos/prefix_sums.hpp"
 #include "algos/tea_cipher.hpp"
@@ -353,6 +354,65 @@ void BM_StreamingExecutor(benchmark::State& state) {
                           static_cast<std::int64_t>(p * program.profile().total()));
 }
 BENCHMARK(BM_StreamingExecutor)->Arg(1 << 8)->Arg(1 << 12);
+
+void BM_AlgosSuite(benchmark::State& state) {
+  // The whole registry as one serving-shaped scenario sweep: every algorithm
+  // at its largest test size <= 64, compiled backend, column-wise, one
+  // worker.  One iteration = one pass over every scenario, so time/iter is
+  // "cost of the full workload family" and the counters make the suite's
+  // breadth a tracked metric — `algorithms` is the registry size and
+  // `scenarios` the number of (algorithm, n) pairs executed; CI's bench-smoke
+  // summary surfaces both, so shrinking the registry or the sweep shows up
+  // as a perf-dashboard diff, not just a test-count change.
+  const std::size_t p = 64;
+  struct Scenario {
+    const algos::Algorithm* algo;
+    trace::Program program;
+    std::vector<Word> inputs;
+    bulk::HostBulkExecutor executor;
+  };
+  std::vector<Scenario> scenarios;
+  Rng rng(7);
+  for (const auto& algo : algos::registry()) {
+    std::size_t n = algo.test_sizes.front();
+    for (const std::size_t size : algo.test_sizes) {
+      if (size <= 64 && size > n) n = size;
+    }
+    trace::Program program = algo.make_program(n);
+    std::vector<Word> inputs;
+    inputs.reserve(p * program.input_words);
+    for (std::size_t j = 0; j < p; ++j) {
+      const auto one = algo.make_input(n, rng);
+      inputs.insert(inputs.end(), one.begin(), one.end());
+    }
+    bulk::HostBulkExecutor executor(
+        bulk::Layout::column_wise(p, program.memory_words),
+        bulk::HostBulkExecutor::Options{.workers = 1,
+                                        .backend = exec::Backend::kCompiled});
+    scenarios.push_back(Scenario{&algo, std::move(program), std::move(inputs),
+                                 std::move(executor)});
+  }
+
+  std::int64_t lane_steps = 0;
+  for (auto _ : state) {
+    for (const auto& scenario : scenarios) {
+      auto run = scenario.executor.run(scenario.program, scenario.inputs);
+      benchmark::DoNotOptimize(run.memory.data());
+    }
+  }
+  for (const auto& scenario : scenarios) {
+    lane_steps += static_cast<std::int64_t>(
+        p * scenario.program.profile().total());
+  }
+  state.counters["algorithms"] =
+      benchmark::Counter(static_cast<double>(algos::registry().size()));
+  state.counters["scenarios"] =
+      benchmark::Counter(static_cast<double>(scenarios.size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          lane_steps);
+  state.SetLabel("algos_suite");
+}
+BENCHMARK(BM_AlgosSuite)->Unit(benchmark::kMillisecond);
 
 void BM_StepGenerator(benchmark::State& state) {
   // Coroutine streaming overhead per step.

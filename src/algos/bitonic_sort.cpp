@@ -1,6 +1,8 @@
 #include "algos/bitonic_sort.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
 
 #include "common/check.hpp"
 #include "trace/step.hpp"
@@ -13,13 +15,22 @@ using trace::Step;
 
 namespace {
 
-bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
-
-// Registers: r0 = a[i], r1 = a[l], r2 = min, r3 = max.
+// Registers: r0 = a[i], r1 = a[l], r2 = min, r3 = max.  r0 doubles as the
+// +inf sentinel while padding.
+//
+// Non-power-of-two lengths run the network on m = bit_ceil(n) words with
+// the scratch tail [n, m) preloaded with +inf: the sentinels sort to the
+// back, so [0, n) holds the sorted input.  For power-of-two n the stream is
+// byte-identical to the unpadded network (zero sentinel stores).
 Generator<Step> stream(std::size_t n) {
-  for (std::size_t k = 2; k <= n; k <<= 1) {
+  const std::size_t m = std::bit_ceil(n);
+  if (m > n) {
+    co_yield Step::imm_f64(0, std::numeric_limits<double>::infinity());
+    for (std::size_t a = n; a < m; ++a) co_yield Step::store(a, 0);
+  }
+  for (std::size_t k = 2; k <= m; k <<= 1) {
     for (std::size_t j = k >> 1; j > 0; j >>= 1) {
-      for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t i = 0; i < m; ++i) {
         const std::size_t l = i ^ j;
         if (l <= i) continue;
         const bool ascending = (i & k) == 0;
@@ -37,10 +48,10 @@ Generator<Step> stream(std::size_t n) {
 }  // namespace
 
 trace::Program bitonic_sort_program(std::size_t n) {
-  OBX_CHECK(is_pow2(n), "bitonic sort length must be a power of two");
+  OBX_CHECK(n >= 1, "bitonic sort needs at least one element");
   trace::Program p;
   p.name = "bitonic-sort(n=" + std::to_string(n) + ")";
-  p.memory_words = n;
+  p.memory_words = std::bit_ceil(n);
   p.input_words = n;
   p.output_offset = 0;
   p.output_words = n;
@@ -64,12 +75,14 @@ std::vector<Word> bitonic_sort_reference(std::size_t n, std::span<const Word> in
 }
 
 std::uint64_t bitonic_sort_memory_steps(std::size_t n) {
-  // Each (k, j) phase performs n/2 compare-exchanges of 4 memory steps.
+  // Sentinel stores, then each (k, j) phase performs m/2 compare-exchanges
+  // of 4 memory steps on the padded size.
+  const std::uint64_t m = std::bit_ceil(n);
   std::uint64_t phases = 0;
-  for (std::size_t k = 2; k <= n; k <<= 1) {
+  for (std::size_t k = 2; k <= m; k <<= 1) {
     for (std::size_t j = k >> 1; j > 0; j >>= 1) ++phases;
   }
-  return phases * (n / 2) * 4;
+  return (m - n) + phases * (m / 2) * 4;
 }
 
 }  // namespace obx::algos

@@ -3,7 +3,8 @@
 // Batcher's bitonic sort is the textbook oblivious sorting algorithm: the
 // compare-exchange pattern depends only on indices, so every memory access
 // is fixed; t = Θ(n log² n) memory steps.  Keys are IEEE doubles sorted
-// ascending.
+// ascending.  Non-power-of-two lengths are padded obliviously with +inf
+// sentinels in scratch words beyond the input.
 #pragma once
 
 #include <cstdint>
@@ -16,8 +17,8 @@
 
 namespace obx::algos {
 
-/// Oblivious program over n f64 words (n a power of two); sorts ascending
-/// in place.
+/// Oblivious program over n f64 words (any n >= 1); sorts ascending in
+/// place, running the network on bit_ceil(n) words with +inf padding.
 trace::Program bitonic_sort_program(std::size_t n);
 
 std::vector<Word> bitonic_sort_random_input(std::size_t n, Rng& rng);

@@ -1,0 +1,136 @@
+#include "algos/oblivious_aggregate.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+
+namespace obx::algos {
+
+using trace::Op;
+using trace::Step;
+
+namespace {
+
+// Memory layout: i64 keys at [0, n), f64 values at [n, 2n).
+//
+// Compare-exchange registers: r0/r1 = keys, r2/r3 = values, r4/r5 = key
+// min/max, r6 = swap flag, r7/r8 = routed values.  Scan/mask registers:
+// r0/r1 = adjacent keys, r2/r3 = values, r4 = equality, r5 = 0.0, r6 =
+// carried addend, r7 = sum.
+Generator<Step> stream(std::size_t n) {
+  // Phase 1: stable odd-even transposition sort of the pairs by key.
+  // Strict-less swaps leave equal keys (and their values) in place.
+  for (std::size_t round = 0; round < n; ++round) {
+    for (std::size_t i = round % 2; i + 1 < n; i += 2) {
+      co_yield Step::load(0, i);
+      co_yield Step::load(1, i + 1);
+      co_yield Step::load(2, n + i);
+      co_yield Step::load(3, n + i + 1);
+      co_yield Step::alu(Op::kMinI, 4, 0, 1);
+      co_yield Step::alu(Op::kMaxI, 5, 0, 1);
+      co_yield Step::alu(Op::kLtI, 6, 1, 0);
+      co_yield Step::alu(Op::kSelect, 7, 6, 3, 2);
+      co_yield Step::alu(Op::kSelect, 8, 6, 2, 3);
+      co_yield Step::store(i, 4);
+      co_yield Step::store(i + 1, 5);
+      co_yield Step::store(n + i, 7);
+      co_yield Step::store(n + i + 1, 8);
+    }
+  }
+  co_yield Step::immediate(5, 0);  // +0.0
+  // Phase 2: oblivious segmented scan — each value accumulates the running
+  // sum of its group, left to right.
+  for (std::size_t i = 1; i < n; ++i) {
+    co_yield Step::load(0, i - 1);
+    co_yield Step::load(1, i);
+    co_yield Step::load(2, n + i - 1);
+    co_yield Step::load(3, n + i);
+    co_yield Step::alu(Op::kEqI, 4, 0, 1);
+    co_yield Step::alu(Op::kSelect, 6, 4, 2, 5);
+    co_yield Step::alu(Op::kAddF, 7, 3, 6);
+    co_yield Step::store(n + i, 7);
+  }
+  // Phase 3: boundary mask — only the last element of each group keeps the
+  // group total; interior positions are zeroed.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    co_yield Step::load(0, i);
+    co_yield Step::load(1, i + 1);
+    co_yield Step::load(2, n + i);
+    co_yield Step::alu(Op::kEqI, 4, 0, 1);
+    co_yield Step::alu(Op::kSelect, 6, 4, 5, 2);
+    co_yield Step::store(n + i, 6);
+  }
+}
+
+}  // namespace
+
+trace::Program oblivious_aggregate_program(std::size_t n) {
+  OBX_CHECK(n >= 1, "oblivious aggregate needs at least one pair");
+  trace::Program p;
+  p.name = "oblivious-aggregate(n=" + std::to_string(n) + ")";
+  p.memory_words = 2 * n;
+  p.input_words = 2 * n;
+  p.output_offset = 0;
+  p.output_words = 2 * n;
+  p.register_count = 9;
+  p.stream = [n]() { return stream(n); };
+  return p;
+}
+
+std::vector<Word> oblivious_aggregate_random_input(std::size_t n, Rng& rng) {
+  std::vector<Word> words(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Half the keys land in a dense band so multi-element groups occur even
+    // at small n; the rest roam the sparse keyspace.
+    const std::uint64_t key = rng.next_below(2) == 0
+                                  ? rng.next_below(n)
+                                  : rng.next_below(std::uint64_t{1} << 20);
+    words[i] = trace::from_i64(static_cast<std::int64_t>(key));
+  }
+  const std::vector<Word> values = rng.words_f64(n, -100.0, 100.0);
+  std::copy(values.begin(), values.end(), words.begin() + static_cast<std::ptrdiff_t>(n));
+  return words;
+}
+
+std::vector<Word> oblivious_aggregate_reference(std::size_t n, std::span<const Word> input) {
+  OBX_CHECK(input.size() == 2 * n, "input size mismatch");
+  std::vector<std::pair<std::int64_t, Word>> pairs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pairs[i] = {trace::as_i64(input[i]), input[n + i]};
+  }
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Mirror the program's addition order exactly: position 0 is never
+  // rewritten by the scan, every later position computes v[i] + carried
+  // (carried is 0.0 at group starts, matching the program's kSelect).
+  std::vector<double> sums(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == 0) {
+      sums[i] = trace::as_f64(pairs[i].second);
+      continue;
+    }
+    const double carried = pairs[i].first == pairs[i - 1].first ? sums[i - 1] : 0.0;
+    sums[i] = trace::as_f64(pairs[i].second) + carried;
+  }
+  std::vector<Word> out(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = trace::from_i64(pairs[i].first);
+    const bool boundary = (i + 1 == n) || pairs[i].first != pairs[i + 1].first;
+    out[n + i] = trace::from_f64(boundary ? sums[i] : 0.0);
+  }
+  return out;
+}
+
+std::uint64_t oblivious_aggregate_memory_steps(std::size_t n) {
+  std::uint64_t steps = 0;
+  for (std::size_t round = 0; round < n; ++round) {
+    for (std::size_t i = round % 2; i + 1 < n; i += 2) steps += 8;
+  }
+  if (n >= 1) steps += (n - 1) * 5 + (n - 1) * 4;
+  return steps;
+}
+
+}  // namespace obx::algos

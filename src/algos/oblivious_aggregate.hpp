@@ -1,0 +1,39 @@
+// Oblivious grouped aggregation over a large keyspace (multicore-oblivious
+// family).
+//
+// The secure-analytics "GROUP BY key: SUM(value)" shape: sort the (key,
+// value) pairs by key with an oblivious transposition network, run an
+// oblivious segmented scan so each group's running sum accumulates left to
+// right, then mask every non-boundary position to 0.0 with branch-free
+// selects.  The output shape is fixed (n pairs) regardless of how many
+// distinct keys the data holds — group sizes never leak through the trace.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::algos {
+
+/// Oblivious program over n (key, value) pairs (any n >= 1).  Input = 2n
+/// words: i64 keys at [0, n), f64 values at [n, 2n).  Output = the same 2n
+/// words with keys sorted ascending and each group's sum on its last
+/// element, 0.0 elsewhere.
+trace::Program oblivious_aggregate_program(std::size_t n);
+
+/// Keys mixed between a sparse 2^20 keyspace and a dense [0, n) band so
+/// both singleton and multi-element groups occur; f64 values.
+std::vector<Word> oblivious_aggregate_random_input(std::size_t n, Rng& rng);
+
+/// Native reference: stable sort by key, left-to-right group sums, totals on
+/// group boundaries (bit-identical addition order to the program).
+std::vector<Word> oblivious_aggregate_reference(std::size_t n, std::span<const Word> input);
+
+/// 8 memory steps per compare-exchange, 5 per scan link, 4 per boundary mask.
+std::uint64_t oblivious_aggregate_memory_steps(std::size_t n);
+
+}  // namespace obx::algos

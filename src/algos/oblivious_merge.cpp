@@ -1,0 +1,97 @@
+#include "algos/oblivious_merge.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+
+namespace obx::algos {
+
+using trace::Op;
+using trace::Step;
+
+namespace {
+
+/// Padded cascade size: the smallest power of two holding both runs.
+std::size_t padded_size(std::size_t n) { return std::bit_ceil(2 * n); }
+
+// Registers: r0/r1 = compare-exchange operands (also the reversal swap pair),
+// r2 = min, r3 = max.  r0 doubles as the +inf sentinel during padding.
+Generator<Step> stream(std::size_t n) {
+  const std::size_t m = padded_size(n);
+  // Pad the scratch tail with +inf so the sentinels sort to the back.
+  if (m > 2 * n) {
+    co_yield Step::imm_f64(0, std::numeric_limits<double>::infinity());
+    for (std::size_t a = 2 * n; a < m; ++a) co_yield Step::store(a, 0);
+  }
+  // Reverse [n, m): run B (plus sentinels) becomes non-increasing, so the
+  // whole array is one bitonic sequence.
+  for (std::size_t i = 0; i < (m - n) / 2; ++i) {
+    const std::size_t lo = n + i;
+    const std::size_t hi = m - 1 - i;
+    co_yield Step::load(0, lo);
+    co_yield Step::load(1, hi);
+    co_yield Step::store(lo, 1);
+    co_yield Step::store(hi, 0);
+  }
+  // Bitonic merge cascade: log2(m) all-ascending compare-exchange phases.
+  for (std::size_t j = m >> 1; j > 0; j >>= 1) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t l = i ^ j;
+      if (l <= i) continue;
+      co_yield Step::load(0, i);
+      co_yield Step::load(1, l);
+      co_yield Step::alu(Op::kMinF, 2, 0, 1);
+      co_yield Step::alu(Op::kMaxF, 3, 0, 1);
+      co_yield Step::store(i, 2);
+      co_yield Step::store(l, 3);
+    }
+  }
+}
+
+}  // namespace
+
+trace::Program oblivious_merge_program(std::size_t n) {
+  OBX_CHECK(n >= 1, "oblivious merge needs runs of at least one word");
+  trace::Program p;
+  p.name = "oblivious-merge(n=" + std::to_string(n) + ")";
+  p.memory_words = padded_size(n);
+  p.input_words = 2 * n;
+  p.output_offset = 0;
+  p.output_words = 2 * n;
+  p.register_count = 4;
+  p.stream = [n]() { return stream(n); };
+  return p;
+}
+
+std::vector<Word> oblivious_merge_random_input(std::size_t n, Rng& rng) {
+  std::vector<Word> words = rng.words_f64(2 * n, -1000.0, 1000.0);
+  const auto ascending = [](Word a, Word b) { return trace::as_f64(a) < trace::as_f64(b); };
+  std::sort(words.begin(), words.begin() + static_cast<std::ptrdiff_t>(n), ascending);
+  std::sort(words.begin() + static_cast<std::ptrdiff_t>(n), words.end(), ascending);
+  return words;
+}
+
+std::vector<Word> oblivious_merge_reference(std::size_t n, std::span<const Word> input) {
+  OBX_CHECK(input.size() == 2 * n, "input size mismatch");
+  std::vector<Word> out(2 * n);
+  const auto ascending = [](Word a, Word b) { return trace::as_f64(a) < trace::as_f64(b); };
+  std::merge(input.begin(), input.begin() + static_cast<std::ptrdiff_t>(n),
+             input.begin() + static_cast<std::ptrdiff_t>(n), input.end(), out.begin(),
+             ascending);
+  return out;
+}
+
+std::uint64_t oblivious_merge_memory_steps(std::size_t n) {
+  const std::uint64_t m = padded_size(n);
+  std::uint64_t steps = m - 2 * n;       // sentinel stores
+  steps += 4 * ((m - n) / 2);            // reversal swaps
+  std::uint64_t phases = 0;
+  for (std::size_t j = m >> 1; j > 0; j >>= 1) ++phases;
+  return steps + phases * (m / 2) * 4;   // compare-exchanges
+}
+
+}  // namespace obx::algos

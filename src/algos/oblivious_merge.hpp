@@ -1,0 +1,35 @@
+// Oblivious merge of two sorted runs (multicore-oblivious family).
+//
+// "Data Oblivious Algorithms for Multicores" (Ramachandran–Shi) builds its
+// binary-fork-join family on oblivious merging.  Here the merge is the
+// bitonic merger: run B is reversed in place so A ++ reverse(B) is bitonic,
+// then the log-depth compare-exchange cascade sorts it.  Run lengths need
+// not be powers of two — the scratch tail is padded with +inf sentinels, so
+// the first 2n words of the sorted result are exactly the merged runs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::algos {
+
+/// Oblivious program merging two ascending runs of n f64 words each
+/// (input = 2n words: run A then run B); output = 2n merged words.
+/// Any n >= 1 — the bitonic cascade runs on the padded power-of-two size.
+trace::Program oblivious_merge_program(std::size_t n);
+
+/// 2n random f64 words with each half sorted ascending.
+std::vector<Word> oblivious_merge_random_input(std::size_t n, Rng& rng);
+
+/// Native reference: std::merge of the two runs.
+std::vector<Word> oblivious_merge_reference(std::size_t n, std::span<const Word> input);
+
+/// Pad stores + reversal swaps + 4 memory steps per compare-exchange.
+std::uint64_t oblivious_merge_memory_steps(std::size_t n);
+
+}  // namespace obx::algos

@@ -1,0 +1,90 @@
+#include "algos/oblivious_partition.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "trace/step.hpp"
+#include "trace/value.hpp"
+
+namespace obx::algos {
+
+using trace::Op;
+using trace::Step;
+
+namespace {
+
+// Memory layout: values at [0, n), scratch rank keys at [n, 2n).
+//
+// Rank build registers: r0 = value, r1 = 0.0, r2 = predicate, r3 = n,
+// r4 = predicate * n, r5 = n + i, r6 = rank.
+// Compare-exchange registers: r0/r1 = keys, r2/r3 = values, r4/r5 = key
+// min/max, r6 = swap flag, r7/r8 = routed values.
+Generator<Step> stream(std::size_t n) {
+  co_yield Step::immediate(1, 0);  // +0.0
+  co_yield Step::immediate(3, trace::from_i64(static_cast<std::int64_t>(n)));
+  for (std::size_t i = 0; i < n; ++i) {
+    co_yield Step::load(0, i);
+    co_yield Step::alu(Op::kLtF, 2, 0, 1);  // secret predicate: v < 0
+    co_yield Step::alu(Op::kMulI, 4, 2, 3);
+    co_yield Step::immediate(5, trace::from_i64(static_cast<std::int64_t>(n + i)));
+    co_yield Step::alu(Op::kSubI, 6, 5, 4);  // rank = pred ? i : n + i
+    co_yield Step::store(n + i, 6);
+    co_yield Step::store(i, 0);  // value passthrough: every output word is written
+  }
+  // Odd-even transposition network on the distinct ranks; strict-less swaps
+  // keep it stable.  Values ride along via branch-free selects.
+  for (std::size_t round = 0; round < n; ++round) {
+    for (std::size_t i = round % 2; i + 1 < n; i += 2) {
+      co_yield Step::load(0, n + i);
+      co_yield Step::load(1, n + i + 1);
+      co_yield Step::load(2, i);
+      co_yield Step::load(3, i + 1);
+      co_yield Step::alu(Op::kMinI, 4, 0, 1);
+      co_yield Step::alu(Op::kMaxI, 5, 0, 1);
+      co_yield Step::alu(Op::kLtI, 6, 1, 0);  // right key smaller → swap
+      co_yield Step::alu(Op::kSelect, 7, 6, 3, 2);
+      co_yield Step::alu(Op::kSelect, 8, 6, 2, 3);
+      co_yield Step::store(n + i, 4);
+      co_yield Step::store(n + i + 1, 5);
+      co_yield Step::store(i, 7);
+      co_yield Step::store(i + 1, 8);
+    }
+  }
+}
+
+}  // namespace
+
+trace::Program oblivious_partition_program(std::size_t n) {
+  OBX_CHECK(n >= 1, "oblivious partition needs at least one element");
+  trace::Program p;
+  p.name = "oblivious-partition(n=" + std::to_string(n) + ")";
+  p.memory_words = 2 * n;
+  p.input_words = n;
+  p.output_offset = 0;
+  p.output_words = n;
+  p.register_count = 9;
+  p.stream = [n]() { return stream(n); };
+  return p;
+}
+
+std::vector<Word> oblivious_partition_random_input(std::size_t n, Rng& rng) {
+  return rng.words_f64(n, -1000.0, 1000.0);
+}
+
+std::vector<Word> oblivious_partition_reference(std::size_t n, std::span<const Word> input) {
+  OBX_CHECK(input.size() == n, "input size mismatch");
+  std::vector<Word> out(input.begin(), input.end());
+  std::stable_partition(out.begin(), out.end(),
+                        [](Word w) { return trace::as_f64(w) < 0.0; });
+  return out;
+}
+
+std::uint64_t oblivious_partition_memory_steps(std::size_t n) {
+  std::uint64_t steps = 3 * n;  // rank build: load + rank store + passthrough
+  for (std::size_t round = 0; round < n; ++round) {
+    for (std::size_t i = round % 2; i + 1 < n; i += 2) steps += 8;
+  }
+  return steps;
+}
+
+}  // namespace obx::algos

@@ -1,0 +1,34 @@
+// Oblivious tight compaction by a secret predicate (multicore-oblivious
+// family).
+//
+// Stable partition: every negative value moves to the front, everything
+// else follows, original order preserved within each side.  The predicate
+// result is data-dependent but the trace is not: each element gets an
+// integer rank (i for negatives, n + i otherwise) written to a scratch key
+// array, and an odd-even transposition network sorts (key, value) pairs with
+// branch-free kSelect swaps.  Distinct ranks make the compaction stable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/program.hpp"
+
+namespace obx::algos {
+
+/// Oblivious program over n f64 words (any n >= 1); stable-partitions the
+/// values so that v < 0 comes first.  Keys live in scratch words [n, 2n).
+trace::Program oblivious_partition_program(std::size_t n);
+
+std::vector<Word> oblivious_partition_random_input(std::size_t n, Rng& rng);
+
+/// Native reference: std::stable_partition by v < 0.
+std::vector<Word> oblivious_partition_reference(std::size_t n, std::span<const Word> input);
+
+/// 3 memory steps per rank build + 8 per compare-exchange.
+std::uint64_t oblivious_partition_memory_steps(std::size_t n);
+
+}  // namespace obx::algos

@@ -8,6 +8,9 @@
 #include "algos/horner.hpp"
 #include "algos/lu_decomposition.hpp"
 #include "algos/matmul.hpp"
+#include "algos/oblivious_aggregate.hpp"
+#include "algos/oblivious_merge.hpp"
+#include "algos/oblivious_partition.hpp"
 #include "algos/odd_even_sort.hpp"
 #include "algos/opt_triangulation.hpp"
 #include "algos/prefix_sums.hpp"
@@ -58,7 +61,7 @@ const std::vector<Algorithm>& registry() {
         .make_input = bitonic_sort_random_input,
         .reference = bitonic_sort_reference,
         .memory_steps = bitonic_sort_memory_steps,
-        .test_sizes = {2, 4, 8, 64, 256},
+        .test_sizes = {1, 2, 3, 5, 8, 12, 64, 100, 256},
     });
 
     list.push_back(Algorithm{
@@ -149,6 +152,36 @@ const std::vector<Algorithm>& registry() {
         .reference = horner_reference,
         .memory_steps = horner_memory_steps,
         .test_sizes = {1, 2, 32, 256},
+    });
+
+    list.push_back(Algorithm{
+        .name = "oblivious-merge",
+        .description = "bitonic merge of two sorted runs (Ramachandran-Shi family)",
+        .make_program = oblivious_merge_program,
+        .make_input = oblivious_merge_random_input,
+        .reference = oblivious_merge_reference,
+        .memory_steps = oblivious_merge_memory_steps,
+        .test_sizes = {1, 2, 3, 5, 12, 33, 100},
+    });
+
+    list.push_back(Algorithm{
+        .name = "oblivious-partition",
+        .description = "stable tight compaction by a secret predicate (v < 0 first)",
+        .make_program = oblivious_partition_program,
+        .make_input = oblivious_partition_random_input,
+        .reference = oblivious_partition_reference,
+        .memory_steps = oblivious_partition_memory_steps,
+        .test_sizes = {1, 2, 3, 5, 12, 33, 64},
+    });
+
+    list.push_back(Algorithm{
+        .name = "oblivious-aggregate",
+        .description = "grouped sum via oblivious sort + segmented scan",
+        .make_program = oblivious_aggregate_program,
+        .make_input = oblivious_aggregate_random_input,
+        .reference = oblivious_aggregate_reference,
+        .memory_steps = oblivious_aggregate_memory_steps,
+        .test_sizes = {1, 2, 3, 5, 12, 33, 48},
     });
 
     return list;

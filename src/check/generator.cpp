@@ -178,6 +178,76 @@ void emit_shift_edge(Ctx& c, std::vector<Step>& body) {
                            c.reg(), cnt));
 }
 
+/// Merge idiom: a short run of min/max compare-exchanges between address
+/// pairs — the building block of the bitonic merge/sort networks
+/// (oblivious-merge, bitonic-sort).  Float and integer flavours.
+void emit_compare_exchange(Ctx& c, std::vector<Step>& body, std::size_t budget) {
+  if (c.regs < 4 || c.n < 2) return emit_random(c, body);
+  const bool floats = c.rng.next_below(2) == 0;
+  const Op lo = floats ? Op::kMinF : Op::kMinI;
+  const Op hi = floats ? Op::kMaxF : Op::kMaxI;
+  const std::size_t len = std::min<std::size_t>(1 + c.rng.next_below(4), budget / 6);
+  for (std::size_t k = 0; k < len; ++k) {
+    const Addr a = c.addr();
+    Addr b = c.addr();
+    if (b == a) b = (b + 1) % c.n;
+    body.push_back(Step::load(0, a));
+    body.push_back(Step::load(1, b));
+    body.push_back(Step::alu(lo, 2, 0, 1));
+    body.push_back(Step::alu(hi, 3, 0, 1));
+    body.push_back(Step::store(a, 2));
+    body.push_back(Step::store(b, 3));
+  }
+}
+
+/// Partition idiom: a keyed conditional swap — integer keys compare-exchange
+/// while the payload words ride along through branch-free kSelects (the
+/// oblivious-partition / oblivious-aggregate sort stage).
+void emit_keyed_swap(Ctx& c, std::vector<Step>& body) {
+  if (c.regs < 9 || c.n < 4) return emit_random(c, body);
+  const Addr ka = c.addr();
+  const Addr kb = (ka + 1) % c.n;
+  const Addr va = (ka + 2) % c.n;
+  const Addr vb = (ka + 3) % c.n;
+  body.push_back(Step::load(0, ka));
+  body.push_back(Step::load(1, kb));
+  body.push_back(Step::load(2, va));
+  body.push_back(Step::load(3, vb));
+  body.push_back(Step::alu(Op::kMinI, 4, 0, 1));
+  body.push_back(Step::alu(Op::kMaxI, 5, 0, 1));
+  body.push_back(Step::alu(Op::kLtI, 6, 1, 0));
+  body.push_back(Step::alu(Op::kSelect, 7, 6, 3, 2));
+  body.push_back(Step::alu(Op::kSelect, 8, 6, 2, 3));
+  body.push_back(Step::store(ka, 4));
+  body.push_back(Step::store(kb, 5));
+  body.push_back(Step::store(va, 7));
+  body.push_back(Step::store(vb, 8));
+}
+
+/// Aggregate idiom: an oblivious segmented-scan link — compare adjacent
+/// keys, carry the running sum across equal keys and reset it at group
+/// boundaries via kSelect (the oblivious-aggregate scan/mask stages).
+void emit_segmented_scan(Ctx& c, std::vector<Step>& body, std::size_t budget) {
+  if (c.regs < 8 || c.n < 4) return emit_random(c, body);
+  const std::size_t len = std::min<std::size_t>(1 + c.rng.next_below(4), budget / 8);
+  body.push_back(Step::immediate(5, c.rng.next_below(2) == 0 ? Word{0} : c.imm()));
+  for (std::size_t k = 0; k < len; ++k) {
+    const Addr key = c.addr();
+    const Addr next = (key + 1) % c.n;
+    const Addr val = c.addr();
+    Addr prev = c.addr();
+    if (prev == val) prev = (prev + 1) % c.n;
+    body.push_back(Step::load(0, key));
+    body.push_back(Step::load(1, next));
+    body.push_back(Step::load(2, prev));
+    body.push_back(Step::load(3, val));
+    body.push_back(Step::alu(Op::kEqI, 4, 0, 1));
+    body.push_back(Step::alu(Op::kSelect, 6, 4, 2, 5));
+    body.push_back(Step::alu(Op::kAddF, 7, 3, 6));
+    body.push_back(Step::store(val, 7));
+  }
+}
+
 }  // namespace
 
 const std::vector<Word>& edge_words() {
@@ -210,11 +280,14 @@ trace::Program generate_program(Rng& rng, const GenOptions& options) {
   body.reserve(target + 24);
   while (body.size() < target) {
     const std::size_t budget = target - body.size() + 24;
-    switch (rng.next_below(8)) {
+    switch (rng.next_below(11)) {
       case 0: emit_scan_run(c, body, budget); break;
       case 1:
       case 2: emit_fusion_bait(c, body); break;
       case 3: emit_shift_edge(c, body); break;
+      case 4: emit_compare_exchange(c, body, budget); break;
+      case 5: emit_keyed_swap(c, body); break;
+      case 6: emit_segmented_scan(c, body, budget); break;
       default: emit_random(c, body); break;
     }
   }

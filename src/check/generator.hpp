@@ -8,7 +8,11 @@
 // the idioms the compiled backend's fusion pass keys on — scan runs
 // (load → alu → store with a carried accumulator), load/alu/store jams,
 // register-only runs — so superinstruction formation and dead-commit elision
-// are exercised on purpose, not by luck.
+// are exercised on purpose, not by luck.  The multicore-oblivious workload
+// idioms are part of the grammar too: min/max compare-exchange runs (merge
+// and sorting networks), keyed conditional swaps routing payloads through
+// kSelect (partition), and segmented-scan links that carry a sum across
+// equal keys (aggregate).
 //
 // Determinism contract: generate_program(rng) with an Rng seeded identically
 // produces an identical step stream on every platform (Rng is xoshiro256**,

@@ -68,7 +68,8 @@ Batcher::Batcher(BatcherOptions options) : options_(options) {
 }
 
 void Batcher::add(Job&& job, Clock::time_point now) {
-  Group& group = pending_[job.program_id];
+  const GroupKey key{job.program_id, job.input.size()};
+  Group& group = pending_[key];
   if (group.jobs.empty()) {
     group.opened_at = now;
     group.tightest_deadline.reset();
@@ -78,12 +79,11 @@ void Batcher::add(Job&& job, Clock::time_point now) {
                                   ? std::min(*group.tightest_deadline, *job.deadline)
                                   : *job.deadline;
   }
-  const std::string program_id = job.program_id;
   group.jobs.push_back(std::move(job));
   if (group.jobs.size() >= options_.max_batch_lanes) {
     Group full = std::move(group);
-    pending_.erase(program_id);
-    flush(program_id, std::move(full), now, FlushReason::kSize);
+    pending_.erase(key);
+    flush(key, std::move(full), now, FlushReason::kSize);
   }
 }
 
@@ -106,9 +106,9 @@ std::vector<Batch> Batcher::take_ready(Clock::time_point now) {
     const auto [when, reason] = due(it->second);
     if (when <= now) {
       Group group = std::move(it->second);
-      const std::string program_id = it->first;
+      const GroupKey key = it->first;
       it = pending_.erase(it);
-      flush(program_id, std::move(group), now, reason);
+      flush(key, std::move(group), now, reason);
     } else {
       ++it;
     }
@@ -119,7 +119,7 @@ std::vector<Batch> Batcher::take_ready(Clock::time_point now) {
 std::optional<Clock::time_point> Batcher::next_due() const {
   if (!ready_.empty()) return Clock::time_point::min();  // already ready
   std::optional<Clock::time_point> earliest;
-  for (const auto& [id, group] : pending_) {
+  for (const auto& [key, group] : pending_) {
     const auto [when, reason] = due(group);
     if (!earliest.has_value() || when < *earliest) earliest = when;
   }
@@ -128,8 +128,8 @@ std::optional<Clock::time_point> Batcher::next_due() const {
 
 std::vector<Batch> Batcher::drain() {
   const Clock::time_point now = Clock::now();
-  for (auto& [id, group] : pending_) {
-    flush(id, std::move(group), now, FlushReason::kDrain);
+  for (auto& [key, group] : pending_) {
+    flush(key, std::move(group), now, FlushReason::kDrain);
   }
   pending_.clear();
   return std::exchange(ready_, {});
@@ -137,14 +137,14 @@ std::vector<Batch> Batcher::drain() {
 
 std::size_t Batcher::pending_jobs() const {
   std::size_t n = 0;
-  for (const auto& [id, group] : pending_) n += group.jobs.size();
+  for (const auto& [key, group] : pending_) n += group.jobs.size();
   return n;
 }
 
-void Batcher::flush(const std::string& program_id, Group&& group,
+void Batcher::flush(const GroupKey& key, Group&& group,
                     Clock::time_point now, FlushReason reason) {
   Batch batch;
-  batch.program_id = program_id;
+  batch.program_id = key.first;
   batch.jobs = std::move(group.jobs);
   batch.formed_at = now;
   batch.reason = reason;

@@ -4,7 +4,9 @@
 // so flush behaviour is deterministic and unit-testable without threads or
 // sleeps.  The service's batcher thread drives it with the real clock.
 //
-// A pending group (one per program id) flushes when ANY of:
+// A pending group (one per (program id, input length) — two jobs whose
+// inputs differ in length must never share a batch, since a batch scatters
+// every lane with one program's input_words) flushes when ANY of:
 //   size:     it reaches max_batch_lanes (checked on add),
 //   delay:    max_batch_delay has elapsed since the group OPENED (first job
 //             added to the batcher — not since submit: under a backlog the
@@ -23,6 +25,8 @@
 #include <cstddef>
 #include <map>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "serve/job.hpp"
@@ -42,8 +46,8 @@ class Batcher {
  public:
   explicit Batcher(BatcherOptions options);
 
-  /// Adds a job to its program's pending group; moves the group to the ready
-  /// list immediately if it reaches max_batch_lanes.
+  /// Adds a job to its (program, input length) pending group; moves the
+  /// group to the ready list immediately if it reaches max_batch_lanes.
   void add(Job&& job, Clock::time_point now);
 
   /// Flushes every group whose delay or deadline trigger has fired by `now`,
@@ -67,13 +71,19 @@ class Batcher {
     std::optional<Clock::time_point> tightest_deadline;
   };
 
+  /// Regression guard (PR 11): grouping by program id alone would let a
+  /// mis-sized job ride a batch whose lanes scatter a different input_words
+  /// — the length is part of the key, so aliasing is structurally impossible
+  /// even if a caller registers variable-length sessions under one id.
+  using GroupKey = std::pair<std::string, std::size_t>;
+
   /// Time at which `group` must flush, and which trigger that would be.
   std::pair<Clock::time_point, FlushReason> due(const Group& group) const;
-  void flush(const std::string& program_id, Group&& group, Clock::time_point now,
+  void flush(const GroupKey& key, Group&& group, Clock::time_point now,
              FlushReason reason);
 
   BatcherOptions options_;
-  std::map<std::string, Group> pending_;
+  std::map<GroupKey, Group> pending_;
   std::vector<Batch> ready_;
 };
 

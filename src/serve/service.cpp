@@ -281,6 +281,11 @@ void BulkService::execute(Batch&& batch) {
         prepared.program(), lanes,
         [&](Lane j, std::span<Word> dst) {
           const std::vector<Word>& in = batch.jobs[j].input;
+          // Last line of defence behind submit-time validation and the
+          // batcher's (program, input length) group key: a mis-sized lane
+          // must fail loudly, never overrun the scatter buffer.
+          OBX_CHECK(in.size() == prepared.input_words(),
+                    "batched job input length does not match its program");
           std::copy(in.begin(), in.end(), dst.begin());
         },
         [&](Lane j, std::span<const Word> out) {

@@ -46,7 +46,12 @@ std::uint64_t shared_warp_rounds(std::span<const Addr> addrs, const SharedTier& 
 }
 
 std::uint64_t conflict_free_stride(const SharedTier& tier) {
-  return tier.enabled() ? tier.bank_words : 1;
+  // Never 0: an enabled-but-degenerate tier (bank_words == 0 escapes
+  // validate() on read-only paths) must not hand the planner a zero pad
+  // stride — Layout would reject it, and a silent 0 upstream of make_layout
+  // would degenerate the scatter.  Both the disabled and the degenerate
+  // tier fall back to stride 1 (plain column-wise).
+  return tier.enabled() && tier.bank_words > 0 ? tier.bank_words : 1;
 }
 
 BankedStepCost::BankedStepCost(SharedTier tier, std::uint32_t width, std::uint64_t p,

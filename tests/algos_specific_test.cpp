@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <complex>
 #include <numbers>
@@ -12,6 +13,9 @@
 #include "algos/fft.hpp"
 #include "algos/lu_decomposition.hpp"
 #include "algos/matmul.hpp"
+#include "algos/oblivious_aggregate.hpp"
+#include "algos/oblivious_merge.hpp"
+#include "algos/oblivious_partition.hpp"
 #include "algos/opt_triangulation.hpp"
 #include "algos/prefix_sums.hpp"
 #include "algos/tea_cipher.hpp"
@@ -135,8 +139,13 @@ TEST(Fft, ImpulseGivesFlatSpectrum) {
   }
 }
 
+// Regression (PR 11 edge-case sweep): unlike sorting, an FFT cannot be
+// padded transparently — zero-padding changes the transform — so the audit
+// keeps the loud OBX_CHECK rejection.
 TEST(Fft, RejectsNonPowerOfTwo) {
   EXPECT_THROW(algos::fft_program(3), std::logic_error);
+  EXPECT_THROW(algos::fft_program(6), std::logic_error);
+  EXPECT_THROW(algos::fft_program(100), std::logic_error);
   EXPECT_THROW(algos::fft_program(0), std::logic_error);
 }
 
@@ -177,8 +186,42 @@ TEST(BitonicSort, OutputIsAPermutation) {
   EXPECT_EQ(out, sorted_in);
 }
 
-TEST(BitonicSort, RejectsNonPowerOfTwo) {
-  EXPECT_THROW(algos::bitonic_sort_program(10), std::logic_error);
+// Regression (PR 11 edge-case sweep): bitonic-sort used to reject non-power-
+// of-two n; it now pads the network obliviously with +inf sentinels.  One
+// regression case per fixed size, including the tiny-n edges.
+TEST(BitonicSort, PadsNonPowerOfTwoSizes) {
+  Rng rng(43);
+  for (const std::size_t n : {1u, 3u, 5u, 6u, 10u, 12u, 100u}) {
+    const trace::Program program = algos::bitonic_sort_program(n);
+    EXPECT_EQ(program.memory_words, std::bit_ceil(n)) << "n=" << n;
+    EXPECT_EQ(program.output_words, n) << "n=" << n;
+    const std::vector<Word> input = algos::bitonic_sort_random_input(n, rng);
+    const auto run = trace::interpret(program, input);
+    const auto expected = algos::bitonic_sort_reference(n, input);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(run.memory[i], expected[i]) << "n=" << n << " word " << i;
+    }
+  }
+}
+
+TEST(BitonicSort, PowerOfTwoStreamIsUnchangedByThePaddingPath) {
+  // The padded construction must not perturb the power-of-two network: the
+  // goldens (and every fingerprint derived from the stream) depend on it.
+  const trace::Program program = algos::bitonic_sort_program(8);
+  EXPECT_EQ(program.memory_words, 8u);
+  auto gen = program.stream();
+  std::size_t steps = 0;
+  std::size_t sentinel_stores = 0;
+  for (const trace::Step& s : gen) {
+    ++steps;
+    if (s.kind == trace::StepKind::kImm) ++sentinel_stores;
+  }
+  EXPECT_EQ(sentinel_stores, 0u);
+  EXPECT_EQ(steps, 6u * 4u * 6u);  // 6 phases x 4 compare-exchanges x 6 steps
+}
+
+TEST(BitonicSort, RejectsZero) {
+  EXPECT_THROW(algos::bitonic_sort_program(0), std::logic_error);
 }
 
 // ---------------------------------------------------------------------------
@@ -349,6 +392,107 @@ TEST(PrefixSums, LastElementIsTotal) {
   algos::prefix_sums_native(v);
   EXPECT_DOUBLE_EQ(v[3], 10.0);
   EXPECT_DOUBLE_EQ(v[0], 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Multicore-oblivious family (merge / partition / aggregate)
+// ---------------------------------------------------------------------------
+
+TEST(ObliviousMerge, MergesAdversarialRunShapes) {
+  // Interleaved, disjoint, and fully duplicate runs at a non-power-of-two
+  // length.
+  const std::size_t n = 5;
+  const trace::Program program = algos::oblivious_merge_program(n);
+  const std::vector<std::vector<double>> runs = {
+      {1, 3, 5, 7, 9, 2, 4, 6, 8, 10},       // interleaved
+      {1, 2, 3, 4, 5, 6, 7, 8, 9, 10},       // disjoint (A entirely below B)
+      {6, 7, 8, 9, 10, 1, 2, 3, 4, 5},       // disjoint (B entirely below A)
+      {2, 2, 2, 2, 2, 2, 2, 2, 2, 2},        // all duplicates
+  };
+  for (const auto& vals : runs) {
+    std::vector<Word> input(2 * n);
+    for (std::size_t i = 0; i < 2 * n; ++i) input[i] = from_f64(vals[i]);
+    const auto run = trace::interpret(program, input);
+    const auto expected = algos::oblivious_merge_reference(n, input);
+    for (std::size_t i = 0; i < 2 * n; ++i) EXPECT_EQ(run.memory[i], expected[i]);
+  }
+}
+
+TEST(ObliviousMerge, SingleWordRuns) {
+  const trace::Program program = algos::oblivious_merge_program(1);
+  const std::vector<Word> input = {from_f64(4.0), from_f64(-3.0)};
+  const auto run = trace::interpret(program, input);
+  EXPECT_EQ(as_f64(run.memory[0]), -3.0);
+  EXPECT_EQ(as_f64(run.memory[1]), 4.0);
+}
+
+TEST(ObliviousPartition, IsStable) {
+  // Values with equal magnitude but distinguishable payloads: order within
+  // each side must be preserved.
+  const std::size_t n = 6;
+  const trace::Program program = algos::oblivious_partition_program(n);
+  const std::vector<double> vals = {5.0, -1.0, 7.0, -2.0, 6.0, -3.0};
+  std::vector<Word> input(n);
+  for (std::size_t i = 0; i < n; ++i) input[i] = from_f64(vals[i]);
+  const auto run = trace::interpret(program, input);
+  const std::vector<double> expected = {-1.0, -2.0, -3.0, 5.0, 7.0, 6.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(as_f64(run.memory[i]), expected[i]) << "word " << i;
+  }
+}
+
+TEST(ObliviousPartition, AllOnOneSideIsIdentity) {
+  const std::size_t n = 4;
+  const trace::Program program = algos::oblivious_partition_program(n);
+  for (const double sign : {1.0, -1.0}) {
+    std::vector<Word> input(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      input[i] = from_f64(sign * static_cast<double>(i + 1));
+    }
+    const auto run = trace::interpret(program, input);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(run.memory[i], input[i]);
+  }
+}
+
+TEST(ObliviousAggregate, SumsLandOnGroupBoundaries) {
+  // Keys {7, 3, 7, 3, 9}: sorted groups are 3:{b,d} 7:{a,c} 9:{e}.
+  const std::size_t n = 5;
+  const trace::Program program = algos::oblivious_aggregate_program(n);
+  std::vector<Word> input(2 * n);
+  const std::int64_t keys[] = {7, 3, 7, 3, 9};
+  const double vals[] = {1.0, 10.0, 2.0, 20.0, 100.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    input[i] = trace::from_i64(keys[i]);
+    input[n + i] = from_f64(vals[i]);
+  }
+  const auto run = trace::interpret(program, input);
+  const std::int64_t want_keys[] = {3, 3, 7, 7, 9};
+  const double want_vals[] = {0.0, 30.0, 0.0, 3.0, 100.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(as_i64(run.memory[i]), want_keys[i]) << "key " << i;
+    EXPECT_EQ(as_f64(run.memory[n + i]), want_vals[i]) << "value " << i;
+  }
+}
+
+TEST(ObliviousAggregate, SingletonGroupsKeepTheirValues) {
+  const std::size_t n = 3;
+  const trace::Program program = algos::oblivious_aggregate_program(n);
+  std::vector<Word> input = {trace::from_i64(30), trace::from_i64(10),
+                             trace::from_i64(20), from_f64(3.5),
+                             from_f64(1.5),       from_f64(2.5)};
+  const auto run = trace::interpret(program, input);
+  EXPECT_EQ(as_i64(run.memory[0]), 10);
+  EXPECT_EQ(as_i64(run.memory[1]), 20);
+  EXPECT_EQ(as_i64(run.memory[2]), 30);
+  EXPECT_EQ(as_f64(run.memory[3]), 1.5);
+  EXPECT_EQ(as_f64(run.memory[4]), 2.5);
+  EXPECT_EQ(as_f64(run.memory[5]), 3.5);
+}
+
+TEST(ObliviousFamily, RejectsZeroLength) {
+  EXPECT_THROW(algos::oblivious_merge_program(0), std::logic_error);
+  EXPECT_THROW(algos::oblivious_partition_program(0), std::logic_error);
+  EXPECT_THROW(algos::oblivious_aggregate_program(0), std::logic_error);
 }
 
 }  // namespace

@@ -80,7 +80,10 @@ INSTANTIATE_TEST_SUITE_P(Registry, AlgorithmSweep, ::testing::ValuesIn(sweep_cas
 TEST(Registry, LookupWorks) {
   EXPECT_EQ(algos::find("fft").name, "fft");
   EXPECT_THROW(algos::find("nope"), std::logic_error);
-  EXPECT_EQ(algos::registry().size(), 13u);
+  EXPECT_EQ(algos::registry().size(), 16u);
+  EXPECT_EQ(algos::find("oblivious-merge").name, "oblivious-merge");
+  EXPECT_EQ(algos::find("oblivious-partition").name, "oblivious-partition");
+  EXPECT_EQ(algos::find("oblivious-aggregate").name, "oblivious-aggregate");
 }
 
 }  // namespace

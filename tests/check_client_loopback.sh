@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # obx_client loopback smoke: stand up `obx_cli serve` on an ephemeral port,
-# then drive it with the standalone client — one ping round-trip, then a
-# small multi-tenant load with a metrics scrape.  Both client invocations
-# must exit 0 (completed ping; balanced load ledger, zero transport errors).
+# then drive it with the standalone client — one ping round-trip, a small
+# multi-tenant load with a metrics scrape, and a second server exercising
+# variable-length sessions (--sizes) over the oblivious workload family.
+# Every client invocation must exit 0 (completed ping; balanced load ledger,
+# zero transport errors).
 #
 #   check_client_loopback.sh <obx_cli> <obx_client>
 set -euo pipefail
@@ -44,5 +46,34 @@ fi
 "$client" --connect "127.0.0.1:$port" --ping --algos prefix-sums --n 64
 "$client" --connect "127.0.0.1:$port" --algos prefix-sums,horner --n 64 \
   --jobs 300 --tenants 2 --connections 2 --scrape
+
+kill "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+# Round 2: the oblivious workload family under variable-length sessions —
+# mixed program ids AND mixed input lengths in flight at once, the two axes
+# the batcher's (program id, input length) group key must keep apart.
+: > "$log"
+"$cli" serve --listen 127.0.0.1:0 \
+  --algos oblivious-merge,oblivious-partition,oblivious-aggregate \
+  --sizes 3,12 --duration-s 60 > "$log" &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log" | head -1)"
+  [[ -n "$port" ]] && break
+  sleep 0.1
+done
+if [[ -z "$port" ]]; then
+  echo "variable-length server never reported its port; log:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+
+"$client" --connect "127.0.0.1:$port" \
+  --algos oblivious-merge,oblivious-partition,oblivious-aggregate \
+  --sizes 3,12 --jobs 300 --tenants 2 --connections 2 --scrape
 
 echo "client loopback smoke OK"

@@ -1,7 +1,8 @@
-// Compiled-backend equivalence fuzz: for every registry algorithm, every
-// arrangement, and awkward lane counts, the compiled lane-tiled backend must
-// produce bit-identical arranged memory to the interpreted backend, and both
-// must match the scalar interpreter per lane.  The same sweep pins the
+// Compiled-backend equivalence fuzz: for every registry algorithm, all four
+// arrangements (row, column, blocked, conflict-free), and awkward lane
+// counts, the compiled lane-tiled backend — and, where available, the JIT —
+// must produce bit-identical arranged memory to the interpreted backend, and
+// both must match the scalar interpreter per lane.  The same sweep pins the
 // compiled backend to the scalar SIMD tier and to the best tier this
 // CPU/build supports and asserts those are bit-identical too — the
 // lane-vectorization contract (including the float-op algorithms, whose
@@ -17,6 +18,7 @@
 #include "common/rng.hpp"
 #include "common/simd_isa.hpp"
 #include "exec/backend.hpp"
+#include "exec/jit/jit_program.hpp"
 #include "trace/interpreter.hpp"
 
 namespace {
@@ -58,9 +60,14 @@ TEST_P(ExecEquivalence, CompiledMatchesInterpretedAndInterpreter) {
   Rng rng(0xE9u ^ (p * 977));
   const std::vector<Word> inputs = flat_inputs(algo, n, p, rng);
 
-  const Layout layout = arrangement == Arrangement::kBlocked
-                            ? Layout::blocked(p, program.memory_words, block_for(p))
-                            : make_layout(program, p, arrangement);
+  // Blocked gets a p-dividing block; conflict-free gets a non-trivial pad
+  // stride (3) so the padded scatter/gather path is what is being tested.
+  const Layout layout =
+      arrangement == Arrangement::kBlocked
+          ? Layout::blocked(p, program.memory_words, block_for(p))
+          : (arrangement == Arrangement::kConflictFree
+                 ? Layout::conflict_free(p, program.memory_words, 3)
+                 : make_layout(program, p, arrangement));
 
   const HostBulkExecutor interp(
       layout, HostBulkExecutor::Options{.backend = exec::Backend::kInterpreted});
@@ -106,6 +113,18 @@ TEST_P(ExecEquivalence, CompiledMatchesInterpretedAndInterpreter) {
         << " vs scalar";
   }
 
+  // JIT leg: where copy-and-patch is available, the emitted code must also
+  // be bit-identical to the interpreted reference on this arrangement.
+  if (exec::jit_available()) {
+    const HostBulkExecutor jitted(
+        layout,
+        HostBulkExecutor::Options{.workers = 2, .backend = exec::Backend::kJit});
+    const HostRunResult j = jitted.run(program, inputs);
+    ASSERT_EQ(j.backend, exec::Backend::kJit) << "program failed to JIT";
+    ASSERT_EQ(j.memory, a.memory)
+        << name << " " << layout.name() << " p=" << p << ": jit vs interpreted";
+  }
+
   const std::vector<Word> outputs = compiled.gather_outputs(program, b.memory);
   for (std::size_t j = 0; j < p; ++j) {
     const std::span<const Word> input(inputs.data() + j * program.input_words,
@@ -123,7 +142,8 @@ std::vector<Case> all_cases() {
   std::vector<Case> cases;
   for (const auto& algo : algos::registry()) {
     for (const Arrangement arrangement :
-         {Arrangement::kRowWise, Arrangement::kColumnWise, Arrangement::kBlocked}) {
+         {Arrangement::kRowWise, Arrangement::kColumnWise, Arrangement::kBlocked,
+          Arrangement::kConflictFree}) {
       for (const std::size_t p : {1u, 5u, 33u, 257u}) {
         cases.emplace_back(algo.name, arrangement, p);
       }

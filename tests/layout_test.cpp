@@ -4,7 +4,10 @@
 #include <set>
 #include <vector>
 
+#include "algos/algorithm.hpp"
+#include "bulk/bulk.hpp"
 #include "bulk/layout.hpp"
+#include "umm/dmm.hpp"
 
 namespace {
 
@@ -154,6 +157,33 @@ TEST(Layout, Validation) {
       seen[g] = true;
     }
   }
+}
+
+TEST(Layout, ConflictFreeWithoutASharedTierDegeneratesToColumnWise) {
+  // Regression (PR 11 edge-case sweep): kConflictFree with no shared tier
+  // configured must resolve to stride 1 — i.e. exactly the column-wise map —
+  // never a zero stride that would collapse the scatter.
+  EXPECT_EQ(umm::conflict_free_stride(umm::SharedTier{}), 1u);
+  // An enabled-but-degenerate tier (bank_words == 0 never passed validate())
+  // also falls back to 1 rather than handing the planner a zero pad stride.
+  EXPECT_EQ(umm::conflict_free_stride(
+                umm::SharedTier{.banks = 8, .bank_words = 0, .latency = 1}),
+            1u);
+
+  const trace::Program program = algos::find("prefix-sums").make_program(6);
+  // make_layout maps the unset (0) parameter to stride 1.
+  const Layout layout = make_layout(program, 4, Arrangement::kConflictFree, 0);
+  const Layout column = Layout::column_wise(4, program.memory_words);
+  EXPECT_EQ(layout.lane_stride(), column.lane_stride());
+  EXPECT_EQ(layout.total_words(), column.total_words());
+  std::set<Addr> seen;
+  for (Lane j = 0; j < 4; ++j) {
+    for (Addr a = 0; a < program.memory_words; ++a) {
+      EXPECT_EQ(layout.global(a, j), column.global(a, j));
+      EXPECT_TRUE(seen.insert(layout.global(a, j)).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), layout.total_words());  // the scatter stays a bijection
 }
 
 TEST(Layout, Names) {

@@ -224,6 +224,72 @@ TEST(NetLoopback, ServerCloseMidStreamResolvesEveryRequest) {
   service.stop();
 }
 
+TEST(NetLoopback, ObliviousFamilyVariableLengthSessions) {
+  // The serving scenario matrix over the wire: the three multicore-oblivious
+  // workloads registered at several sizes each ("algo/n=N" session ids, what
+  // `obx_cli serve --sizes` stands up), driven concurrently so batches with
+  // mixed program ids and mixed input lengths are both in flight.  Every
+  // output must be bit-identical to a direct run_bulk of that session's
+  // program — a batch that ever mixed lengths would corrupt the scatter.
+  struct Session {
+    std::string id;
+    const algos::Algorithm* algo;
+    std::size_t n;
+    trace::Program program;
+  };
+  std::vector<Session> sessions;
+  for (const char* name :
+       {"oblivious-merge", "oblivious-partition", "oblivious-aggregate"}) {
+    const algos::Algorithm& algo = algos::find(name);
+    for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{12}}) {
+      sessions.push_back(Session{
+          .id = std::string(name) + "/n=" + std::to_string(n),
+          .algo = &algo,
+          .n = n,
+          .program = algo.make_program(n)});
+    }
+  }
+
+  serve::BulkService service(loopback_service_options());
+  for (const auto& s : sessions) {
+    service.register_program(s.id, s.algo->make_program(s.n));
+  }
+  net::Server server(service, net::ServerOptions{});
+
+  constexpr std::size_t kClients = 3;
+  constexpr std::size_t kJobsPerClient = 60;
+  std::vector<std::thread> threads;
+  std::vector<std::size_t> matched(kClients, 0);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(700 + c);
+      net::Client client(server.host(), server.port());
+      ASSERT_TRUE(client.connected()) << client.error();
+      for (std::size_t i = 0; i < kJobsPerClient; ++i) {
+        const Session& s = sessions[rng.next_below(sessions.size())];
+        std::vector<Word> input = s.algo->make_input(s.n, rng);
+        const bulk::BulkOutputs direct = bulk::run_bulk(s.program, input, 1);
+        const net::Client::Result r =
+            client.submit(s.id, input, "tenant-" + std::to_string(c));
+        ASSERT_TRUE(r.ok()) << s.id << ": " << r.transport_error << " "
+                            << r.error;
+        ASSERT_EQ(r.output, direct.flat) << s.id;
+        ++matched[c];
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(matched[c], kJobsPerClient);
+  }
+
+  const net::ServerStatsSnapshot stats = server.stats();
+  EXPECT_EQ(stats.submits_admitted, kClients * kJobsPerClient);
+  EXPECT_TRUE(stats.exactly_once());
+  server.stop();
+  service.stop();
+}
+
 TEST(NetLoopback, LoadGeneratorExactlyOnceAcrossTenants) {
   const std::vector<LoopbackProgram> programs = loopback_programs();
   serve::ServiceOptions service_options = loopback_service_options();

@@ -106,6 +106,35 @@ TEST(Batcher, GroupsByProgramId) {
   EXPECT_EQ(batches[0].reason, FlushReason::kDrain);
 }
 
+TEST(Batcher, NeverMixesInputLengthsInOneGroup) {
+  // Regression (PR 11): the group key is (program id, input length).  With
+  // variable-length sessions registered under one family, two jobs whose
+  // inputs differ in length must never coalesce — a batch scatters every
+  // lane with a single program's input_words, so a mixed batch would
+  // over- or under-fill lanes.
+  Batcher batcher(BatcherOptions{.max_batch_lanes = 2, .max_batch_delay = 1h});
+  const auto t0 = Clock::time_point{};
+  auto sized_job = [&](std::size_t words) {
+    Job job = make_job("merge", t0);
+    job.input.assign(words, Word{0});
+    return job;
+  };
+  batcher.add(sized_job(6), t0);
+  batcher.add(sized_job(10), t0);
+  EXPECT_TRUE(batcher.take_ready(t0).empty());  // distinct groups, neither full
+  EXPECT_EQ(batcher.pending_jobs(), 2u);
+  batcher.add(sized_job(6), t0);  // completes the 6-word group only
+  auto batches = batcher.take_ready(t0);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].jobs.size(), 2u);
+  for (const Job& job : batches[0].jobs) EXPECT_EQ(job.input.size(), 6u);
+
+  batches = batcher.drain();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].jobs.size(), 1u);
+  EXPECT_EQ(batches[0].jobs[0].input.size(), 10u);
+}
+
 TEST(Batcher, DelayWindowReopensPerGroup) {
   Batcher batcher(BatcherOptions{.max_batch_lanes = 100, .max_batch_delay = 10ms});
   const auto t0 = Clock::time_point{};
@@ -419,6 +448,91 @@ TEST(BulkService, MixedProgramsBatchSeparately) {
     EXPECT_EQ(r.output.size(), i % 2 == 0 ? ps_out : hr_out);
   }
   service.stop();
+}
+
+// Scenario: one service hosting the whole multicore-oblivious family plus a
+// classic workload, driven with interleaved traffic.  Every result must be
+// bit-identical to the algorithm's native reference.
+TEST(BulkService, MixedObliviousFamilyBatches) {
+  ServiceOptions options;
+  options.batcher.max_batch_lanes = 8;
+  options.batcher.max_batch_delay = 2ms;
+  BulkService service(options);
+
+  struct Entry {
+    std::string id;
+    std::string algo;
+    std::size_t n;
+  };
+  const std::vector<Entry> entries = {
+      {"merge", "oblivious-merge", 5},
+      {"partition", "oblivious-partition", 12},
+      {"aggregate", "oblivious-aggregate", 5},
+      {"ps", "prefix-sums", 16},
+  };
+  for (const Entry& e : entries) {
+    service.register_program(e.id, algos::find(e.algo).make_program(e.n));
+  }
+
+  Rng rng(23);
+  std::vector<std::future<JobResult>> futures;
+  std::vector<std::vector<Word>> expected;
+  for (int round = 0; round < 6; ++round) {
+    for (const Entry& e : entries) {
+      const algos::Algorithm& algo = algos::find(e.algo);
+      const std::vector<Word> input = algo.make_input(e.n, rng);
+      expected.push_back(algo.reference(e.n, input));
+      futures.push_back(service.submit(e.id, input));
+    }
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const JobResult r = futures[i].get();
+    ASSERT_EQ(r.status, JobStatus::kCompleted) << "job " << i;
+    EXPECT_EQ(r.output, expected[i]) << "job " << i;
+  }
+  service.stop();
+  EXPECT_EQ(service.snapshot().completed, futures.size());
+}
+
+// Scenario: variable-length sessions — one family served at several input
+// lengths under distinct program ids.  Jobs of different lengths must land
+// in different batches (the batcher's group key) and every output must stay
+// bit-identical to the reference.
+TEST(BulkService, VariableLengthSessionsNeverShareABatch) {
+  const algos::Algorithm& algo = algos::find("oblivious-merge");
+  const std::vector<std::size_t> sizes = {1, 3, 5, 12};
+
+  ServiceOptions options;
+  options.batcher.max_batch_lanes = 16;
+  options.batcher.max_batch_delay = 2ms;
+  std::atomic<bool> saw_mixed{false};
+  options.before_execute = [&](const Batch& batch) {
+    for (const Job& job : batch.jobs) {
+      if (job.input.size() != batch.jobs.front().input.size()) saw_mixed = true;
+    }
+  };
+  BulkService service(options);
+  for (const std::size_t n : sizes) {
+    service.register_program("merge/n=" + std::to_string(n), algo.make_program(n));
+  }
+
+  Rng rng(29);
+  std::vector<std::future<JobResult>> futures;
+  std::vector<std::vector<Word>> expected;
+  for (int round = 0; round < 5; ++round) {
+    for (const std::size_t n : sizes) {
+      const std::vector<Word> input = algo.make_input(n, rng);
+      expected.push_back(algo.reference(n, input));
+      futures.push_back(service.submit("merge/n=" + std::to_string(n), input));
+    }
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const JobResult r = futures[i].get();
+    ASSERT_EQ(r.status, JobStatus::kCompleted) << "job " << i;
+    EXPECT_EQ(r.output, expected[i]) << "job " << i;
+  }
+  service.stop();
+  EXPECT_FALSE(saw_mixed.load()) << "a batch mixed input lengths";
 }
 
 TEST(BulkService, SubmitValidatesProgramAndInput) {

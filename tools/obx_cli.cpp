@@ -27,15 +27,16 @@
 //                    [--executors 1] [--policy block|reject|shed] [--queue-cap 2048]
 //                    [--deadline-us D] [--snapshot]   (batching service load test;
 //                    rate 0 = closed-loop)
-//   obx_cli serve    --listen HOST:PORT [--algos a,b] [--n N] [--queue-cap C]
-//                    [--policy block|reject|shed] [--executors E]
+//   obx_cli serve    --listen HOST:PORT [--algos a,b] [--n N | --sizes N1,N2]
+//                    [--queue-cap C] [--policy block|reject|shed] [--executors E]
 //                    [--batch-lanes L] [--batch-delay-us D]
 //                    [--quota-rate R] [--quota-burst B] [--duration-s S]
 //                    (network front end over the batching service; runs for
-//                    --duration-s, or until stdin closes)
-//   obx_cli bench-net [--algos a,b] [--n N] [--jobs J] [--rate R] [--bursty]
-//                    [--tenants T] [--connections C] [--pipeline D]
-//                    [--seed S] [--scrape]
+//                    --duration-s, or until stdin closes.  --sizes registers
+//                    variable-length sessions, one "algo/n=N" id per size)
+//   obx_cli bench-net [--algos a,b] [--n N | --sizes N1,N2] [--jobs J]
+//                    [--rate R] [--bursty] [--tenants T] [--connections C]
+//                    [--pipeline D] [--seed S] [--scrape]
 //                    (loopback socket throughput vs the in-process service;
 //                    nonzero exit on any exactly-once violation)
 //   obx_cli fuzz     [--seed S] [--iters N] [--max-steps M] [--no-shrink]
@@ -430,16 +431,40 @@ serve::ServiceOptions service_options_from(const cli::Args& args) {
   return options;
 }
 
+// --sizes a,b,c → variable-length sessions: one registered program per
+// (algorithm, n).  Absent, --n (or `fallback_n`) keeps one session per
+// algorithm under its bare name.
+std::vector<std::size_t> sizes_from(const cli::Args& args,
+                                    std::int64_t fallback_n) {
+  std::vector<std::size_t> sizes;
+  for (const std::string& s : split_csv(args.get("sizes", ""))) {
+    OBX_CHECK(!s.empty() && s.find_first_not_of("0123456789") == std::string::npos,
+              "--sizes entries must be positive integers, got: " + s);
+    sizes.push_back(static_cast<std::size_t>(std::stoull(s)));
+  }
+  if (sizes.empty()) {
+    sizes.push_back(static_cast<std::size_t>(args.get_int("n", fallback_n)));
+  }
+  return sizes;
+}
+
 std::vector<serve::WorkloadItem> register_workload(
     serve::BulkService& service, const std::vector<std::string>& algo_names,
-    std::size_t n) {
+    const std::vector<std::size_t>& sizes) {
+  // With several sizes, each (algorithm, n) gets its own "name/n=N" session
+  // id — distinct ids and the batcher's (program id, input length) group key
+  // both guarantee a batch never mixes input lengths.
   std::vector<serve::WorkloadItem> workload;
   for (const std::string& name : algo_names) {
     const algos::Algorithm& algo = algos::find(name);
-    service.register_program(name, algo.make_program(n));
-    workload.push_back(serve::WorkloadItem{
-        .program_id = name,
-        .make_input = [&algo, n](Rng& rng) { return algo.make_input(n, rng); }});
+    for (const std::size_t n : sizes) {
+      const std::string id =
+          sizes.size() == 1 ? name : name + "/n=" + std::to_string(n);
+      service.register_program(id, algo.make_program(n));
+      workload.push_back(serve::WorkloadItem{
+          .program_id = id,
+          .make_input = [&algo, n](Rng& rng) { return algo.make_input(n, rng); }});
+    }
   }
   return workload;
 }
@@ -458,14 +483,17 @@ int cmd_serve(const cli::Args& args) {
       static_cast<std::uint16_t>(std::stoi(listen.substr(colon + 1)));
 
   serve::BulkService service(service_options_from(args));
-  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 1024));
+  const std::vector<std::size_t> sizes = sizes_from(args, 1024);
   const std::vector<std::string> algo_names =
       split_csv(args.get("algos", "prefix-sums,horner"));
-  register_workload(service, algo_names, n);
+  const std::size_t sessions =
+      register_workload(service, algo_names, sizes).size();
 
   net::Server server(service, server_options);
-  std::printf("listening on %s:%u — %zu programs (n=%zu), policy=%s\n",
-              server.host().c_str(), server.port(), algo_names.size(), n,
+  std::printf("listening on %s:%u — %zu sessions (%zu algos x %zu sizes), "
+              "policy=%s\n",
+              server.host().c_str(), server.port(), sessions,
+              algo_names.size(), sizes.size(),
               args.get("policy", "block").c_str());
   std::fflush(stdout);
 
@@ -488,7 +516,7 @@ int cmd_serve(const cli::Args& args) {
 // of the network front end itself.  Nonzero exit on any lost or double
 // resolution on either path.
 int cmd_bench_net(const cli::Args& args) {
-  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 256));
+  const std::vector<std::size_t> sizes = sizes_from(args, 256);
   const std::vector<std::string> algo_names =
       split_csv(args.get("algos", "prefix-sums"));
   const std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 4000));
@@ -512,7 +540,7 @@ int cmd_bench_net(const cli::Args& args) {
   {
     serve::BulkService service(service_options_from(args));
     const std::vector<serve::WorkloadItem> workload =
-        register_workload(service, algo_names, n);
+        register_workload(service, algo_names, sizes);
     serve::LoadGenOptions load;
     load.jobs = jobs;
     load.producers = static_cast<unsigned>(tenant_count) * connections;
@@ -532,7 +560,7 @@ int cmd_bench_net(const cli::Args& args) {
   {
     serve::BulkService service(service_options_from(args));
     const std::vector<serve::WorkloadItem> workload =
-        register_workload(service, algo_names, n);
+        register_workload(service, algo_names, sizes);
     net::Server server(service, net::ServerOptions{});
 
     static const serve::Priority kRotation[] = {serve::Priority::kHigh,
@@ -739,7 +767,8 @@ int main(int argc, char** argv) {
          "seed", "sms", "algos", "jobs", "rate", "producers", "batch-lanes",
          "batch-delays-us", "batch-delay-us", "executors", "policy", "queue-cap",
          "deadline-us", "iters", "max-steps", "replay", "listen", "duration-s",
-         "quota-rate", "quota-burst", "tenants", "connections", "pipeline"});
+         "quota-rate", "quota-burst", "tenants", "connections", "pipeline",
+         "sizes"});
     if (args.positional().empty()) return usage();
     const std::string& cmd = args.positional()[0];
     if (cmd == "list") return cmd_list(args);

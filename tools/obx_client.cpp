@@ -4,7 +4,7 @@
 // the other half of a cross-host load test: point it at any obx server (e.g.
 // `obx_cli serve --listen 0.0.0.0:9090` on another machine) and drive it.
 //
-//   obx_client --connect HOST:PORT [--algos a,b] [--n N]
+//   obx_client --connect HOST:PORT [--algos a,b] [--n N | --sizes N1,N2]
 //              [--jobs J] [--rate R] [--bursty] [--tenants T]
 //              [--connections C] [--pipeline D] [--deadline-us U] [--seed S]
 //              [--scrape]
@@ -40,7 +40,8 @@ using namespace obx;
 int usage() {
   std::fprintf(stderr,
                "usage: obx_client --connect HOST:PORT [--ping] [--algos a,b] "
-               "[--n N] [--jobs J] [--rate R] [--bursty] [--tenants T] "
+               "[--n N | --sizes N1,N2] "
+               "[--jobs J] [--rate R] [--bursty] [--tenants T] "
                "[--connections C] [--pipeline D] [--deadline-us U] [--seed S] "
                "[--scrape]\n");
   return 2;
@@ -59,16 +60,42 @@ std::vector<std::string> split_csv(const std::string& csv) {
   return out;
 }
 
+/// --sizes a,b,c mirrors `obx_cli serve --sizes`: variable-length sessions,
+/// one per (algorithm, n).  Absent, --n keeps one bare-id session per algo.
+std::vector<std::size_t> sizes_from(const cli::Args& args,
+                                    std::int64_t fallback_n) {
+  std::vector<std::size_t> sizes;
+  std::string csv = args.get("sizes", "");
+  for (const std::string& s : split_csv(csv)) {
+    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+      std::fprintf(stderr, "--sizes entries must be positive integers: %s\n",
+                   s.c_str());
+      std::exit(2);
+    }
+    sizes.push_back(static_cast<std::size_t>(std::stoull(s)));
+  }
+  if (sizes.empty()) {
+    sizes.push_back(static_cast<std::size_t>(args.get_int("n", fallback_n)));
+  }
+  return sizes;
+}
+
 /// The client-side half of register_workload: input generators for program
-/// ids the server is assumed to already serve.
+/// ids the server is assumed to already serve (same id scheme — several
+/// sizes address the server's "name/n=N" variable-length sessions).
 std::vector<serve::WorkloadItem> make_workload(
-    const std::vector<std::string>& algo_names, std::size_t n) {
+    const std::vector<std::string>& algo_names,
+    const std::vector<std::size_t>& sizes) {
   std::vector<serve::WorkloadItem> workload;
   for (const std::string& name : algo_names) {
     const algos::Algorithm& algo = algos::find(name);
-    workload.push_back(serve::WorkloadItem{
-        .program_id = name,
-        .make_input = [&algo, n](Rng& rng) { return algo.make_input(n, rng); }});
+    for (const std::size_t n : sizes) {
+      const std::string id =
+          sizes.size() == 1 ? name : name + "/n=" + std::to_string(n);
+      workload.push_back(serve::WorkloadItem{
+          .program_id = id,
+          .make_input = [&algo, n](Rng& rng) { return algo.make_input(n, rng); }});
+    }
   }
   return workload;
 }
@@ -104,9 +131,8 @@ int cmd_ping(const std::string& host, std::uint16_t port, const cli::Args& args)
 }
 
 int cmd_load(const std::string& host, std::uint16_t port, const cli::Args& args) {
-  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 256));
-  const std::vector<serve::WorkloadItem> workload =
-      make_workload(split_csv(args.get("algos", "prefix-sums")), n);
+  const std::vector<serve::WorkloadItem> workload = make_workload(
+      split_csv(args.get("algos", "prefix-sums")), sizes_from(args, 256));
   const std::size_t tenant_count =
       static_cast<std::size_t>(args.get_int("tenants", 3));
   const unsigned connections =
@@ -180,8 +206,8 @@ int main(int argc, char** argv) {
   try {
     const cli::Args args = cli::Args::parse(
         argc, argv, {"bursty", "scrape", "ping"},
-        {"connect", "algos", "n", "jobs", "rate", "tenants", "connections",
-         "pipeline", "deadline-us", "seed"});
+        {"connect", "algos", "n", "sizes", "jobs", "rate", "tenants",
+         "connections", "pipeline", "deadline-us", "seed"});
     if (!args.has("connect")) return usage();
     const std::string connect = args.get("connect", "");
     const std::size_t colon = connect.rfind(':');
